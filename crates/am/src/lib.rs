@@ -1,0 +1,282 @@
+//! # mpmd-am — Active Messages over the simulated multicomputer
+//!
+//! Both language runtimes in the paper are built over Active Messages (von
+//! Eicken et al., ISCA '92) on the IBM SP: short 4-word request/reply
+//! messages whose arrival invokes a *handler*, bulk-transfer primitives for
+//! contiguous data, and polling-based reception ("due to the high cost of
+//! software interrupts ... message reception is based on polling that occurs
+//! on a node every time a message is sent").
+//!
+//! This crate provides that layer: per-node handler tables, [`request`] /
+//! [`request_bulk`] sends, [`poll`], the spin-wait [`wait_until`], reply
+//! continuation cells, a message barrier, and calibrated [`NetProfile`]s
+//! (Split-C's single-threaded endpoint at a 53 µs null round trip, the CC++
+//! thread-safe endpoint at 55 µs, IBM MPL at 88 µs).
+
+mod barrier;
+mod ops;
+mod profile;
+mod reply;
+mod state;
+
+pub use barrier::{barrier, register_barrier_handlers, H_BARRIER_ARRIVE, H_BARRIER_RELEASE};
+pub use ops::{poll, request, request_bulk, wait_until, Token, SHORT_WIRE_BYTES};
+pub use profile::NetProfile;
+pub use reply::{PendingCounter, ReplyCell};
+pub use state::{init, is_registered, profile, register, Handler, HandlerId};
+
+use bytes::Bytes;
+
+/// A delivered active message, as seen by its handler.
+pub struct AmMsg {
+    /// Sending node.
+    pub src: usize,
+    /// Destination handler id.
+    pub handler: HandlerId,
+    /// The four 64-bit argument words.
+    pub args: [u64; 4],
+    /// Bulk payload, if sent with [`request_bulk`].
+    pub data: Option<Bytes>,
+    /// Opaque continuation (reply-buffer "address").
+    pub token: Option<Token>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpmd_sim::{to_us, us, Bucket, Sim};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Test handler ids (outside the reserved 0-15 range).
+    const H_ECHO: HandlerId = 100;
+    const H_SINK: HandlerId = 101;
+    const H_REPLY: HandlerId = 102;
+
+    fn setup(ctx: &mpmd_sim::Ctx, profile: NetProfile) {
+        init(ctx, profile);
+        register_barrier_handlers(ctx);
+    }
+
+    /// Run a null AM ping-pong and return the measured round-trip time.
+    /// The responder waits until it has served the echo before re-entering
+    /// the final barrier, so no barrier traffic lands in the timed window.
+    fn measure_null_rtt(profile: NetProfile) -> u64 {
+        let rtt_out = Arc::new(AtomicU64::new(0));
+        let rtt2 = Arc::clone(&rtt_out);
+        Sim::new(2).run(move |ctx| {
+            setup(&ctx, profile.clone());
+            if ctx.node() == 0 {
+                register(&ctx, H_REPLY, |_ctx, m| {
+                    let cell = m.token.unwrap().downcast::<Arc<ReplyCell>>().unwrap();
+                    cell.complete(m.args);
+                });
+                barrier(&ctx);
+                let t0 = ctx.now();
+                let cell = ReplyCell::new();
+                request(&ctx, 1, H_ECHO, [7, 0, 0, 0], Some(Box::new(Arc::clone(&cell))));
+                let c2 = Arc::clone(&cell);
+                wait_until(&ctx, move || c2.is_done());
+                assert_eq!(cell.words()[0], 7);
+                rtt2.store(ctx.now() - t0, Ordering::SeqCst);
+                barrier(&ctx);
+            } else {
+                let served = Arc::new(AtomicU64::new(0));
+                let s2 = Arc::clone(&served);
+                register(&ctx, H_ECHO, move |ctx, m| {
+                    request(ctx, m.src, H_REPLY, m.args, m.token);
+                    s2.fetch_add(1, Ordering::SeqCst);
+                });
+                barrier(&ctx);
+                wait_until(&ctx, move || served.load(Ordering::SeqCst) >= 1);
+                barrier(&ctx);
+            }
+        });
+        rtt_out.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn null_ping_pong_round_trip_is_53us_on_splitc_profile() {
+        let rtt = measure_null_rtt(NetProfile::sp_am_splitc());
+        assert_eq!(rtt, us(53.0), "rtt = {} µs", to_us(rtt));
+    }
+
+    #[test]
+    fn thread_safe_profile_costs_55us() {
+        let rtt = measure_null_rtt(NetProfile::sp_am_ccxx());
+        assert_eq!(rtt, us(55.0), "rtt = {} µs", to_us(rtt));
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_payload_intact() {
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            if ctx.node() == 0 {
+                barrier(&ctx);
+                let data: Vec<u8> = (0..=255).collect();
+                request_bulk(&ctx, 1, H_SINK, [255, 0, 0, 0], Bytes::from(data), None);
+                barrier(&ctx);
+            } else {
+                let seen = Arc::new(AtomicU64::new(0));
+                let s2 = Arc::clone(&seen);
+                register(&ctx, H_SINK, move |_ctx, m| {
+                    let d = m.data.as_ref().unwrap();
+                    assert_eq!(d.len(), 256);
+                    assert!(d.iter().enumerate().all(|(i, &b)| b as usize == i));
+                    s2.store(1, Ordering::SeqCst);
+                });
+                barrier(&ctx);
+                barrier(&ctx);
+                assert_eq!(seen.load(Ordering::SeqCst), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn bulk_send_charges_bulk_setup() {
+        let r = Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            register(&ctx, H_SINK, |_ctx, _m| {});
+            if ctx.node() == 0 {
+                barrier(&ctx);
+                request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(vec![0u8; 160]), None);
+            } else {
+                barrier(&ctx);
+            }
+            barrier(&ctx);
+        });
+        let t = r.total_stats();
+        assert_eq!(t.bulk_msgs, 1);
+        // Net charges include bulk_setup on top of the barrier traffic.
+        assert!(t.bucket(Bucket::Net) > 0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let r = Sim::new(4).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            // Skew the nodes badly, then barrier.
+            ctx.charge(Bucket::Cpu, 1_000 * (ctx.node() as u64 * 50));
+            barrier(&ctx);
+            let after = ctx.now();
+            // Everyone leaves the barrier no earlier than the slowest
+            // arrival (150 µs of cpu on node 3).
+            assert!(after >= us(150.0), "left barrier at {} µs", to_us(after));
+        });
+        assert_eq!(r.nodes(), 4);
+    }
+
+    #[test]
+    fn barrier_is_reusable_many_times() {
+        Sim::new(3).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            for i in 0..20u64 {
+                ctx.charge(Bucket::Cpu, (ctx.node() as u64 + 1) * 100 * (i % 3 + 1));
+                barrier(&ctx);
+            }
+        });
+    }
+
+    #[test]
+    fn poll_on_send_services_pending_messages() {
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            let hits = Arc::new(AtomicU64::new(0));
+            let h2 = Arc::clone(&hits);
+            register(&ctx, H_SINK, move |_ctx, _m| {
+                h2.fetch_add(1, Ordering::SeqCst);
+            });
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                request(&ctx, 1, H_SINK, [0; 4], None);
+                barrier(&ctx);
+            } else {
+                // Burn time so the message is already in our inbox, then
+                // send our own message: poll-on-send must run the handler.
+                ctx.charge(Bucket::Cpu, us(500.0));
+                request(&ctx, 0, H_SINK, [0; 4], None);
+                assert_eq!(hits.load(Ordering::SeqCst), 1);
+                barrier(&ctx);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no AM handler registered")]
+    fn unregistered_handler_panics() {
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            if ctx.node() == 0 {
+                request(&ctx, 1, 999, [0; 4], None);
+            } else {
+                wait_until(&ctx, || false); // poll forever: panics on dispatch
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate AM handler id")]
+    fn duplicate_registration_panics() {
+        Sim::new(1).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            register(&ctx, H_ECHO, |_, _| {});
+            register(&ctx, H_ECHO, |_, _| {});
+        });
+    }
+
+    #[test]
+    fn handler_registration_is_per_node() {
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            if ctx.node() == 0 {
+                register(&ctx, H_ECHO, |_, _| {});
+                assert!(is_registered(&ctx, H_ECHO));
+            } else {
+                assert!(!is_registered(&ctx, H_ECHO));
+            }
+            barrier(&ctx);
+        });
+    }
+
+    #[test]
+    fn messages_from_one_sender_arrive_in_order() {
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let l2 = Arc::clone(&log);
+            register(&ctx, H_SINK, move |_ctx, m| {
+                l2.lock().push(m.args[0]);
+            });
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                for i in 0..10u64 {
+                    request(&ctx, 1, H_SINK, [i, 0, 0, 0], None);
+                }
+                barrier(&ctx);
+            } else {
+                barrier(&ctx);
+                assert_eq!(&*log.lock(), &(0..10).collect::<Vec<u64>>());
+            }
+        });
+    }
+
+    #[test]
+    fn pipelined_requests_overlap_on_the_wire() {
+        // 10 back-to-back one-way messages: wall time must be far below
+        // 10 full one-way latencies (only send overheads serialize).
+        let r = Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            register(&ctx, H_SINK, |_, _| {});
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                for i in 0..10u64 {
+                    request(&ctx, 1, H_SINK, [i, 0, 0, 0], None);
+                }
+            }
+            barrier(&ctx);
+        });
+        // Wall clock after barriers exists; the real assertion is indirect:
+        // 10 sends at 2 µs overhead + 22.5 µs wire ≈ 45 µs, not 265 µs.
+        assert!(r.elapsed() < us(200.0), "elapsed = {} µs", to_us(r.elapsed()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Sending, polling and waiting.
+
+use crate::state::{lookup, AmState, HandlerId, PollGuard};
+use crate::AmMsg;
+use bytes::Bytes;
+use mpmd_sim::{Bucket, Ctx};
+use std::any::Any;
+
+/// Opaque continuation carried by a message (e.g. an `Arc<ReplyCell>`),
+/// modeling the reply-buffer address an AM request carries on real hardware.
+pub type Token = Box<dyn Any + Send>;
+
+/// Modeled header size of every active message (routing + handler id + args).
+pub const SHORT_WIRE_BYTES: usize = 48;
+
+/// Send a short (4-word) active message. Charges the sender-side overhead to
+/// `Bucket::Net` and, per the paper's reception strategy, polls the local
+/// queue ("polling ... occurs on a node every time a message is sent").
+pub fn request(ctx: &Ctx, dst: usize, handler: HandlerId, args: [u64; 4], token: Option<Token>) {
+    send_inner(ctx, dst, handler, args, None, token);
+}
+
+/// Send an active message carrying a bulk payload. Charges the additional
+/// bulk setup overhead; the payload adds per-byte wire time.
+pub fn request_bulk(
+    ctx: &Ctx,
+    dst: usize,
+    handler: HandlerId,
+    args: [u64; 4],
+    data: Bytes,
+    token: Option<Token>,
+) {
+    send_inner(ctx, dst, handler, args, Some(data), token);
+}
+
+fn send_inner(
+    ctx: &Ctx,
+    dst: usize,
+    handler: HandlerId,
+    args: [u64; 4],
+    data: Option<Bytes>,
+    token: Option<Token>,
+) {
+    let st = AmState::get(ctx);
+    let p = st.profile();
+    let bulk = data.is_some();
+    let bytes = data.as_ref().map_or(0, |d| d.len());
+    ctx.charge(Bucket::Net, p.send_charge(bulk));
+    ctx.with_stats(|s| {
+        if bulk {
+            s.bulk_msgs += 1;
+        } else {
+            s.short_msgs += 1;
+        }
+    });
+    let msg = AmMsg {
+        src: ctx.node(),
+        handler,
+        args,
+        data,
+        token,
+    };
+    ctx.send_msg(dst, SHORT_WIRE_BYTES + bytes, p.wire_delay(bytes), Box::new(msg));
+    if p.poll_on_send {
+        poll(ctx);
+    }
+}
+
+/// Drain the inbox, dispatching every delivered message's handler on this
+/// task. Returns the number of handlers run. Recursive polls (a handler's
+/// reply re-entering `poll` via poll-on-send) are suppressed.
+pub fn poll(ctx: &Ctx) -> usize {
+    let st = AmState::get(ctx);
+    let Some(_guard) = PollGuard::enter(&st, ctx.task_id()) else {
+        return 0;
+    };
+    // Yield so every network event due at or before our clock is visible.
+    ctx.poll_point();
+    ctx.with_stats(|s| s.polls += 1);
+    let p = st.profile();
+    let mut ran = 0;
+    while let Some(m) = ctx.try_recv() {
+        let am = m
+            .payload
+            .downcast::<AmMsg>()
+            .expect("non-AM message in inbox");
+        ctx.charge(Bucket::Net, p.recv_charge());
+        ctx.with_stats(|s| s.handlers_run += 1);
+        let h = lookup(&st, am.handler);
+        h(ctx, *am);
+        ran += 1;
+    }
+    ran
+}
+
+/// Spin-poll until `pred` becomes true: poll, check, and if nothing is
+/// pending park until the next delivery. This is how a single-threaded
+/// Split-C node waits for completions, and how the CC++ "0-Word Simple"
+/// (no-thread-switch) path waits: it costs no thread operations.
+pub fn wait_until(ctx: &Ctx, mut pred: impl FnMut() -> bool) {
+    loop {
+        poll(ctx);
+        if pred() {
+            return;
+        }
+        ctx.park_for_inbox();
+    }
+}

@@ -1,0 +1,140 @@
+//! Reply continuation cells.
+//!
+//! On real hardware an AM request carries the address of a completion flag /
+//! result buffer that the reply handler fills in. In the simulation the
+//! "address" is an `Arc<ReplyCell>` carried in the message token; the reply
+//! handler on the requesting node completes the cell, and whatever task is
+//! waiting observes it. Because the simulator serializes execution, plain
+//! mutexed fields are race-free and uncontended.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Completion cell for one outstanding request.
+#[derive(Default)]
+pub struct ReplyCell {
+    done: AtomicBool,
+    words: Mutex<Option<[u64; 4]>>,
+    data: Mutex<Option<Bytes>>,
+}
+
+impl ReplyCell {
+    /// A fresh, incomplete cell.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Whether the reply has arrived.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Complete with word results only.
+    pub fn complete(&self, words: [u64; 4]) {
+        *self.words.lock() = Some(words);
+        self.done.store(true, Ordering::Release);
+    }
+
+    /// Complete with words and a bulk payload.
+    pub fn complete_with_data(&self, words: [u64; 4], data: Bytes) {
+        *self.data.lock() = Some(data);
+        self.complete(words);
+    }
+
+    /// The reply words. Panics if not complete.
+    pub fn words(&self) -> [u64; 4] {
+        self.words.lock().expect("reply not complete")
+    }
+
+    /// The reply bulk payload, if any. Panics if not complete.
+    pub fn take_data(&self) -> Option<Bytes> {
+        assert!(self.is_done(), "reply not complete");
+        self.data.lock().take()
+    }
+}
+
+/// A counter cell for split-phase operations: tracks how many outstanding
+/// acknowledgements remain (Split-C's `sync()` waits for it to reach zero).
+#[derive(Default)]
+pub struct PendingCounter {
+    outstanding: Mutex<u64>,
+}
+
+impl PendingCounter {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Note a newly issued split-phase operation.
+    pub fn issue(&self) {
+        *self.outstanding.lock() += 1;
+    }
+
+    /// Note a completion (called by the ack/reply handler).
+    pub fn complete(&self) {
+        let mut g = self.outstanding.lock();
+        assert!(*g > 0, "completion without outstanding operation");
+        *g -= 1;
+    }
+
+    /// Outstanding operations.
+    pub fn outstanding(&self) -> u64 {
+        *self.outstanding.lock()
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_quiescent(&self) -> bool {
+        self.outstanding() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_cell_lifecycle() {
+        let c = ReplyCell::new();
+        assert!(!c.is_done());
+        c.complete([1, 2, 3, 4]);
+        assert!(c.is_done());
+        assert_eq!(c.words(), [1, 2, 3, 4]);
+        assert!(c.take_data().is_none());
+    }
+
+    #[test]
+    fn reply_cell_with_data() {
+        let c = ReplyCell::new();
+        c.complete_with_data([0; 4], Bytes::from_static(b"abc"));
+        assert_eq!(c.take_data().unwrap().as_ref(), b"abc");
+        assert!(c.take_data().is_none(), "data is taken once");
+    }
+
+    #[test]
+    #[should_panic(expected = "reply not complete")]
+    fn words_before_completion_panics() {
+        ReplyCell::new().words();
+    }
+
+    #[test]
+    fn pending_counter_balances() {
+        let p = PendingCounter::new();
+        assert!(p.is_quiescent());
+        p.issue();
+        p.issue();
+        assert_eq!(p.outstanding(), 2);
+        p.complete();
+        assert!(!p.is_quiescent());
+        p.complete();
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without outstanding")]
+    fn unbalanced_complete_panics() {
+        PendingCounter::new().complete();
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-node Active-Message endpoint state: the handler table and profile.
+
+use crate::profile::NetProfile;
+use crate::AmMsg;
+use mpmd_sim::{Ctx, TaskId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Identifier of a registered handler. Each runtime owns a disjoint id range
+/// (by convention: AM internals 0–15, Split-C 16–63, CC++ 64+).
+pub type HandlerId = u32;
+
+/// A registered active-message handler. Handlers execute on the receiving
+/// node, inside whichever task performed the poll; they may send messages
+/// (e.g. replies) and spawn threads, but must not block.
+pub type Handler = Arc<dyn Fn(&Ctx, AmMsg) + Send + Sync>;
+
+/// Endpoint state, one per node, stored in the simulator's node-data
+/// registry.
+pub(crate) struct AmState {
+    pub(crate) profile: Mutex<Option<NetProfile>>,
+    pub(crate) handlers: RwLock<HashMap<HandlerId, Handler>>,
+    /// Tasks currently inside `poll`, guarding against *recursive* polling
+    /// (a handler's reply triggering poll-on-send while already inside a
+    /// poll). Per task, not per node: a different task polling while this
+    /// one is suspended at its poll point is legal and necessary — blocking
+    /// it would let a spin-waiting task busy-loop forever while the polling
+    /// thread holds the node-wide flag.
+    pub(crate) in_poll: Mutex<HashSet<TaskId>>,
+    /// Barrier bookkeeping (see `barrier.rs`).
+    pub(crate) barrier_arrivals: Mutex<HashMap<u64, usize>>,
+    pub(crate) barrier_release_gen: AtomicU64,
+    pub(crate) barrier_my_gen: AtomicU64,
+}
+
+impl AmState {
+    fn new() -> Self {
+        AmState {
+            profile: Mutex::new(None),
+            handlers: RwLock::new(HashMap::new()),
+            in_poll: Mutex::new(HashSet::new()),
+            barrier_arrivals: Mutex::new(HashMap::new()),
+            barrier_release_gen: AtomicU64::new(0),
+            barrier_my_gen: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn get(ctx: &Ctx) -> Arc<AmState> {
+        ctx.node_data(AmState::new)
+    }
+
+    pub(crate) fn profile(&self) -> NetProfile {
+        self.profile
+            .lock()
+            .clone()
+            .expect("am::init was not called on this node")
+    }
+}
+
+/// Initialize this node's endpoint with a cost profile. Must be called once
+/// per node before any communication; calling again with a different profile
+/// panics (mixed profiles on one node would make measurements meaningless).
+pub fn init(ctx: &Ctx, profile: NetProfile) {
+    let st = AmState::get(ctx);
+    let mut p = st.profile.lock();
+    match &*p {
+        None => *p = Some(profile),
+        Some(existing) => assert_eq!(
+            *existing, profile,
+            "am::init called twice with different profiles"
+        ),
+    }
+}
+
+/// The profile this node was initialized with.
+pub fn profile(ctx: &Ctx) -> NetProfile {
+    AmState::get(ctx).profile()
+}
+
+/// Register `handler` under `id` on this node. Panics if the id is taken.
+pub fn register(ctx: &Ctx, id: HandlerId, handler: impl Fn(&Ctx, AmMsg) + Send + Sync + 'static) {
+    let st = AmState::get(ctx);
+    let mut tbl = st.handlers.write();
+    let prev = tbl.insert(id, Arc::new(handler));
+    assert!(prev.is_none(), "duplicate AM handler id {id}");
+}
+
+/// Whether a handler id is registered (used by tests and diagnostics).
+pub fn is_registered(ctx: &Ctx, id: HandlerId) -> bool {
+    AmState::get(ctx).handlers.read().contains_key(&id)
+}
+
+pub(crate) fn lookup(st: &AmState, id: HandlerId) -> Handler {
+    st.handlers
+        .read()
+        .get(&id)
+        .unwrap_or_else(|| panic!("no AM handler registered for id {id}"))
+        .clone()
+}
+
+/// Poll-guard RAII: marks the *task* as inside a poll for its lifetime.
+pub(crate) struct PollGuard<'a> {
+    st: &'a AmState,
+    task: TaskId,
+}
+
+impl<'a> PollGuard<'a> {
+    /// Returns `None` if this task is already polling (recursive poll via
+    /// poll-on-send suppressed). Other tasks may poll concurrently — the
+    /// simulator serializes them, and inbox draining is atomic per message.
+    pub(crate) fn enter(st: &'a AmState, task: TaskId) -> Option<Self> {
+        if st.in_poll.lock().insert(task) {
+            Some(PollGuard { st, task })
+        } else {
+            None
+        }
+    }
+}
+
+impl Drop for PollGuard<'_> {
+    fn drop(&mut self) {
+        self.st.in_poll.lock().remove(&self.task);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests of the Active Messages layer: payload integrity, cost
+//! monotonicity, and barrier correctness under randomized traffic.
+
+use bytes::Bytes;
+use mpmd_am as am;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const H_SINK: am::HandlerId = 120;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Bulk payloads of any size and content arrive intact and in order.
+    #[test]
+    fn bulk_payloads_arrive_intact(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..300), 1..8),
+    ) {
+        let received: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&received);
+        let payloads2 = payloads.clone();
+        mpmd_sim::Sim::new(2).run(move |ctx| {
+            am::init(&ctx, am::NetProfile::sp_am_splitc());
+            am::register_barrier_handlers(&ctx);
+            let r3 = Arc::clone(&r2);
+            am::register(&ctx, H_SINK, move |_ctx, m| {
+                r3.lock().push(m.data.as_ref().map(|d| d.to_vec()).unwrap_or_default());
+            });
+            am::barrier(&ctx);
+            if ctx.node() == 0 {
+                for p in &payloads2 {
+                    am::request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(p.clone()), None);
+                }
+            } else {
+                // Large bulk messages can be overtaken by short ones (their
+                // wire time scales with size), so a barrier alone does not
+                // establish delivery — count arrivals, as all_store_sync
+                // does in Split-C.
+                let r4 = Arc::clone(&r2);
+                let n = payloads2.len();
+                am::wait_until(&ctx, move || r4.lock().len() >= n);
+            }
+            am::barrier(&ctx);
+        });
+        let got = received.lock().clone();
+        prop_assert_eq!(got, payloads);
+    }
+
+    /// The modeled wire delay grows monotonically with payload size for
+    /// every profile.
+    #[test]
+    fn wire_delay_is_monotone(a in 0usize..100_000, b in 0usize..100_000) {
+        for p in [
+            am::NetProfile::sp_am_splitc(),
+            am::NetProfile::sp_am_ccxx(),
+            am::NetProfile::ibm_mpl(),
+        ] {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(p.wire_delay(lo) <= p.wire_delay(hi));
+            prop_assert!(p.wire_delay(lo) >= p.wire_latency);
+        }
+    }
+
+    /// Barriers synchronize arbitrary skews: after a barrier, every node's
+    /// clock is at least the maximum pre-barrier clock.
+    #[test]
+    fn barrier_dominates_skew(
+        skews in proptest::collection::vec(0u64..500_000, 2..6),
+    ) {
+        let nodes = skews.len();
+        let max_skew = *skews.iter().max().unwrap();
+        let after: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; nodes]));
+        let a2 = Arc::clone(&after);
+        mpmd_sim::Sim::new(nodes).run(move |ctx| {
+            am::init(&ctx, am::NetProfile::sp_am_splitc());
+            am::register_barrier_handlers(&ctx);
+            ctx.charge(mpmd_sim::Bucket::Cpu, skews[ctx.node()]);
+            am::barrier(&ctx);
+            a2.lock()[ctx.node()] = ctx.now();
+        });
+        for (i, &t) in after.lock().iter().enumerate() {
+            prop_assert!(t >= max_skew, "node {i} left the barrier at {t} < {max_skew}");
+        }
+    }
+
+    /// wait_until observes a condition made true by the k-th message, never
+    /// earlier.
+    #[test]
+    fn wait_until_counts_messages(k in 1usize..10) {
+        let woke_at = Arc::new(AtomicUsize::new(0));
+        let w2 = Arc::clone(&woke_at);
+        mpmd_sim::Sim::new(2).run(move |ctx| {
+            am::init(&ctx, am::NetProfile::sp_am_splitc());
+            am::register_barrier_handlers(&ctx);
+            let seen = Arc::new(AtomicUsize::new(0));
+            let s2 = Arc::clone(&seen);
+            am::register(&ctx, H_SINK, move |_ctx, _m| {
+                s2.fetch_add(1, Ordering::AcqRel);
+            });
+            am::barrier(&ctx);
+            if ctx.node() == 0 {
+                for _ in 0..k {
+                    am::request(&ctx, 1, H_SINK, [0; 4], None);
+                    ctx.charge(mpmd_sim::Bucket::Cpu, 100_000); // spread arrivals
+                }
+            } else {
+                let s3 = Arc::clone(&seen);
+                am::wait_until(&ctx, move || s3.load(Ordering::Acquire) >= k);
+                w2.store(seen.load(Ordering::Acquire), Ordering::Release);
+            }
+            am::barrier(&ctx);
+        });
+        prop_assert_eq!(woke_at.load(Ordering::Acquire), k);
+    }
+}

@@ -1,0 +1,288 @@
+//! The EM3D bipartite graph: generation, distribution and the sequential
+//! reference.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters. The paper's runs use "a synthetic graph of 800
+/// nodes distributed across 4 processors where each node has degree 20",
+/// varying the fraction of edges that cross processor boundaries from 10%
+/// to 100%.
+#[derive(Clone, Debug)]
+pub struct Em3dParams {
+    /// Total graph nodes (half E, half H). Must be divisible by 2×procs.
+    pub graph_nodes: usize,
+    /// Out-degree of every E node.
+    pub degree: usize,
+    /// Processors.
+    pub procs: usize,
+    /// Simulation steps.
+    pub steps: usize,
+    /// Probability that an edge connects nodes on different processors.
+    pub remote_frac: f64,
+    /// RNG seed (the graph is a deterministic function of the parameters).
+    pub seed: u64,
+}
+
+impl Em3dParams {
+    /// The paper's configuration.
+    pub fn paper(remote_frac: f64) -> Self {
+        Em3dParams {
+            graph_nodes: 800,
+            degree: 20,
+            procs: 4,
+            steps: 3,
+            remote_frac,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated bipartite graph. `e_adj[e]` lists `(h_index, weight)`
+/// neighbors of E node `e`; `h_adj` is the mirror. Node-to-processor
+/// assignment is block distribution on each side.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    pub e_count: usize,
+    pub h_count: usize,
+    pub procs: usize,
+    pub e_adj: Vec<Vec<(usize, f64)>>,
+    pub h_adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Generate the graph — identical on every node for a given seed.
+    pub fn generate(p: &Em3dParams) -> Graph {
+        assert!(p.graph_nodes.is_multiple_of(2), "need an even node count");
+        let e_count = p.graph_nodes / 2;
+        let h_count = p.graph_nodes / 2;
+        assert!(
+            e_count.is_multiple_of(p.procs),
+            "E nodes ({e_count}) must divide evenly over {} procs",
+            p.procs
+        );
+        let per_proc = h_count / p.procs;
+        assert!(
+            p.degree <= per_proc * (p.procs - 1).max(1) && p.degree <= per_proc,
+            "degree {} too large for {} H nodes per processor",
+            p.degree,
+            per_proc
+        );
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        let mut e_adj = vec![Vec::with_capacity(p.degree); e_count];
+        let mut h_adj = vec![Vec::new(); h_count];
+        for e in 0..e_count {
+            let my_proc = e / (e_count / p.procs);
+            let mut chosen: Vec<usize> = Vec::with_capacity(p.degree);
+            while chosen.len() < p.degree {
+                let remote = p.procs > 1 && rng.gen_bool(p.remote_frac);
+                let owner = if remote {
+                    let mut o = rng.gen_range(0..p.procs - 1);
+                    if o >= my_proc {
+                        o += 1;
+                    }
+                    o
+                } else {
+                    my_proc
+                };
+                let h = owner * per_proc + rng.gen_range(0..per_proc);
+                if !chosen.contains(&h) {
+                    chosen.push(h);
+                }
+            }
+            for h in chosen {
+                let w = 0.01 + rng.gen_range(0.0..0.5);
+                e_adj[e].push((h, w));
+                h_adj[h].push((e, w));
+            }
+        }
+        Graph {
+            e_count,
+            h_count,
+            procs: p.procs,
+            e_adj,
+            h_adj,
+        }
+    }
+
+    /// Nodes per processor on each side.
+    pub fn per_proc(&self) -> usize {
+        self.e_count / self.procs
+    }
+
+    /// Owner of E node `e` (block distribution).
+    pub fn e_owner(&self, e: usize) -> usize {
+        e / self.per_proc()
+    }
+
+    /// Owner of H node `h`.
+    pub fn h_owner(&self, h: usize) -> usize {
+        h / self.per_proc()
+    }
+
+    /// Local index of a node within its owner's chunk.
+    pub fn local_index(&self, global: usize) -> usize {
+        global % self.per_proc()
+    }
+
+    /// Total directed edge traversals per full step (E-phase + H-phase).
+    pub fn edge_traversals_per_step(&self) -> usize {
+        self.e_adj.iter().map(Vec::len).sum::<usize>()
+            + self.h_adj.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Fraction of E→H edges that cross processors (diagnostics).
+    pub fn measured_remote_frac(&self) -> f64 {
+        let mut remote = 0usize;
+        let mut total = 0usize;
+        for (e, adj) in self.e_adj.iter().enumerate() {
+            for (h, _) in adj {
+                total += 1;
+                if self.e_owner(e) != self.h_owner(*h) {
+                    remote += 1;
+                }
+            }
+        }
+        remote as f64 / total.max(1) as f64
+    }
+
+    /// Initial field values (deterministic).
+    pub fn initial_values(&self) -> Em3dValues {
+        let f = |i: usize, salt: f64| ((i as f64) * 0.37 + salt).sin() + 1.5;
+        Em3dValues {
+            e: (0..self.e_count).map(|i| f(i, 0.1)).collect(),
+            h: (0..self.h_count).map(|i| f(i, 0.9)).collect(),
+        }
+    }
+}
+
+/// Field values for the whole graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Em3dValues {
+    pub e: Vec<f64>,
+    pub h: Vec<f64>,
+}
+
+impl Em3dValues {
+    /// A stable checksum for quick comparisons.
+    pub fn checksum(&self) -> f64 {
+        self.e.iter().sum::<f64>() + 2.0 * self.h.iter().sum::<f64>()
+    }
+}
+
+/// Sequential reference: the exact computation all distributed versions
+/// must reproduce bit-for-bit (neighbor order is preserved everywhere).
+pub fn em3d_reference(p: &Em3dParams) -> Em3dValues {
+    let g = Graph::generate(p);
+    let mut v = g.initial_values();
+    for _ in 0..p.steps {
+        step_e(&g, &mut v);
+        step_h(&g, &mut v);
+    }
+    v
+}
+
+/// One E-phase: every E value becomes `e - Σ w·h` over its neighbors.
+pub fn step_e(g: &Graph, v: &mut Em3dValues) {
+    for e in 0..g.e_count {
+        let mut acc = 0.0;
+        for &(h, w) in &g.e_adj[e] {
+            acc += w * v.h[h];
+        }
+        v.e[e] -= acc * 0.01;
+    }
+}
+
+/// One H-phase, using the freshly updated E values.
+pub fn step_h(g: &Graph, v: &mut Em3dValues) {
+    for h in 0..g.h_count {
+        let mut acc = 0.0;
+        for &(e, w) in &g.h_adj[h] {
+            acc += w * v.e[e];
+        }
+        v.h[h] -= acc * 0.01;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(frac: f64) -> Em3dParams {
+        Em3dParams {
+            graph_nodes: 200,
+            degree: 5,
+            procs: 4,
+            steps: 2,
+            remote_frac: frac,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Graph::generate(&params(0.4));
+        let b = Graph::generate(&params(0.4));
+        assert_eq!(a.e_adj, b.e_adj);
+        assert_eq!(a.h_adj, b.h_adj);
+    }
+
+    #[test]
+    fn every_e_node_has_exactly_degree_neighbors() {
+        let g = Graph::generate(&params(0.7));
+        assert!(g.e_adj.iter().all(|a| a.len() == 5));
+        let total: usize = g.h_adj.iter().map(Vec::len).sum();
+        assert_eq!(total, 100 * 5);
+    }
+
+    #[test]
+    fn graph_is_bipartite_by_construction_and_mirrored() {
+        let g = Graph::generate(&params(0.5));
+        for (e, adj) in g.e_adj.iter().enumerate() {
+            for &(h, w) in adj {
+                assert!(g.h_adj[h].iter().any(|&(e2, w2)| e2 == e && w2 == w));
+            }
+        }
+    }
+
+    #[test]
+    fn remote_fraction_tracks_parameter() {
+        for frac in [0.0, 0.3, 1.0] {
+            let g = Graph::generate(&params(frac));
+            let got = g.measured_remote_frac();
+            assert!(
+                (got - frac).abs() < 0.1,
+                "requested {frac}, measured {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn owners_are_block_distributed() {
+        let g = Graph::generate(&params(0.5));
+        assert_eq!(g.per_proc(), 25);
+        assert_eq!(g.e_owner(0), 0);
+        assert_eq!(g.e_owner(24), 0);
+        assert_eq!(g.e_owner(25), 1);
+        assert_eq!(g.h_owner(99), 3);
+        assert_eq!(g.local_index(26), 1);
+    }
+
+    #[test]
+    fn reference_changes_values_each_step() {
+        let p = params(0.5);
+        let v0 = Graph::generate(&p).initial_values();
+        let v2 = em3d_reference(&p);
+        assert_ne!(v0.e, v2.e);
+        assert_ne!(v0.h, v2.h);
+        assert!(v2.checksum().is_finite());
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let mut p = params(0.5);
+        p.steps = 0;
+        let v = em3d_reference(&p);
+        assert_eq!(v, Graph::generate(&p).initial_values());
+    }
+}

@@ -1,0 +1,11 @@
+//! # mpmd-apps — the paper's applications
+//!
+//! EM3D, Water and Blocked LU, each in both runtimes, with sequential
+//! references and breakdown measurement (Figures 5 and 6).
+
+pub mod common;
+pub mod em3d;
+pub mod lu;
+pub mod water;
+
+pub use common::{charge_flops, AppBreakdown, AppRun, Lang, RegionTimer, FLOP_NS};

@@ -1,0 +1,182 @@
+//! cc-lu: the one-way stores and prefetches of sc-lu replaced by RMIs.
+
+use super::matrix::*;
+use super::splitc_impl::needing_procs;
+use super::LuOutput;
+use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
+use mpmd_ccxx as cx;
+use mpmd_ccxx::{CcxxConfig, CxPtr};
+use mpmd_sim::{CostModel, Ctx};
+use std::collections::HashMap;
+
+/// Run blocked LU under the CC++ runtime.
+pub fn run_ccxx(p: &LuParams, config: CcxxConfig, cost: CostModel) -> AppRun<LuOutput> {
+    let p = p.clone();
+    run_collect(p.procs, cost, move |ctx| body(ctx, &p, config.clone()))
+}
+
+fn body(ctx: &Ctx, p: &LuParams, config: CcxxConfig) -> Option<AppRun<LuOutput>> {
+    cx::init(ctx, config);
+    let me = ctx.node();
+    let b = p.block;
+    let nb = p.nb();
+    let map = BlockMap::new(p);
+    let blocks_reg = cx::alloc_region(ctx, map.owned_elems[me].max(1), 0.0);
+
+    let full = generate_matrix(p);
+    cx::with_local(ctx, blocks_reg, |store| {
+        for bi in 0..nb {
+            for bj in 0..nb {
+                if map.owner(bi, bj) == me {
+                    let blk = extract_block(&full, p.n, b, bi, bj);
+                    let off = map.offset(bi, bj);
+                    store[off..off + b * b].copy_from_slice(&blk);
+                }
+            }
+        }
+    });
+    drop(full);
+
+    let timer = RegionTimer::start(ctx, cx::barrier);
+    for k in 0..nb {
+        let pivot_owner = map.owner(k, k);
+        if pivot_owner == me {
+            let off = map.offset(k, k);
+            let mut pivot = cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec());
+            factor_block(&mut pivot, b);
+            charge_flops(ctx, factor_flops(b as u64));
+            cx::with_local(ctx, blocks_reg, |s| {
+                s[off..off + b * b].copy_from_slice(&pivot)
+            });
+        }
+        cx::barrier(ctx);
+        // Sub-step 2: each processor that owns perimeter blocks *fetches*
+        // the pivot with a bulk-get RMI (vs sc-lu's one-way store push).
+        let i_need_pivot = needing_procs(&map, k, nb).contains(&me) || pivot_owner == me;
+        let pivot: Vec<f64> = if pivot_owner == me {
+            let off = map.offset(k, k);
+            cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec())
+        } else if i_need_pivot {
+            cx::bulk_get_flat(
+                ctx,
+                CxPtr {
+                    node: pivot_owner,
+                    region: blocks_reg,
+                    offset: map.offset(k, k),
+                },
+                b * b,
+            )
+        } else {
+            Vec::new()
+        };
+
+        for j in k + 1..nb {
+            if map.owner(k, j) == me {
+                let off = map.offset(k, j);
+                let mut blk = cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec());
+                solve_lower(&pivot, &mut blk, b);
+                charge_flops(ctx, solve_flops(b as u64));
+                cx::with_local(ctx, blocks_reg, |s| {
+                    s[off..off + b * b].copy_from_slice(&blk)
+                });
+            }
+        }
+        for i in k + 1..nb {
+            if map.owner(i, k) == me {
+                let off = map.offset(i, k);
+                let mut blk = cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec());
+                solve_upper(&pivot, &mut blk, b);
+                charge_flops(ctx, solve_flops(b as u64));
+                cx::with_local(ctx, blocks_reg, |s| {
+                    s[off..off + b * b].copy_from_slice(&blk)
+                });
+            }
+        }
+        cx::barrier(ctx);
+
+        // Sub-step 3: blocking bulk-get RMIs replace the split-phase
+        // prefetches.
+        let mut needed: Vec<(usize, usize)> = Vec::new();
+        for i in k + 1..nb {
+            for j in k + 1..nb {
+                if map.owner(i, j) == me {
+                    if !needed.contains(&(i, k)) {
+                        needed.push((i, k));
+                    }
+                    if !needed.contains(&(k, j)) {
+                        needed.push((k, j));
+                    }
+                }
+            }
+        }
+        let mut fetched: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
+        for &(bi, bj) in &needed {
+            let q = map.owner(bi, bj);
+            let blk = if q == me {
+                let off = map.offset(bi, bj);
+                cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec())
+            } else {
+                cx::bulk_get_flat(
+                    ctx,
+                    CxPtr {
+                        node: q,
+                        region: blocks_reg,
+                        offset: map.offset(bi, bj),
+                    },
+                    b * b,
+                )
+            };
+            fetched.insert((bi, bj), blk);
+        }
+        for i in k + 1..nb {
+            for j in k + 1..nb {
+                if map.owner(i, j) == me {
+                    let off = map.offset(i, j);
+                    let mut c = cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec());
+                    block_mul_sub(&mut c, &fetched[&(i, k)], &fetched[&(k, j)], b);
+                    charge_flops(ctx, update_flops(b as u64));
+                    cx::with_local(ctx, blocks_reg, |s| {
+                        s[off..off + b * b].copy_from_slice(&c)
+                    });
+                }
+            }
+        }
+        cx::barrier(ctx);
+    }
+    let report = timer.stop(ctx, cx::barrier);
+
+    let out = if me == 0 {
+        let mut full = vec![0.0f64; p.n * p.n];
+        for q in 0..p.procs {
+            let store = if q == 0 {
+                cx::with_local(ctx, blocks_reg, |s| s.clone())
+            } else {
+                cx::bulk_get_flat(
+                    ctx,
+                    CxPtr {
+                        node: q,
+                        region: blocks_reg,
+                        offset: 0,
+                    },
+                    map.owned_elems[q].max(1),
+                )
+            };
+            for bi in 0..nb {
+                for bj in 0..nb {
+                    if map.owner(bi, bj) == q {
+                        let off = map.offset(bi, bj);
+                        insert_block(&mut full, p.n, b, bi, bj, &store[off..off + b * b]);
+                    }
+                }
+            }
+        }
+        Some(LuOutput { factored: full })
+    } else {
+        None
+    };
+    cx::finalize(ctx);
+    out.map(|output| AppRun {
+        breakdown: AppBreakdown::from_report(&report.expect("node 0 timed the region")),
+        output,
+    })
+}

@@ -1,0 +1,330 @@
+//! Blocked dense LU: matrix generation, block kernels, block-to-processor
+//! mapping, and references.
+//!
+//! "The matrix is divided into blocks distributed among processors. Every
+//! step comprises three sub-steps: first, the pivot block (I,I) is factored
+//! by its owner; second, all processors which have blocks in the I-th row or
+//! I-th column obtain the updated pivot block; third, all internal blocks
+//! are updated." No pivoting (as in SPLASH LU); the generator produces
+//! diagonally dominant matrices so this is numerically stable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Workload parameters. The paper uses a 512×512 matrix of doubles with a
+/// 16×16 block size on 4 processors.
+#[derive(Clone, Debug)]
+pub struct LuParams {
+    pub n: usize,
+    pub block: usize,
+    pub procs: usize,
+    pub seed: u64,
+}
+
+impl LuParams {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        LuParams {
+            n: 512,
+            block: 16,
+            procs: 4,
+            seed: 101,
+        }
+    }
+
+    pub fn nb(&self) -> usize {
+        assert!(self.n.is_multiple_of(self.block), "block must divide n");
+        self.n / self.block
+    }
+}
+
+/// 2D processor grid: `pr * pc == procs`, as square as possible.
+pub fn grid(procs: usize) -> (usize, usize) {
+    let mut pr = (procs as f64).sqrt() as usize;
+    while !procs.is_multiple_of(pr) {
+        pr -= 1;
+    }
+    (pr, procs / pr)
+}
+
+/// Block-cyclic ownership and per-owner block layout.
+#[derive(Clone, Debug)]
+pub struct BlockMap {
+    pub nb: usize,
+    pub block: usize,
+    pub pr: usize,
+    pub pc: usize,
+    /// (bi, bj) -> element offset within the owner's block region.
+    offsets: HashMap<(usize, usize), usize>,
+    /// Blocks (and thus elements) owned per processor.
+    pub owned_elems: Vec<usize>,
+}
+
+impl BlockMap {
+    pub fn new(p: &LuParams) -> Self {
+        let nb = p.nb();
+        let (pr, pc) = grid(p.procs);
+        let mut offsets = HashMap::new();
+        let mut counts = vec![0usize; p.procs];
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let q = (bi % pr) * pc + (bj % pc);
+                offsets.insert((bi, bj), counts[q] * p.block * p.block);
+                counts[q] += 1;
+            }
+        }
+        BlockMap {
+            nb,
+            block: p.block,
+            pr,
+            pc,
+            offsets,
+            owned_elems: counts.iter().map(|c| c * p.block * p.block).collect(),
+        }
+    }
+
+    /// Owning processor of block `(bi, bj)` (2D block-cyclic).
+    pub fn owner(&self, bi: usize, bj: usize) -> usize {
+        (bi % self.pr) * self.pc + (bj % self.pc)
+    }
+
+    /// Element offset of the block within its owner's region.
+    pub fn offset(&self, bi: usize, bj: usize) -> usize {
+        self.offsets[&(bi, bj)]
+    }
+}
+
+/// Generate the (diagonally dominant) input matrix, row-major.
+pub fn generate_matrix(p: &LuParams) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let n = p.n;
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = rng.gen_range(-1.0..1.0);
+        }
+        a[i * n + i] += n as f64;
+    }
+    a
+}
+
+/// Extract block `(bi, bj)` from a full row-major matrix.
+pub fn extract_block(a: &[f64], n: usize, b: usize, bi: usize, bj: usize) -> Vec<f64> {
+    let mut out = vec![0.0; b * b];
+    for r in 0..b {
+        let src = (bi * b + r) * n + bj * b;
+        out[r * b..(r + 1) * b].copy_from_slice(&a[src..src + b]);
+    }
+    out
+}
+
+/// Write block `(bi, bj)` back into a full row-major matrix.
+pub fn insert_block(a: &mut [f64], n: usize, b: usize, bi: usize, bj: usize, blk: &[f64]) {
+    for r in 0..b {
+        let dst = (bi * b + r) * n + bj * b;
+        a[dst..dst + b].copy_from_slice(&blk[r * b..(r + 1) * b]);
+    }
+}
+
+/// Factor a diagonal block in place (Doolittle, unit lower triangle stored
+/// below the diagonal). ~2/3 b³ FLOPs.
+pub fn factor_block(a: &mut [f64], b: usize) {
+    for k in 0..b {
+        let akk = a[k * b + k];
+        for i in k + 1..b {
+            a[i * b + k] /= akk;
+            let l = a[i * b + k];
+            for j in k + 1..b {
+                a[i * b + j] -= l * a[k * b + j];
+            }
+        }
+    }
+}
+
+/// Perimeter row block: `A := L⁻¹ A` with L the unit-lower part of the
+/// factored pivot. ~b³ FLOPs.
+pub fn solve_lower(pivot: &[f64], a: &mut [f64], b: usize) {
+    for k in 0..b {
+        for i in k + 1..b {
+            let l = pivot[i * b + k];
+            for j in 0..b {
+                a[i * b + j] -= l * a[k * b + j];
+            }
+        }
+    }
+}
+
+/// Perimeter column block: `A := A U⁻¹` with U the upper part of the
+/// factored pivot. ~b³ FLOPs.
+pub fn solve_upper(pivot: &[f64], a: &mut [f64], b: usize) {
+    for k in 0..b {
+        let ukk = pivot[k * b + k];
+        for i in 0..b {
+            let mut v = a[i * b + k];
+            for m in 0..k {
+                v -= a[i * b + m] * pivot[m * b + k];
+            }
+            a[i * b + k] = v / ukk;
+        }
+    }
+}
+
+/// Interior update: `C -= A·B`. 2b³ FLOPs.
+pub fn block_mul_sub(c: &mut [f64], a: &[f64], bm: &[f64], b: usize) {
+    for i in 0..b {
+        for k in 0..b {
+            let aik = a[i * b + k];
+            for j in 0..b {
+                c[i * b + j] -= aik * bm[k * b + j];
+            }
+        }
+    }
+}
+
+/// Charged FLOP counts for the three kernels.
+pub fn factor_flops(b: u64) -> u64 {
+    2 * b * b * b / 3
+}
+pub fn solve_flops(b: u64) -> u64 {
+    b * b * b
+}
+pub fn update_flops(b: u64) -> u64 {
+    2 * b * b * b
+}
+
+/// The *blocked* sequential reference: identical block-operation order to
+/// the distributed versions, so results match bit-for-bit.
+pub fn lu_blocked_reference(p: &LuParams) -> Vec<f64> {
+    let n = p.n;
+    let b = p.block;
+    let nb = p.nb();
+    let mut a = generate_matrix(p);
+    for k in 0..nb {
+        let mut pivot = extract_block(&a, n, b, k, k);
+        factor_block(&mut pivot, b);
+        insert_block(&mut a, n, b, k, k, &pivot);
+        for j in k + 1..nb {
+            let mut blk = extract_block(&a, n, b, k, j);
+            solve_lower(&pivot, &mut blk, b);
+            insert_block(&mut a, n, b, k, j, &blk);
+        }
+        for i in k + 1..nb {
+            let mut blk = extract_block(&a, n, b, i, k);
+            solve_upper(&pivot, &mut blk, b);
+            insert_block(&mut a, n, b, i, k, &blk);
+        }
+        for i in k + 1..nb {
+            let l = extract_block(&a, n, b, i, k);
+            for j in k + 1..nb {
+                let u = extract_block(&a, n, b, k, j);
+                let mut c = extract_block(&a, n, b, i, j);
+                block_mul_sub(&mut c, &l, &u, b);
+                insert_block(&mut a, n, b, i, j, &c);
+            }
+        }
+    }
+    a
+}
+
+/// Max absolute element error of `L·U - original` for a factored matrix
+/// (unit lower diagonal implied).
+pub fn reconstruction_error(original: &[f64], factored: &[f64], n: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            let kmax = i.min(j);
+            for k in 0..=kmax {
+                let l = if k == i { 1.0 } else { factored[i * n + k] };
+                let u = factored[k * n + j];
+                if k <= i {
+                    s += l * u;
+                }
+            }
+            worst = worst.max((s - original[i * n + j]).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LuParams {
+        LuParams {
+            n: 32,
+            block: 8,
+            procs: 4,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn grid_factors() {
+        assert_eq!(grid(1), (1, 1));
+        assert_eq!(grid(2), (1, 2));
+        assert_eq!(grid(4), (2, 2));
+        assert_eq!(grid(6), (2, 3));
+        assert_eq!(grid(8), (2, 4));
+    }
+
+    #[test]
+    fn block_map_is_a_partition() {
+        let p = small();
+        let m = BlockMap::new(&p);
+        let total: usize = m.owned_elems.iter().sum();
+        assert_eq!(total, p.n * p.n);
+        // offsets within one owner never collide
+        let mut seen: HashMap<(usize, usize), ()> = HashMap::new();
+        for bi in 0..m.nb {
+            for bj in 0..m.nb {
+                let key = (m.owner(bi, bj), m.offset(bi, bj));
+                assert!(seen.insert(key, ()).is_none(), "offset collision");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_insert_round_trip() {
+        let p = small();
+        let a = generate_matrix(&p);
+        let mut a2 = a.clone();
+        let blk = extract_block(&a, p.n, p.block, 1, 2);
+        insert_block(&mut a2, p.n, p.block, 1, 2, &blk);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn blocked_reference_factors_correctly() {
+        let p = small();
+        let original = generate_matrix(&p);
+        let factored = lu_blocked_reference(&p);
+        let err = reconstruction_error(&original, &factored, p.n);
+        assert!(err < 1e-9, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn factor_block_agrees_with_reconstruction() {
+        let b = 8;
+        let p = LuParams {
+            n: 8,
+            block: 8,
+            procs: 1,
+            seed: 3,
+        };
+        let original = generate_matrix(&p);
+        let mut f = original.clone();
+        factor_block(&mut f, b);
+        let err = reconstruction_error(&original, &f, b);
+        assert!(err < 1e-10, "single-block factor error {err}");
+    }
+
+    #[test]
+    fn flop_counts_scale_cubically() {
+        assert_eq!(update_flops(16), 8192);
+        assert!(factor_flops(16) < solve_flops(16));
+        assert!(solve_flops(16) < update_flops(16));
+    }
+}

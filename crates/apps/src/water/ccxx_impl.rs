@@ -1,0 +1,218 @@
+//! Water in CC++.
+
+use super::model::{
+    apply_correct, apply_predict, half_shell, pair_force, WaterParams, WaterState, INTRA_FLOPS,
+    PAIR_FLOPS,
+};
+use super::{WaterOutput, WaterVersion};
+use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
+use mpmd_ccxx as cx;
+use mpmd_ccxx::{CcxxConfig, CxPtr};
+use mpmd_sim::{CostModel, Ctx};
+use std::collections::BTreeMap;
+
+/// Run Water under the CC++ runtime.
+pub fn run_ccxx(
+    p: &WaterParams,
+    version: WaterVersion,
+    config: CcxxConfig,
+    cost: CostModel,
+) -> AppRun<WaterOutput> {
+    let p = p.clone();
+    run_collect(p.procs, cost, move |ctx| {
+        body(ctx, &p, version, config.clone())
+    })
+}
+
+fn body(
+    ctx: &Ctx,
+    p: &WaterParams,
+    version: WaterVersion,
+    config: CcxxConfig,
+) -> Option<AppRun<WaterOutput>> {
+    cx::init(ctx, config);
+    let n = p.n_mol;
+    let me = ctx.node();
+    assert!(n.is_multiple_of(p.procs), "molecules must divide evenly over procs");
+    let n_local = n / p.procs;
+    let owner = |j: usize| j / n_local;
+    let loc = |j: usize| j % n_local;
+
+    let pos_reg = cx::alloc_region(ctx, 3 * n_local, 0.0);
+    let frc_reg = cx::alloc_region(ctx, 3 * n_local, 0.0);
+    let eng_reg = cx::alloc_region(ctx, 1, 0.0);
+    let init = WaterState::initial(p);
+    cx::with_local(ctx, pos_reg, |v| {
+        v.copy_from_slice(&init.pos[3 * me * n_local..3 * (me + 1) * n_local])
+    });
+    let mut vel: Vec<f64> = init.vel[3 * me * n_local..3 * (me + 1) * n_local].to_vec();
+
+    let timer = RegionTimer::start(ctx, cx::barrier);
+    let mut energy_total = 0.0;
+    for _ in 0..p.steps {
+        cx::with_local(ctx, pos_reg, |pos| apply_predict(pos, &vel));
+        charge_flops(ctx, INTRA_FLOPS * n_local as u64);
+        cx::barrier(ctx);
+        cx::with_local(ctx, frc_reg, |f| f.fill(0.0));
+        if me == 0 {
+            cx::with_local(ctx, eng_reg, |e| e[0] = 0.0);
+        }
+        cx::barrier(ctx);
+
+        let local_pos = cx::with_local(ctx, pos_reg, |v| v.clone());
+        let prefetched: Option<std::collections::HashMap<usize, [f64; 3]>> = match version {
+            WaterVersion::Atomic => None,
+            WaterVersion::Prefetch => {
+                // Selective prefetching: one bundled bulk-get RMI per remote
+                // molecule, issued from parfor threads so they overlap. The
+                // per-molecule marshalling is why "a great deal of [the
+                // remaining gap] is due to data marshalling".
+                let remote_mols = super::splitc_impl::remote_molecules(me, n, n_local);
+                let results = std::sync::Arc::new(parking_lot::Mutex::new(Vec::with_capacity(
+                    remote_mols.len(),
+                )));
+                let mols = std::sync::Arc::new(remote_mols);
+                let m2 = std::sync::Arc::clone(&mols);
+                let r2 = std::sync::Arc::clone(&results);
+                cx::parfor(ctx, mols.len(), move |cctx, i| {
+                    let gj = m2[i];
+                    let v = cx::bulk_get(
+                        cctx,
+                        CxPtr {
+                            node: gj / n_local,
+                            region: pos_reg,
+                            offset: 3 * (gj % n_local),
+                        },
+                        3,
+                    );
+                    r2.lock().push((gj, [v[0], v[1], v[2]]));
+                });
+                let out = results.lock().iter().cloned().collect();
+                Some(out)
+            }
+        };
+        // Phase barrier (see the Split-C version): bounds the queuing delay
+        // of fetches arriving after their owner's last poll.
+        cx::barrier(ctx);
+        let mut local_force = vec![0.0f64; 3 * n_local];
+        let mut remote_force: BTreeMap<usize, [f64; 3]> = BTreeMap::new();
+        let mut energy = 0.0;
+        for li in 0..n_local {
+            let gi = me * n_local + li;
+            let pi: [f64; 3] = local_pos[3 * li..3 * li + 3].try_into().unwrap();
+            for gj in half_shell(gi, n) {
+                let pj: [f64; 3] = if owner(gj) == me {
+                    local_pos[3 * loc(gj)..3 * loc(gj) + 3].try_into().unwrap()
+                } else {
+                    match &prefetched {
+                        // Atomic version: a blocking RMI fetches the remote
+                        // molecule's data, with marshalled return (the
+                        // paper: "a great deal of [the gap] is due to data
+                        // marshalling"), every pair.
+                        None => {
+                            let v = cx::bulk_get(
+                                ctx,
+                                CxPtr {
+                                    node: owner(gj),
+                                    region: pos_reg,
+                                    offset: 3 * loc(gj),
+                                },
+                                3,
+                            );
+                            [v[0], v[1], v[2]]
+                        }
+                        Some(cache) => cache[&gj],
+                    }
+                };
+                let (f, u) = pair_force(&pi, &pj, p.box_size);
+                charge_flops(ctx, PAIR_FLOPS);
+                energy += u;
+                for k in 0..3 {
+                    local_force[3 * li + k] += f[k];
+                }
+                if owner(gj) == me {
+                    for k in 0..3 {
+                        local_force[3 * loc(gj) + k] -= f[k];
+                    }
+                } else {
+                    let e = remote_force.entry(gj).or_insert([0.0; 3]);
+                    for k in 0..3 {
+                        e[k] -= f[k];
+                    }
+                }
+            }
+        }
+        cx::with_local(ctx, frc_reg, |f| {
+            for k in 0..f.len() {
+                f[k] += local_force[k];
+            }
+        });
+        // Atomic-method RMIs update remote molecules' forces.
+        for (gj, f) in &remote_force {
+            cx::atomic_add3(
+                ctx,
+                CxPtr {
+                    node: owner(*gj),
+                    region: frc_reg,
+                    offset: 3 * loc(*gj),
+                },
+                *f,
+            );
+        }
+        cx::barrier(ctx);
+
+        let frc = cx::with_local(ctx, frc_reg, |v| v.clone());
+        apply_correct(&mut vel, &frc);
+        charge_flops(ctx, 6 * n_local as u64);
+        // Energy: every node adds its contribution into node 0's cell.
+        if me == 0 {
+            cx::with_local(ctx, eng_reg, |e| e[0] += energy);
+        } else {
+            cx::atomic_add(
+                ctx,
+                CxPtr {
+                    node: 0,
+                    region: eng_reg,
+                    offset: 0,
+                },
+                energy,
+            );
+        }
+        cx::barrier(ctx);
+        if me == 0 {
+            energy_total = cx::with_local(ctx, eng_reg, |e| e[0]);
+        }
+    }
+    let report = timer.stop(ctx, cx::barrier);
+
+    let out = if me == 0 {
+        let mut pos = vec![0.0; 3 * n];
+        for q in 0..p.procs {
+            let chunk = if q == 0 {
+                cx::with_local(ctx, pos_reg, |v| v.clone())
+            } else {
+                cx::bulk_get(
+                    ctx,
+                    CxPtr {
+                        node: q,
+                        region: pos_reg,
+                        offset: 0,
+                    },
+                    3 * n_local,
+                )
+            };
+            pos[3 * q * n_local..3 * (q + 1) * n_local].copy_from_slice(&chunk);
+        }
+        Some(WaterOutput {
+            pos,
+            energy: energy_total,
+        })
+    } else {
+        None
+    };
+    cx::finalize(ctx);
+    out.map(|output| AppRun {
+        breakdown: AppBreakdown::from_report(&report.expect("node 0 timed the region")),
+        output,
+    })
+}

@@ -1,0 +1,240 @@
+//! The Water N-body model: molecules, forces, integration, and the
+//! sequential reference.
+//!
+//! Water "computes the forces and energies of a system of water molecules"
+//! with an O(N²) inter-molecular phase in a cubical box plus local
+//! intra-molecular work, integrated with a predictor-corrector. We keep the
+//! computational *shape* — all-pairs half-shell interactions with a cutoff,
+//! heavy per-pair FP work, local intra work — with a Lennard-Jones
+//! oxygen-oxygen interaction standing in for the full site-site potential.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload parameters. The paper runs 64 and 512 molecules on 4 procs.
+#[derive(Clone, Debug)]
+pub struct WaterParams {
+    pub n_mol: usize,
+    pub procs: usize,
+    pub steps: usize,
+    pub seed: u64,
+    pub box_size: f64,
+}
+
+impl WaterParams {
+    /// The paper's configuration for a given molecule count.
+    pub fn paper(n_mol: usize) -> Self {
+        WaterParams {
+            n_mol,
+            procs: 4,
+            steps: 2,
+            seed: 1997,
+            box_size: 8.0,
+        }
+    }
+}
+
+/// FP cost charged per considered molecule pair (the cutoff check plus the
+/// in-range site-site inner loop, amortized; ~3 µs at the SP's effective
+/// rate). Calibrated so the atomic version is communication-dominated, as
+/// the paper's breakdowns show.
+pub const PAIR_FLOPS: u64 = 300;
+/// FP cost charged per molecule per step for intra-molecular terms and the
+/// predictor-corrector.
+pub const INTRA_FLOPS: u64 = 500;
+
+const DT: f64 = 1e-3;
+const CUTOFF2: f64 = 9.0;
+
+/// Positions/velocities flattened as `[x0,y0,z0, x1,y1,z1, ...]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaterState {
+    pub pos: Vec<f64>,
+    pub vel: Vec<f64>,
+}
+
+impl WaterState {
+    /// Deterministic initial configuration.
+    pub fn initial(p: &WaterParams) -> Self {
+        let mut rng = SmallRng::seed_from_u64(p.seed);
+        let n = p.n_mol;
+        let pos = (0..3 * n).map(|_| rng.gen_range(0.0..p.box_size)).collect();
+        let vel = (0..3 * n).map(|_| rng.gen_range(-0.05..0.05)).collect();
+        WaterState { pos, vel }
+    }
+}
+
+/// Lennard-Jones-style force of molecule `j` on molecule `i` and the pair's
+/// potential energy, with minimum-image convention and cutoff. Distances
+/// are clamped away from zero so random initial placements stay finite.
+pub fn pair_force(pi: &[f64], pj: &[f64], box_size: f64) -> ([f64; 3], f64) {
+    let mut d = [0.0f64; 3];
+    for k in 0..3 {
+        let mut dx = pi[k] - pj[k];
+        // minimum image
+        if dx > box_size / 2.0 {
+            dx -= box_size;
+        } else if dx < -box_size / 2.0 {
+            dx += box_size;
+        }
+        d[k] = dx;
+    }
+    let r2 = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).max(0.25);
+    if r2 >= CUTOFF2 {
+        return ([0.0; 3], 0.0);
+    }
+    let inv2 = 1.0 / r2;
+    let inv6 = inv2 * inv2 * inv2;
+    let inv12 = inv6 * inv6;
+    // F = 24ε (2 r^-12 − r^-6) r^-2 · d ; U = 4ε (r^-12 − r^-6)
+    let fmag = 24.0 * (2.0 * inv12 - inv6) * inv2;
+    (
+        [d[0] * fmag, d[1] * fmag, d[2] * fmag],
+        4.0 * (inv12 - inv6),
+    )
+}
+
+/// Half-shell partners of molecule `i`: each unordered pair is computed by
+/// exactly one owner (the SPLASH decomposition).
+pub fn half_shell(i: usize, n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n / 2);
+    let half = n / 2;
+    for s in 1..=half {
+        if s == half && n.is_multiple_of(2) && i >= half {
+            break; // even n: the diametric pair is owned by the lower index
+        }
+        out.push((i + s) % n);
+    }
+    out
+}
+
+/// One full step of the sequential reference: predict, forces, correct.
+/// Returns the step's total potential energy.
+pub fn reference_step(p: &WaterParams, s: &mut WaterState) -> f64 {
+    let n = p.n_mol;
+    for k in 0..3 * n {
+        s.pos[k] += s.vel[k] * DT;
+    }
+    let mut force = vec![0.0f64; 3 * n];
+    let mut energy = 0.0;
+    for i in 0..n {
+        for j in half_shell(i, n) {
+            let (f, u) = pair_force(&s.pos[3 * i..3 * i + 3], &s.pos[3 * j..3 * j + 3], p.box_size);
+            energy += u;
+            for k in 0..3 {
+                force[3 * i + k] += f[k];
+                force[3 * j + k] -= f[k];
+            }
+        }
+    }
+    for k in 0..3 * n {
+        s.vel[k] += force[k] * DT;
+    }
+    energy
+}
+
+/// Run the sequential reference to completion; returns the final state and
+/// the last step's potential energy.
+pub fn water_reference(p: &WaterParams) -> (WaterState, f64) {
+    let mut s = WaterState::initial(p);
+    let mut e = 0.0;
+    for _ in 0..p.steps {
+        e = reference_step(p, &mut s);
+    }
+    (s, e)
+}
+
+/// Apply a full step's force/velocity/position updates given externally
+/// accumulated forces — shared by the distributed implementations' local
+/// phases (they call the same `pair_force`).
+pub fn apply_correct(vel: &mut [f64], force: &[f64]) {
+    for k in 0..vel.len() {
+        vel[k] += force[k] * DT;
+    }
+}
+
+/// The predictor (position) update for a local chunk.
+pub fn apply_predict(pos: &mut [f64], vel: &[f64]) {
+    for k in 0..pos.len() {
+        pos[k] += vel[k] * DT;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize) -> WaterParams {
+        WaterParams {
+            n_mol: n,
+            procs: 4,
+            steps: 2,
+            seed: 5,
+            box_size: 8.0,
+        }
+    }
+
+    #[test]
+    fn half_shell_covers_every_pair_exactly_once() {
+        for n in [5, 8, 16] {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                for j in half_shell(i, n) {
+                    let key = (i.min(j), i.max(j));
+                    assert!(seen.insert(key), "pair {key:?} seen twice (n={n})");
+                    assert_ne!(i, j);
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pair_force_is_antisymmetric() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.5, 1.0, 3.5];
+        let (fab, uab) = pair_force(&a, &b, 8.0);
+        let (fba, uba) = pair_force(&b, &a, 8.0);
+        for k in 0..3 {
+            assert!((fab[k] + fba[k]).abs() < 1e-12);
+        }
+        assert_eq!(uab, uba);
+    }
+
+    #[test]
+    fn cutoff_zeroes_distant_pairs() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [3.9, 0.0, 0.0]; // min-image distance 3.9 > cutoff 3.0
+        let (f, u) = pair_force(&a, &b, 8.0);
+        assert_eq!(f, [0.0; 3]);
+        assert_eq!(u, 0.0);
+    }
+
+    #[test]
+    fn minimum_image_wraps() {
+        let a = [0.2, 0.0, 0.0];
+        let b = [7.9, 0.0, 0.0]; // wrapped distance 0.3 → strong interaction
+        let (f, _) = pair_force(&a, &b, 8.0);
+        assert!(f[0].abs() > 0.0);
+    }
+
+    #[test]
+    fn reference_is_deterministic_and_finite() {
+        let p = params(16);
+        let (s1, e1) = water_reference(&p);
+        let (s2, e2) = water_reference(&p);
+        assert_eq!(s1, s2);
+        assert_eq!(e1, e2);
+        assert!(s1.pos.iter().all(|x| x.is_finite()));
+        assert!(s1.vel.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn motion_actually_happens() {
+        let p = params(16);
+        let init = WaterState::initial(&p);
+        let (fin, _) = water_reference(&p);
+        assert_ne!(init.pos, fin.pos);
+        assert_ne!(init.vel, fin.vel);
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benches, one group per paper table/figure: each runs a scaled-
+//! down instance of the corresponding experiment end-to-end (the full-scale
+//! deterministic reproductions are the `table4`/`fig5`/`fig6` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpmd_apps::em3d::{run_splitc as em3d_sc, Em3dParams, Em3dVersion};
+use mpmd_apps::lu::{run_splitc as lu_sc, LuParams};
+use mpmd_apps::water::{run_splitc as water_sc, WaterParams, WaterVersion};
+use mpmd_bench::micro::{measure_ccxx, measure_splitc};
+use mpmd_ccxx::{CallMode, CcxxConfig};
+use mpmd_sim::CostModel;
+use std::sync::Arc;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("null_rmi_simple_x20", |b| {
+        b.iter(|| {
+            measure_ccxx(
+                CcxxConfig::tham(),
+                CostModel::default(),
+                2,
+                20,
+                1.0,
+                Arc::new(|ctx, _s| {
+                    mpmd_ccxx::rmi(ctx, 1, mpmd_ccxx::M_NULL, &[], None, CallMode::Simple);
+                }),
+            )
+        })
+    });
+    g.bench_function("splitc_gp_read_x20", |b| {
+        b.iter(|| {
+            measure_splitc(
+                2,
+                20,
+                1.0,
+                Arc::new(|ctx, s| {
+                    mpmd_splitc::read(ctx, s.remote_sc[0]);
+                }),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_em3d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_em3d");
+    g.sample_size(10);
+    let params = Em3dParams {
+        graph_nodes: 80,
+        degree: 4,
+        procs: 4,
+        steps: 2,
+        remote_frac: 0.5,
+        seed: 42,
+    };
+    for v in Em3dVersion::ALL {
+        let p = params.clone();
+        g.bench_function(v.label(), move |b| b.iter(|| em3d_sc(&p, v)));
+    }
+    g.finish();
+}
+
+fn bench_fig6_water_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_water_lu");
+    g.sample_size(10);
+    let wp = WaterParams {
+        n_mol: 16,
+        procs: 4,
+        steps: 1,
+        seed: 42,
+        box_size: 8.0,
+    };
+    for v in WaterVersion::ALL {
+        let p = wp.clone();
+        g.bench_function(v.label(), move |b| b.iter(|| water_sc(&p, v)));
+    }
+    let lp = LuParams {
+        n: 32,
+        block: 8,
+        procs: 4,
+        seed: 42,
+    };
+    g.bench_function("sc-lu", move |b| b.iter(|| lu_sc(&lp)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4, bench_fig5_em3d, bench_fig6_water_lu);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benches of the substrates themselves: engine scheduling,
+//! AM dispatch, runtime primitives. These measure the real wall-clock
+//! performance of the simulator (the virtual-time results come from the
+//! table/figure binaries, which are deterministic).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpmd_am as am;
+use mpmd_ccxx as cx;
+use mpmd_ccxx::{CallMode, CcxxConfig};
+use mpmd_sim::{Bucket, Sim};
+use mpmd_splitc as sc;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("spawn_join_100_tasks", |b| {
+        b.iter(|| {
+            Sim::new(1).run(|ctx| {
+                let hs: Vec<_> = (0..100)
+                    .map(|i| {
+                        ctx.spawn("w", move |c| c.charge(Bucket::Cpu, i))
+                    })
+                    .collect();
+                for h in hs {
+                    ctx.join(h);
+                }
+            })
+        })
+    });
+    g.bench_function("message_ping_pong_100", |b| {
+        b.iter(|| {
+            Sim::new(2).run(|ctx| {
+                if ctx.node() == 0 {
+                    for _ in 0..100 {
+                        ctx.send_msg(1, 8, 1_000, Box::new(0u64));
+                        ctx.park_for_inbox();
+                        ctx.try_recv().unwrap();
+                    }
+                } else {
+                    for _ in 0..100 {
+                        ctx.park_for_inbox();
+                        ctx.try_recv().unwrap();
+                        ctx.send_msg(0, 8, 1_000, Box::new(0u64));
+                    }
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtimes");
+    g.sample_size(20);
+    g.bench_function("splitc_100_remote_reads", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                Sim::new(2).run(|ctx| {
+                    sc::init(&ctx);
+                    let a = sc::all_spread_alloc(&ctx, 4, 1.0);
+                    sc::barrier(&ctx);
+                    if ctx.node() == 0 {
+                        for _ in 0..100 {
+                            sc::read(&ctx, a.node_chunk(1));
+                        }
+                    }
+                    sc::barrier(&ctx);
+                })
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("ccxx_100_simple_rmis", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                Sim::new(2).run(|ctx| {
+                    cx::init(&ctx, CcxxConfig::tham());
+                    cx::barrier(&ctx);
+                    if ctx.node() == 0 {
+                        for _ in 0..100 {
+                            cx::rmi(&ctx, 1, cx::M_NULL, &[], None, CallMode::Simple);
+                        }
+                    }
+                    cx::finalize(&ctx);
+                })
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("am_barrier_x20_on_4_nodes", |b| {
+        b.iter(|| {
+            Sim::new(4).run(|ctx| {
+                am::init(&ctx, am::NetProfile::sp_am_splitc());
+                am::register_barrier_handlers(&ctx);
+                for _ in 0..20 {
+                    am::barrier(&ctx);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_runtimes);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerate Figure 5: EM3D per-edge execution-time breakdowns for 10%,
+//! 40%, 70% and 100% remote edges, three versions, both languages,
+//! normalized against Split-C.
+//!
+//! Usage: `cargo run --release -p mpmd-bench --bin fig5 [--quick]`
+
+use mpmd_bench::experiments::{bar_pair, breakdown_row, run_fig5, Scale, BREAKDOWN_HEADERS};
+use mpmd_bench::fmt::render_table;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 5 EM3D sweeps ({scale:?} scale)...");
+    let fracs = [0.1, 0.4, 0.7, 1.0];
+    let cells = run_fig5(scale, &fracs);
+
+    let mut rows = Vec::new();
+    for (v, f, sc, cc) in &cells {
+        let normal = mpmd_sim::to_secs(sc.breakdown.elapsed);
+        rows.push(breakdown_row(
+            &format!("split-c {} {:.0}%", v.label(), f * 100.0),
+            sc,
+            normal,
+        ));
+        rows.push(breakdown_row(
+            &format!("cc++    {} {:.0}%", v.label(), f * 100.0),
+            cc,
+            normal,
+        ));
+    }
+    println!("Figure 5 — EM3D execution breakdown (normalized against Split-C)");
+    println!("{}", render_table(&BREAKDOWN_HEADERS, &rows));
+    println!("{}", mpmd_bench::fmt::bar_legend());
+    for (v, f, sc, cc) in &cells {
+        println!("{}", bar_pair(&format!("{} {:.0}%", v.label(), f * 100.0), sc, cc, 30));
+    }
+    println!();
+
+    // The paper's headline shapes.
+    let find = |v, f: f64| {
+        cells
+            .iter()
+            .find(|(cv, cf, _, _)| *cv == v && (*cf - f).abs() < 1e-9)
+            .unwrap()
+    };
+    use mpmd_apps::em3d::Em3dVersion::*;
+    let (_, _, base_sc, base_cc) = find(Base, 1.0);
+    let (_, _, ghost_sc, ghost_cc) = find(Ghost, 1.0);
+    let (_, _, bulk_sc, bulk_cc) = find(Bulk, 1.0);
+    let r = |a: &mpmd_bench::experiments::Cell, b: &mpmd_bench::experiments::Cell| {
+        a.breakdown.elapsed as f64 / b.breakdown.elapsed as f64
+    };
+    println!("shapes at 100% remote edges (paper values in parentheses):");
+    println!("  cc++/split-c em3d-base : {:.2}  (~2.0)", r(base_cc, base_sc));
+    println!("  cc++/split-c em3d-ghost: {:.2}  (~2.5)", r(ghost_cc, ghost_sc));
+    println!("  cc++/split-c em3d-bulk : {:.2}  (~1.1)", r(bulk_cc, bulk_sc));
+    println!(
+        "  ghost reduces base by    {:.0}% / {:.0}%  (87-89%)",
+        (1.0 - 1.0 / r(base_sc, ghost_sc)) * 100.0,
+        (1.0 - 1.0 / r(base_cc, ghost_cc)) * 100.0
+    );
+    println!(
+        "  bulk reduces ghost by    {:.0}% / {:.0}%  (>95%)",
+        (1.0 - 1.0 / r(ghost_sc, bulk_sc)) * 100.0,
+        (1.0 - 1.0 / r(ghost_cc, bulk_cc)) * 100.0
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerate Figure 6: Water (atomic/prefetch × 64/512 molecules) and
+//! blocked LU (512×512, 16×16 blocks) breakdowns, normalized against
+//! Split-C.
+//!
+//! Usage: `cargo run --release -p mpmd-bench --bin fig6 [--quick]`
+
+use mpmd_apps::water::WaterVersion;
+use mpmd_bench::experiments::{bar_pair, breakdown_row, run_fig6_lu, run_fig6_water, Scale, BREAKDOWN_HEADERS};
+use mpmd_bench::fmt::render_table;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running Figure 6 Water sweeps ({scale:?} scale)...");
+    let sizes: &[usize] = if scale == Scale::Paper { &[64, 512] } else { &[16, 32] };
+    let water = run_fig6_water(scale, sizes);
+    eprintln!("running Figure 6 LU ({scale:?} scale)...");
+    let (lu_sc, lu_cc) = run_fig6_lu(scale);
+
+    let mut rows = Vec::new();
+    for (v, n, sc, cc) in &water {
+        let normal = mpmd_sim::to_secs(sc.breakdown.elapsed);
+        rows.push(breakdown_row(&format!("split-c {} {n}", v.label()), sc, normal));
+        rows.push(breakdown_row(&format!("cc++    {} {n}", v.label()), cc, normal));
+    }
+    {
+        let normal = mpmd_sim::to_secs(lu_sc.breakdown.elapsed);
+        rows.push(breakdown_row("split-c sc-lu", &lu_sc, normal));
+        rows.push(breakdown_row("cc++    cc-lu", &lu_cc, normal));
+    }
+    println!("Figure 6 — Water and LU execution breakdown (normalized against Split-C)");
+    println!("{}", render_table(&BREAKDOWN_HEADERS, &rows));
+    println!("{}", mpmd_bench::fmt::bar_legend());
+    for (v, n, sc, cc) in &water {
+        println!("{}", bar_pair(&format!("{} {n}", v.label()), sc, cc, 30));
+    }
+    println!("{}", bar_pair("lu", &lu_sc, &lu_cc, 30));
+    println!();
+
+    println!("shapes (paper values in parentheses):");
+    for (v, n, sc, cc) in &water {
+        let ratio = cc.breakdown.elapsed as f64 / sc.breakdown.elapsed as f64;
+        let paper = match (v, n) {
+            (WaterVersion::Atomic, 64) => "2.6",
+            (WaterVersion::Atomic, 512) => "5.6",
+            (WaterVersion::Prefetch, 64) => "2.5",
+            (WaterVersion::Prefetch, 512) => "3.5",
+            _ => "-",
+        };
+        println!("  cc++/split-c {} {n}: {ratio:.2}  (paper {paper})", v.label());
+    }
+    let lu_ratio = lu_cc.breakdown.elapsed as f64 / lu_sc.breakdown.elapsed as f64;
+    println!("  cc-lu/sc-lu: {lu_ratio:.2}  (paper 3.6)");
+
+    // Prefetch improvement per language (paper: 60%/60% at 64; 22%/51% at
+    // 512).
+    for &n in sizes {
+        let at = water
+            .iter()
+            .find(|(v, m, _, _)| *v == WaterVersion::Atomic && *m == n)
+            .unwrap();
+        let pf = water
+            .iter()
+            .find(|(v, m, _, _)| *v == WaterVersion::Prefetch && *m == n)
+            .unwrap();
+        let sc_imp = 1.0 - pf.2.breakdown.elapsed as f64 / at.2.breakdown.elapsed as f64;
+        let cc_imp = 1.0 - pf.3.breakdown.elapsed as f64 / at.3.breakdown.elapsed as f64;
+        println!(
+            "  prefetch improvement at {n} molecules: split-c {:.0}%, cc++ {:.0}%",
+            sc_imp * 100.0,
+            cc_imp * 100.0
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Message profiles: "the AM layer and the threads package have been
+//! heavily instrumented to account for the number, types, and sizes of
+//! message transfers as well as the number of threads, context switches,
+//! and synchronization operations" — this binary prints that raw
+//! instrumentation for each application and language.
+//!
+//! Usage: `cargo run --release -p mpmd-bench --bin msgprofile [--quick]`
+
+use mpmd_apps::em3d::Em3dVersion;
+use mpmd_apps::water::WaterVersion;
+use mpmd_bench::experiments::{run_fig5, run_fig6_lu, run_fig6_water, Cell, Scale};
+use mpmd_bench::fmt::render_table;
+use mpmd_sim::size_bucket_limit;
+
+fn hist_cells(c: &Cell) -> Vec<String> {
+    let s = &c.breakdown.counts;
+    let mut out = vec![
+        format!("{} {}", c.lang.label(), c.label),
+        s.msgs_sent.to_string(),
+        s.short_msgs.to_string(),
+        s.bulk_msgs.to_string(),
+        format!("{:.1}", s.bytes_sent as f64 / 1024.0),
+        s.thread_creates.to_string(),
+        s.context_switches.to_string(),
+        s.sync_ops.to_string(),
+    ];
+    for i in 0..6 {
+        out.push(s.msg_size_hist[i].to_string());
+    }
+    out
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("profiling messages across the applications ({scale:?} scale)...");
+
+    let mut headers: Vec<String> = [
+        "run", "msgs", "short", "bulk", "KiB", "creates", "switches", "syncs",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for i in 0..6 {
+        headers.push(match size_bucket_limit(i) {
+            Some(l) if l < 1024 => format!("≤{l}B"),
+            Some(l) => format!("≤{}K", l / 1024),
+            None => "more".to_string(),
+        });
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for (v, f, sc, cc) in run_fig5(scale, &[1.0]) {
+        let _ = (v, f);
+        rows.push(hist_cells(&sc));
+        rows.push(hist_cells(&cc));
+    }
+    let wsize = if scale == Scale::Paper { 64 } else { 16 };
+    for (v, n, sc, cc) in run_fig6_water(scale, &[wsize]) {
+        let _ = (v, n);
+        rows.push(hist_cells(&sc));
+        rows.push(hist_cells(&cc));
+    }
+    let (lu_sc, lu_cc) = run_fig6_lu(scale);
+    rows.push(hist_cells(&lu_sc));
+    rows.push(hist_cells(&lu_cc));
+
+    println!("Message and thread-operation profile per application run");
+    println!("{}", render_table(&headers_ref, &rows));
+    println!("Columns ≤64B.. are the sent-message wire-size histogram.");
+    let _ = (Em3dVersion::Base, WaterVersion::Atomic);
+}

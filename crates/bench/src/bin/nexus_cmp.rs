@@ -1,0 +1,32 @@
+//! Regenerate the §6 "Comparison with CC++/Nexus": the same applications
+//! under the lean ThAM runtime vs the Nexus v3.0 (TCP/IP) baseline.
+//!
+//! Usage: `cargo run --release -p mpmd-bench --bin nexus_cmp [--quick]`
+
+use mpmd_bench::experiments::{run_nexus_cmp, Scale};
+use mpmd_bench::fmt::{render_table, secs};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running CC++/ThAM vs CC++/Nexus comparison ({scale:?} scale)...");
+    let cmps = run_nexus_cmp(scale);
+    let rows: Vec<Vec<String>> = cmps
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                secs(c.tham_secs),
+                secs(c.nexus_secs),
+                format!("{:.1}x", c.ratio()),
+            ]
+        })
+        .collect();
+    println!("CC++/ThAM vs CC++/Nexus (paper: 5-6x compute-bound, 10-35x comm-bound)");
+    println!(
+        "{}",
+        render_table(&["application", "ThAM (s)", "Nexus (s)", "speedup"], &rows)
+    );
+    let min = cmps.iter().map(|c| c.ratio()).fold(f64::MAX, f64::min);
+    let max = cmps.iter().map(|c| c.ratio()).fold(0.0f64, f64::max);
+    println!("speedup range: {min:.1}x – {max:.1}x (paper: 5x – 35x)");
+}

@@ -1,0 +1,270 @@
+//! Drivers for the application experiments (Figures 5 and 6, the
+//! CC++/Nexus comparison, and the discussion-claims analysis). The binaries
+//! are thin wrappers over these so that integration tests can assert the
+//! paper's shapes directly.
+
+use mpmd_apps::common::{AppBreakdown, Lang};
+use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
+use mpmd_apps::lu::{self, LuParams};
+use mpmd_apps::water::{self, WaterParams, WaterVersion};
+use mpmd_ccxx::CcxxConfig;
+use mpmd_nexus::{nexus_config, nexus_sim_cost_model};
+use mpmd_sim::CostModel;
+
+/// One measured cell of a breakdown figure.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub lang: Lang,
+    pub label: String,
+    pub breakdown: AppBreakdown,
+    /// Work units for per-unit scaling (edges×steps, pairs×steps, 1 for LU).
+    pub units: u64,
+}
+
+impl Cell {
+    pub fn total_secs(&self) -> f64 {
+        mpmd_sim::to_secs(self.breakdown.elapsed)
+    }
+}
+
+/// Scale of an experiment run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's sizes (800-node EM3D graph, 64/512 molecules, 512² LU).
+    Paper,
+    /// Reduced sizes for smoke tests and CI.
+    Quick,
+}
+
+impl Scale {
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+fn em3d_params(scale: Scale, remote_frac: f64) -> Em3dParams {
+    match scale {
+        Scale::Paper => Em3dParams::paper(remote_frac),
+        Scale::Quick => Em3dParams {
+            graph_nodes: 160,
+            degree: 8,
+            procs: 4,
+            steps: 2,
+            remote_frac,
+            seed: 42,
+        },
+    }
+}
+
+/// Figure 5: EM3D per-edge breakdowns for each version × remote fraction ×
+/// language, Split-C and CC++/ThAM.
+pub fn run_fig5(scale: Scale, fracs: &[f64]) -> Vec<(Em3dVersion, f64, Cell, Cell)> {
+    let mut out = Vec::new();
+    for &v in &Em3dVersion::ALL {
+        for &f in fracs {
+            let p = em3d_params(scale, f);
+            let units = (Graphish::edges(&p) * p.steps) as u64;
+            let sc = em3d::run_splitc(&p, v);
+            let cc = em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
+            out.push((
+                v,
+                f,
+                Cell {
+                    lang: Lang::SplitC,
+                    label: v.label().to_string(),
+                    breakdown: sc.breakdown,
+                    units,
+                },
+                Cell {
+                    lang: Lang::Ccxx,
+                    label: v.label().to_string(),
+                    breakdown: cc.breakdown,
+                    units,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Helper: edge count of an EM3D parameter set without building the graph.
+struct Graphish;
+impl Graphish {
+    fn edges(p: &Em3dParams) -> usize {
+        (p.graph_nodes / 2) * p.degree
+    }
+}
+
+fn water_params(scale: Scale, n: usize) -> WaterParams {
+    match scale {
+        Scale::Paper => WaterParams::paper(n),
+        Scale::Quick => WaterParams {
+            n_mol: n.min(32),
+            procs: 4,
+            steps: 1,
+            seed: 1997,
+            box_size: 8.0,
+        },
+    }
+}
+
+fn lu_params(scale: Scale) -> LuParams {
+    match scale {
+        Scale::Paper => LuParams::paper(),
+        Scale::Quick => LuParams {
+            n: 64,
+            block: 8,
+            procs: 4,
+            seed: 101,
+        },
+    }
+}
+
+/// Figure 6, Water half: (version, molecules, Split-C, CC++) cells.
+pub fn run_fig6_water(scale: Scale, sizes: &[usize]) -> Vec<(WaterVersion, usize, Cell, Cell)> {
+    let mut out = Vec::new();
+    for &v in &WaterVersion::ALL {
+        for &n in sizes {
+            let p = water_params(scale, n);
+            let units = (p.n_mol * (p.n_mol - 1) / 2 * p.steps) as u64;
+            let sc = water::run_splitc(&p, v);
+            let cc = water::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
+            out.push((
+                v,
+                n,
+                Cell {
+                    lang: Lang::SplitC,
+                    label: v.label().to_string(),
+                    breakdown: sc.breakdown,
+                    units,
+                },
+                Cell {
+                    lang: Lang::Ccxx,
+                    label: v.label().to_string(),
+                    breakdown: cc.breakdown,
+                    units,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 6, LU half.
+pub fn run_fig6_lu(scale: Scale) -> (Cell, Cell) {
+    let p = lu_params(scale);
+    let sc = lu::run_splitc(&p);
+    let cc = lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default());
+    (
+        Cell {
+            lang: Lang::SplitC,
+            label: "sc-lu".to_string(),
+            breakdown: sc.breakdown,
+            units: 1,
+        },
+        Cell {
+            lang: Lang::Ccxx,
+            label: "cc-lu".to_string(),
+            breakdown: cc.breakdown,
+            units: 1,
+        },
+    )
+}
+
+/// CC++/Nexus vs CC++/ThAM ratios per application (the paper's §6
+/// "Comparison with CC++/Nexus": 5-6× compute-bound, 10-35× comm-bound).
+pub struct NexusComparison {
+    pub name: String,
+    pub tham_secs: f64,
+    pub nexus_secs: f64,
+}
+
+impl NexusComparison {
+    pub fn ratio(&self) -> f64 {
+        self.nexus_secs / self.tham_secs
+    }
+}
+
+/// Run every application under ThAM and under the Nexus baseline.
+pub fn run_nexus_cmp(scale: Scale) -> Vec<NexusComparison> {
+    let mut out = Vec::new();
+
+    for v in Em3dVersion::ALL {
+        let p = em3d_params(scale, 1.0);
+        let tham = em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
+        let nex = em3d::run_ccxx(&p, v, nexus_config(), nexus_sim_cost_model());
+        out.push(NexusComparison {
+            name: format!("{} (100% remote)", v.label()),
+            tham_secs: mpmd_sim::to_secs(tham.breakdown.elapsed),
+            nexus_secs: mpmd_sim::to_secs(nex.breakdown.elapsed),
+        });
+    }
+
+    let wsize = if scale == Scale::Paper { 64 } else { 16 };
+    for v in WaterVersion::ALL {
+        let p = water_params(scale, wsize);
+        let tham = water::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
+        let nex = water::run_ccxx(&p, v, nexus_config(), nexus_sim_cost_model());
+        out.push(NexusComparison {
+            name: format!("{} ({} molecules)", v.label(), p.n_mol),
+            tham_secs: mpmd_sim::to_secs(tham.breakdown.elapsed),
+            nexus_secs: mpmd_sim::to_secs(nex.breakdown.elapsed),
+        });
+    }
+
+    let p = lu_params(scale);
+    let tham = lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default());
+    let nex = lu::run_ccxx(&p, nexus_config(), nexus_sim_cost_model());
+    out.push(NexusComparison {
+        name: format!("cc-lu ({}x{})", p.n, p.n),
+        tham_secs: mpmd_sim::to_secs(tham.breakdown.elapsed),
+        nexus_secs: mpmd_sim::to_secs(nex.breakdown.elapsed),
+    });
+
+    out
+}
+
+/// Render one breakdown cell as a table row (seconds + component shares).
+pub fn breakdown_row(name: &str, cell: &Cell, normal: f64) -> Vec<String> {
+    let b = &cell.breakdown;
+    let parts = b.components();
+    let busy = b.busy_total().max(1) as f64;
+    vec![
+        name.to_string(),
+        crate::fmt::secs(cell.total_secs()),
+        format!("{:.2}", mpmd_sim::to_secs(b.elapsed) / normal),
+        format!("{:.0}%", parts[0] as f64 / busy * 100.0),
+        format!("{:.0}%", parts[1] as f64 / busy * 100.0),
+        format!("{:.0}%", parts[2] as f64 / busy * 100.0),
+        format!("{:.0}%", parts[3] as f64 / busy * 100.0),
+        format!("{:.0}%", parts[4] as f64 / busy * 100.0),
+    ]
+}
+
+/// Column headers matching [`breakdown_row`].
+pub const BREAKDOWN_HEADERS: [&str; 8] = [
+    "run", "secs", "vs sc", "cpu", "net", "mgmt", "sync", "runtime",
+];
+
+/// Render a Split-C/CC++ pair as the paper's normalized stacked bars: the
+/// Split-C bar is `base_len` characters; the CC++ bar is scaled by the
+/// ratio of their elapsed times.
+pub fn bar_pair(name: &str, sc: &Cell, cc: &Cell, base_len: usize) -> String {
+    let ratio = cc.breakdown.elapsed as f64 / sc.breakdown.elapsed.max(1) as f64;
+    let cc_len = ((base_len as f64) * ratio).round() as usize;
+    let comp = |c: &Cell| {
+        let p = c.breakdown.components();
+        [p[0], p[1], p[2], p[3], p[4]]
+    };
+    format!(
+        "{:>26} |{}\n{:>26} |{}  ({ratio:.2}x)",
+        format!("split-c {name}"),
+        crate::fmt::stacked_bar(comp(sc), base_len),
+        format!("cc++ {name}"),
+        crate::fmt::stacked_bar(comp(cc), cc_len),
+    )
+}

@@ -1,0 +1,182 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Render a fixed-width table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format a µs value with one decimal, or `-` for absent entries.
+pub fn us(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v >= 100.0 => format!("{v:.0}"),
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Format a count with one decimal.
+pub fn cnt(v: f64) -> String {
+    if (v - v.round()).abs() < 0.05 {
+        format!("{:.0}", v.round())
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Format seconds with three decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Segment glyphs for the five breakdown components, in the paper's order
+/// (cpu, net, thread mgmt, thread sync, runtime).
+pub const BAR_GLYPHS: [char; 5] = ['█', '░', '▓', '▒', '◆'];
+
+/// Legend line for [`stacked_bar`].
+pub fn bar_legend() -> String {
+    let labels = ["cpu", "net", "thread mgmt", "thread sync", "runtime"];
+    BAR_GLYPHS
+        .iter()
+        .zip(labels)
+        .map(|(g, l)| format!("{g} {l}"))
+        .collect::<Vec<_>>()
+        .join("   ")
+}
+
+/// Render one stacked bar: `components` are the five cost components, and
+/// `len` is the total bar length in characters (callers scale it by the
+/// normalized height, reproducing the paper's normalized stacked-bar
+/// figures). Segments are rounded to whole characters but always sum to
+/// `len` when `len > 0`.
+pub fn stacked_bar(components: [u64; 5], len: usize) -> String {
+    let total: u64 = components.iter().sum();
+    if total == 0 || len == 0 {
+        return String::new();
+    }
+    let mut widths = [0usize; 5];
+    let mut assigned = 0usize;
+    for i in 0..5 {
+        widths[i] = (components[i] as u128 * len as u128 / total as u128) as usize;
+        assigned += widths[i];
+    }
+    // Distribute rounding leftovers to the largest remainders.
+    let mut order: Vec<usize> = (0..5).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse(components[i] as u128 * len as u128 % total.max(1) as u128)
+    });
+    let mut leftover = len.saturating_sub(assigned);
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        if components[i] > 0 {
+            widths[i] += 1;
+            leftover -= 1;
+        }
+    }
+    let mut out = String::with_capacity(len * 3);
+    for i in 0..5 {
+        for _ in 0..widths[i] {
+            out.push(BAR_GLYPHS[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn us_formatting() {
+        assert_eq!(us(Some(55.0)), "55.0");
+        assert_eq!(us(Some(154.3)), "154");
+        assert_eq!(us(None), "-");
+    }
+
+    #[test]
+    fn cnt_formatting() {
+        assert_eq!(cnt(2.0), "2");
+        assert_eq!(cnt(2.349), "2.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn stacked_bar_fills_exactly_len() {
+        let bar = stacked_bar([10, 20, 5, 5, 10], 40);
+        assert_eq!(bar.chars().count(), 40);
+        let bar = stacked_bar([1, 1, 1, 1, 1], 7);
+        assert_eq!(bar.chars().count(), 7);
+    }
+
+    #[test]
+    fn stacked_bar_is_empty_for_zero() {
+        assert_eq!(stacked_bar([0; 5], 40), "");
+        assert_eq!(stacked_bar([1, 2, 3, 4, 5], 0), "");
+    }
+
+    #[test]
+    fn stacked_bar_proportions_roughly_hold() {
+        let bar = stacked_bar([50, 50, 0, 0, 0], 10);
+        let cpu = bar.chars().filter(|&c| c == BAR_GLYPHS[0]).count();
+        let net = bar.chars().filter(|&c| c == BAR_GLYPHS[1]).count();
+        assert_eq!(cpu, 5);
+        assert_eq!(net, 5);
+    }
+
+    #[test]
+    fn legend_mentions_all_components() {
+        let l = bar_legend();
+        for name in ["cpu", "net", "thread mgmt", "thread sync", "runtime"] {
+            assert!(l.contains(name));
+        }
+    }
+}

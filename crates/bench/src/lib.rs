@@ -1,0 +1,10 @@
+//! # mpmd-bench — experiment harness
+//!
+//! Library support for the table/figure binaries (`table1`, `table4`,
+//! `fig5`, `fig6`, `nexus_cmp`, `claims`, `ablation`) and the Criterion
+//! benches. The micro-benchmark implementations live in [`micro`]; shared
+//! text-table formatting in [`fmt`].
+
+pub mod experiments;
+pub mod fmt;
+pub mod micro;

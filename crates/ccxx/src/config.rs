@@ -1,0 +1,109 @@
+//! Runtime configuration: transport profile and optimization switches.
+//!
+//! The paper's lean runtime (ThAM) is the default. The switches exist for
+//! two reasons: the CC++/Nexus baseline (`mpmd-nexus` builds a config with a
+//! TCP-like profile, no stub caching, no persistent buffers, and
+//! interrupt-driven reception), and the ablation benches that quantify each
+//! optimization in isolation.
+
+use crate::costs::CcxxCosts;
+use mpmd_am::NetProfile;
+use mpmd_sim::Time;
+
+/// Configuration of the CC++ runtime on every node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CcxxConfig {
+    /// Messaging substrate cost profile.
+    pub profile: NetProfile,
+    /// Runtime overhead calibration.
+    pub costs: CcxxCosts,
+    /// Method stub caching (§4): resolve method names once, then ship stub
+    /// addresses. Off ⇒ every RMI ships the full name and resolves remotely.
+    pub stub_caching: bool,
+    /// Persistent S-/R-buffers (§4): keep receive buffers allocated per
+    /// (caller, method). Off ⇒ every RMI pays allocation plus the extra
+    /// static-area copy.
+    pub persistent_buffers: bool,
+    /// Let bulk-returning RMIs pass the initiator's R-buffer address so the
+    /// return value lands directly in place, eliminating the second copy
+    /// the paper points out ("this cost would be eliminated if the initiator
+    /// of a bulk read passed an R-buffer address"). Off in the paper.
+    pub pass_return_buffer: bool,
+    /// `None` ⇒ polling reception with a polling thread (the paper's
+    /// choice). `Some(cost)` ⇒ interrupt-driven reception: each message
+    /// dispatch charges `cost` (software interrupt + kernel propagation) but
+    /// the polling thread's context switches disappear.
+    pub interrupt_cost: Option<Time>,
+}
+
+impl Default for CcxxConfig {
+    fn default() -> Self {
+        Self::tham()
+    }
+}
+
+impl CcxxConfig {
+    /// The paper's lean runtime: thread-safe SP-AM, all optimizations on.
+    pub fn tham() -> Self {
+        CcxxConfig {
+            profile: NetProfile::sp_am_ccxx(),
+            costs: CcxxCosts::default(),
+            stub_caching: true,
+            persistent_buffers: true,
+            pass_return_buffer: false,
+            interrupt_cost: None,
+        }
+    }
+
+    /// ThAM without method stub caching (ablation).
+    pub fn without_stub_caching(mut self) -> Self {
+        self.stub_caching = false;
+        self
+    }
+
+    /// ThAM without persistent buffers (ablation).
+    pub fn without_persistent_buffers(mut self) -> Self {
+        self.persistent_buffers = false;
+        self
+    }
+
+    /// ThAM with return-buffer passing (the paper's suggested improvement).
+    pub fn with_return_buffer_passing(mut self) -> Self {
+        self.pass_return_buffer = true;
+        self
+    }
+
+    /// ThAM with interrupt-driven reception at the given per-message cost
+    /// (ablation: "this overhead may be alleviated in the future by reducing
+    /// the cost of software interrupts").
+    pub fn with_interrupts(mut self, cost: Time) -> Self {
+        self.interrupt_cost = Some(cost);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tham_defaults() {
+        let c = CcxxConfig::tham();
+        assert!(c.stub_caching);
+        assert!(c.persistent_buffers);
+        assert!(!c.pass_return_buffer);
+        assert!(c.interrupt_cost.is_none());
+        assert_eq!(c.profile.name, "SP-AM (CC++/ThAM)");
+    }
+
+    #[test]
+    fn builders_flip_switches() {
+        let c = CcxxConfig::tham()
+            .without_stub_caching()
+            .without_persistent_buffers()
+            .with_interrupts(mpmd_sim::us(50.0));
+        assert!(!c.stub_caching);
+        assert!(!c.persistent_buffers);
+        assert_eq!(c.interrupt_cost, Some(50_000));
+    }
+}

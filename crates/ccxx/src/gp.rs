@@ -1,0 +1,276 @@
+//! Global-pointer data access.
+//!
+//! "The compiler front-end translates all global pointer dereferences into
+//! RMIs... accesses to simple data types through global pointers are
+//! optimized using small request/reply active messages" — so `GP Read/Write`
+//! costs 92 µs (AM 55) instead of a bulk-argument RMI's 94+ (AM 70).
+//!
+//! Two paths:
+//! * [`gp_read`]/[`gp_write`] — blocking access; the owner services it on a
+//!   fresh thread (Table 4's GP row: 1 create, 2 switches).
+//! * [`gp_read_async`] — the `parfor`-prefetch path: the owner services the
+//!   request inline; the *initiator-side* parfor thread provides the
+//!   concurrency (Table 4's Prefetch row: the 1 create/element is the parfor
+//!   thread, not a receiver thread).
+
+use crate::state::{CcxxState, CxPtr};
+use mpmd_am::{self as am, HandlerId, ReplyCell};
+use mpmd_sim::{Bucket, Ctx};
+use mpmd_threads::SyncVar;
+use std::sync::Arc;
+
+pub(crate) const H_GP_ACC: HandlerId = 66;
+pub(crate) const H_GP_ACC_ASYNC: HandlerId = 67;
+pub(crate) const H_GP_REPLY: HandlerId = 68;
+
+const OP_READ: u64 = 0;
+const OP_WRITE: u64 = 1;
+const OP_READ3: u64 = 2;
+
+pub(crate) struct GpToken {
+    cell: Arc<ReplyCell>,
+    sv: Arc<SyncVar<()>>,
+}
+
+/// Outstanding asynchronous global-pointer read.
+pub struct GpHandle {
+    cell: Arc<ReplyCell>,
+    sv: Arc<SyncVar<()>>,
+    local: Option<f64>,
+}
+
+impl GpHandle {
+    /// Block until the value arrives (charges the async completion costs).
+    pub fn wait(&self, ctx: &Ctx) -> f64 {
+        if let Some(v) = self.local {
+            return v;
+        }
+        let st = CcxxState::get(ctx);
+        let cfg = st.cfg();
+        self.sv.read(ctx);
+        ctx.charge(Bucket::Runtime, cfg.costs.gp_async_complete);
+        f64::from_bits(self.cell.words()[0])
+    }
+
+    /// Whether the value has arrived.
+    pub fn is_done(&self) -> bool {
+        self.local.is_some() || self.cell.is_done()
+    }
+}
+
+/// Read a double through a global pointer (`lx = *gpY`). Blocks the calling
+/// thread; the owner runs the access on a new thread.
+pub fn gp_read(ctx: &Ctx, p: CxPtr) -> f64 {
+    let st = CcxxState::get(ctx);
+    let cfg = st.cfg();
+    let c = &cfg.costs;
+    if p.node == ctx.node() {
+        ctx.charge(Bucket::Runtime, c.local_gp_deref);
+        let region = st.region(p.region);
+        let v = region.read()[p.offset];
+        return v;
+    }
+    ctx.charge(Bucket::Runtime, c.gp_issue);
+    let cell = ReplyCell::new();
+    let sv = Arc::new(SyncVar::new());
+    let tok = GpToken {
+        cell: Arc::clone(&cell),
+        sv: Arc::clone(&sv),
+    };
+    {
+        drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+        am::request(
+            ctx,
+            p.node,
+            H_GP_ACC,
+            [p.region as u64, p.offset as u64, OP_READ, 0],
+            Some(Box::new(tok)),
+        );
+    }
+    sv.read(ctx);
+    ctx.charge(Bucket::Runtime, c.gp_complete);
+    f64::from_bits(cell.words()[0])
+}
+
+/// Write a double through a global pointer (`*gpY = lx`), waiting for the
+/// acknowledgement.
+pub fn gp_write(ctx: &Ctx, p: CxPtr, v: f64) {
+    let st = CcxxState::get(ctx);
+    let cfg = st.cfg();
+    let c = &cfg.costs;
+    if p.node == ctx.node() {
+        ctx.charge(Bucket::Runtime, c.local_gp_deref);
+        let region = st.region(p.region);
+        region.write()[p.offset] = v;
+        return;
+    }
+    ctx.charge(Bucket::Runtime, c.gp_issue);
+    let cell = ReplyCell::new();
+    let sv = Arc::new(SyncVar::new());
+    let tok = GpToken {
+        cell: Arc::clone(&cell),
+        sv: Arc::clone(&sv),
+    };
+    {
+        drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+        am::request(
+            ctx,
+            p.node,
+            H_GP_ACC,
+            [p.region as u64, p.offset as u64, OP_WRITE, v.to_bits()],
+            Some(Box::new(tok)),
+        );
+    }
+    sv.read(ctx);
+    ctx.charge(Bucket::Runtime, c.gp_complete);
+}
+
+/// Read three consecutive doubles through a global pointer with one small
+/// request/reply (Water reads a molecule's position this way). Blocking;
+/// served on a fresh thread at the owner like [`gp_read`].
+pub fn gp_read3(ctx: &Ctx, p: CxPtr) -> [f64; 3] {
+    let st = CcxxState::get(ctx);
+    let cfg = st.cfg();
+    let c = &cfg.costs;
+    if p.node == ctx.node() {
+        ctx.charge(Bucket::Runtime, c.local_gp_deref);
+        let region = st.region(p.region);
+        let r = region.read();
+        return [r[p.offset], r[p.offset + 1], r[p.offset + 2]];
+    }
+    ctx.charge(Bucket::Runtime, c.gp_issue);
+    let cell = ReplyCell::new();
+    let sv = Arc::new(SyncVar::new());
+    let tok = GpToken {
+        cell: Arc::clone(&cell),
+        sv: Arc::clone(&sv),
+    };
+    {
+        drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+        am::request(
+            ctx,
+            p.node,
+            H_GP_ACC,
+            [p.region as u64, p.offset as u64, OP_READ3, 0],
+            Some(Box::new(tok)),
+        );
+    }
+    sv.read(ctx);
+    ctx.charge(Bucket::Runtime, c.gp_complete);
+    let w = cell.words();
+    [f64::from_bits(w[0]), f64::from_bits(w[1]), f64::from_bits(w[2])]
+}
+
+/// Issue a non-blocking read through a global pointer; wait on the returned
+/// handle. Used by `parfor` prefetching.
+pub fn gp_read_async(ctx: &Ctx, p: CxPtr) -> GpHandle {
+    let st = CcxxState::get(ctx);
+    let cfg = st.cfg();
+    let c = &cfg.costs;
+    let cell = ReplyCell::new();
+    let sv = Arc::new(SyncVar::new());
+    if p.node == ctx.node() {
+        ctx.charge(Bucket::Runtime, c.local_gp_deref);
+        let region = st.region(p.region);
+        let v = region.read()[p.offset];
+        return GpHandle {
+            cell,
+            sv,
+            local: Some(v),
+        };
+    }
+    ctx.charge(Bucket::Runtime, c.gp_async_issue);
+    let tok = GpToken {
+        cell: Arc::clone(&cell),
+        sv: Arc::clone(&sv),
+    };
+    {
+        drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+        am::request(
+            ctx,
+            p.node,
+            H_GP_ACC_ASYNC,
+            [p.region as u64, p.offset as u64, OP_READ, 0],
+            Some(Box::new(tok)),
+        );
+    }
+    GpHandle {
+        cell,
+        sv,
+        local: None,
+    }
+}
+
+fn serve_access(_ctx: &Ctx, st: &CcxxState, args: [u64; 4]) -> [u64; 4] {
+    let region = st.region(args[0] as u32);
+    let off = args[1] as usize;
+    match args[2] {
+        OP_READ => [region.read()[off].to_bits(), 0, 0, 0],
+        OP_READ3 => {
+            let r = region.read();
+            [r[off].to_bits(), r[off + 1].to_bits(), r[off + 2].to_bits(), 0]
+        }
+        OP_WRITE => {
+            region.write()[off] = f64::from_bits(args[3]);
+            [0; 4]
+        }
+        op => panic!("unknown GP op {op}"),
+    }
+}
+
+pub(crate) fn register_gp_handlers(ctx: &Ctx) {
+    // Blocking access: spawn a thread at the owner (general RMI semantics).
+    am::register(ctx, H_GP_ACC, |ctx, mut m| {
+        let st = CcxxState::get(ctx);
+        let cfg = st.cfg();
+        if let Some(ic) = cfg.interrupt_cost {
+            ctx.charge(Bucket::Net, ic);
+        }
+        let tok = m.token.take().expect("GP access without token");
+        let args = m.args;
+        let src = m.src;
+        let st2 = Arc::clone(&st);
+        mpmd_threads::spawn(ctx, "gp-access", move |cctx| {
+            let cfg = st2.cfg();
+            let c = &cfg.costs;
+            cctx.charge(Bucket::Runtime, c.gp_serve);
+            let reply = serve_access(&cctx, &st2, args);
+            drop(st2.sbuf_lock.lock(&cctx)); // charged lock/unlock pair
+            cctx.charge(Bucket::Runtime, c.gp_reply);
+            am::request(&cctx, src, H_GP_REPLY, reply, Some(tok));
+        });
+    });
+
+    // Prefetch access: served inline in the polling context.
+    am::register(ctx, H_GP_ACC_ASYNC, |ctx, mut m| {
+        let st = CcxxState::get(ctx);
+        let cfg = st.cfg();
+        let c = &cfg.costs;
+        if let Some(ic) = cfg.interrupt_cost {
+            ctx.charge(Bucket::Net, ic);
+        }
+        let tok = m.token.take().expect("GP access without token");
+        ctx.charge(Bucket::Runtime, c.gp_async_serve);
+        let reply = serve_access(ctx, &st, m.args);
+        drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+        ctx.charge(Bucket::Runtime, c.gp_async_reply);
+        am::request(ctx, m.src, H_GP_REPLY, reply, Some(tok));
+    });
+
+    am::register(ctx, H_GP_REPLY, |ctx, mut m| {
+        let st = CcxxState::get(ctx);
+        let cfg = st.cfg();
+        if let Some(ic) = cfg.interrupt_cost {
+            ctx.charge(Bucket::Net, ic);
+        }
+        let tok = m
+            .token
+            .take()
+            .expect("GP reply without token")
+            .downcast::<GpToken>()
+            .expect("foreign token on GP reply");
+        let _ = &st;
+        tok.cell.complete(m.args);
+        tok.sv.write(ctx, ());
+    });
+}

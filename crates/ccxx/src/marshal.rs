@@ -1,0 +1,239 @@
+//! Argument marshalling.
+//!
+//! "In CC++ the arguments of a remote method invocation can be arbitrary
+//! objects and each object defines its own serialization methods. Thus, in
+//! general, the compiler must invoke a method to serialize each argument
+//! into the outgoing message buffer and, on message reception, the stub must
+//! similarly invoke a method to extract each argument... this flexibility
+//! incurs at least one extra copying of the data as well as the overhead of
+//! calling the serialization methods."
+//!
+//! [`MarshalBuf`] / [`UnmarshalBuf`] perform the real serialization into a
+//! byte buffer and charge [`CcxxCosts::serialize_per_elem`] per element plus
+//! the per-byte copy cost, exactly where the paper accounts them.
+
+use crate::state::CcxxState;
+use bytes::Bytes;
+use mpmd_sim::{Bucket, Ctx};
+
+/// A type that knows how to serialize itself into an RMI message buffer.
+pub trait Marshal: Sized {
+    /// Append the wire representation.
+    fn write(&self, out: &mut Vec<u8>);
+    /// Parse the wire representation.
+    fn read(input: &mut &[u8]) -> Self;
+    /// Number of serialization-method invocations this value costs (arrays
+    /// cost one per element — the CC++ compiler "can only inline these calls
+    /// in simple cases").
+    fn elems(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! marshal_prim {
+    ($t:ty, $bytes:expr) => {
+        impl Marshal for $t {
+            fn write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read(input: &mut &[u8]) -> Self {
+                let (head, rest) = input.split_at($bytes);
+                *input = rest;
+                <$t>::from_le_bytes(head.try_into().unwrap())
+            }
+        }
+    };
+}
+
+marshal_prim!(u32, 4);
+marshal_prim!(u64, 8);
+marshal_prim!(i32, 4);
+marshal_prim!(i64, 8);
+marshal_prim!(f64, 8);
+
+impl Marshal for bool {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn read(input: &mut &[u8]) -> Self {
+        let (head, rest) = input.split_at(1);
+        *input = rest;
+        head[0] != 0
+    }
+}
+
+impl Marshal for Vec<f64> {
+    fn write(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write(out);
+        for v in self {
+            v.write(out);
+        }
+    }
+    fn read(input: &mut &[u8]) -> Self {
+        let n = u64::read(input) as usize;
+        (0..n).map(|_| f64::read(input)).collect()
+    }
+    fn elems(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A flat double array whose serialization the compiler has inlined: one
+/// serialization-method call for the whole array, only the byte copy scales.
+/// "The CC++ compiler can only inline these calls in simple cases" — a
+/// contiguous array of doubles is such a case; the LU block transfers use
+/// it, whereas the Table 4 `ARRAYOFDOUBLE` bulk transfers (a user class) pay
+/// per-element serialization ([`Vec<f64>`]'s `Marshal`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatF64s(pub Vec<f64>);
+
+impl Marshal for FlatF64s {
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+    }
+    fn read(input: &mut &[u8]) -> Self {
+        FlatF64s(Vec::<f64>::read(input))
+    }
+    fn elems(&self) -> usize {
+        1
+    }
+}
+
+/// Outgoing argument buffer. Dropping an unsent buffer is fine (the charges
+/// were real work done).
+pub struct MarshalBuf {
+    bytes: Vec<u8>,
+    elems: usize,
+}
+
+impl MarshalBuf {
+    /// An empty argument buffer.
+    pub fn new() -> Self {
+        MarshalBuf {
+            bytes: Vec::new(),
+            elems: 0,
+        }
+    }
+
+    /// Serialize one argument, charging its marshalling cost.
+    pub fn push<T: Marshal>(&mut self, ctx: &Ctx, value: &T) -> &mut Self {
+        let st = CcxxState::get(ctx);
+        let before = self.bytes.len();
+        value.write(&mut self.bytes);
+        let grew = self.bytes.len() - before;
+        let cfg = st.cfg();
+        let c = &cfg.costs;
+        ctx.charge(
+            Bucket::Runtime,
+            c.serialize_per_elem * value.elems() as u64 + c.copy_charge(grew),
+        );
+        self.elems += value.elems();
+        self
+    }
+
+    /// Total marshalled size.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Marshalled element count.
+    pub fn elems(&self) -> usize {
+        self.elems
+    }
+
+    /// Freeze into a wire payload.
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.bytes)
+    }
+}
+
+impl Default for MarshalBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Incoming argument reader; charges the symmetric extraction costs.
+pub struct UnmarshalBuf<'a> {
+    input: &'a [u8],
+}
+
+impl<'a> UnmarshalBuf<'a> {
+    /// Wrap a received payload.
+    pub fn new(data: &'a Bytes) -> Self {
+        UnmarshalBuf { input: data }
+    }
+
+    /// Extract the next argument, charging its unmarshalling cost.
+    pub fn next<T: Marshal>(&mut self, ctx: &Ctx) -> T {
+        let st = CcxxState::get(ctx);
+        let before = self.input.len();
+        let v = T::read(&mut self.input);
+        let consumed = before - self.input.len();
+        let cfg = st.cfg();
+        let c = &cfg.costs;
+        ctx.charge(
+            Bucket::Runtime,
+            c.serialize_per_elem * v.elems() as u64 + c.copy_charge(consumed),
+        );
+        v
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Marshal + PartialEq + std::fmt::Debug>(v: T) {
+        let mut out = Vec::new();
+        v.write(&mut out);
+        let mut inp = out.as_slice();
+        assert_eq!(T::read(&mut inp), v);
+        assert!(inp.is_empty(), "trailing bytes after read");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u32);
+        round_trip(u32::MAX);
+        round_trip(-5i32);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(-0.0f64);
+        round_trip(std::f64::consts::E);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn vec_round_trip_and_elem_count() {
+        let v = vec![1.0, 2.5, -3.5];
+        assert_eq!(v.elems(), 3);
+        round_trip(v);
+        round_trip(Vec::<f64>::new());
+    }
+
+    #[test]
+    fn mixed_sequence_round_trip() {
+        let mut out = Vec::new();
+        7u32.write(&mut out);
+        (-1.25f64).write(&mut out);
+        vec![9.0, 8.0].write(&mut out);
+        true.write(&mut out);
+        let mut inp = out.as_slice();
+        assert_eq!(u32::read(&mut inp), 7);
+        assert_eq!(f64::read(&mut inp), -1.25);
+        assert_eq!(Vec::<f64>::read(&mut inp), vec![9.0, 8.0]);
+        assert!(bool::read(&mut inp));
+        assert!(inp.is_empty());
+    }
+}

@@ -1,0 +1,510 @@
+//! Remote method invocation: the heart of the MPMD runtime.
+//!
+//! An RMI "specifies the data that is to be transferred and the remote
+//! operation that is to be performed with the data... the data is then
+//! transferred from one address space to another and the remote operation
+//! executes on a new thread of control."
+//!
+//! Call path (warm, with stub caching):
+//!
+//! 1. initiator: look up the (node, method-hash) entry in the local stub
+//!    cache — on a hit the resolved *stub address* travels in the message;
+//!    on a miss the full *name* travels and resolution happens remotely,
+//!    with the resolved address piggy-backed on the reply to update the
+//!    cache ("a message being sent back to update the local entry").
+//! 2. initiator: marshalled arguments (if any) go as an AM bulk transfer;
+//!    argument-free invocations use a short 4-word AM.
+//! 3. receiver: a non-threaded RMI runs the stub directly in the polling
+//!    context ("the remote stub can be invoked directly as the active
+//!    message handler"); a threaded RMI goes "to a generic active message
+//!    handler who creates a new thread and then calls the desired method";
+//!    atomic RMIs additionally hold the processor-object lock.
+//! 4. the stub's reply completes the initiator's reply cell; `Simple` mode
+//!    initiators spin-poll for it, all other modes block on a write-once
+//!    sync variable and are woken by the handler.
+
+use crate::state::{name_hash, CacheEntry, CcxxState, StubFn};
+use bytes::Bytes;
+use mpmd_am::{self as am, HandlerId, ReplyCell};
+use mpmd_sim::{Bucket, Ctx};
+use mpmd_threads::SyncVar;
+use std::sync::Arc;
+
+pub(crate) const H_REQ: HandlerId = 64;
+pub(crate) const H_REPLY: HandlerId = 65;
+
+/// How an RMI is issued and executed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CallMode {
+    /// Spin-wait at the initiator, run inline at the receiver (the paper's
+    /// "0-Word Simple": "no thread switches at the sender nor receiver").
+    Simple,
+    /// Block the initiating thread on a sync variable; run inline at the
+    /// receiver (the "0-Word"/"1-Word"/"2-Word" rows: "a thread switch at
+    /// the sender only").
+    Blocking,
+    /// Block at the initiator; execute the method on a new thread at the
+    /// receiver (general CC++ RMI semantics — methods may block).
+    Threaded,
+    /// Threaded, with the method body holding the processor-object lock.
+    Atomic,
+    /// Optimistic Active Messages (Wallach et al., PPoPP '95, discussed in
+    /// the paper's §7): "OAM optimistically executes the handler code on
+    /// the stack — the handler is aborted and re-started on a separate
+    /// thread if it blocks." Here the registered blocking hint decides:
+    /// non-blocking methods run inline at a small check cost; blocking ones
+    /// pay an abort charge and go to a thread.
+    Optimistic,
+}
+
+impl CallMode {
+    fn initiator_blocks(self) -> bool {
+        !matches!(self, CallMode::Simple)
+    }
+}
+
+/// Arguments as seen by a method stub.
+pub struct RmiArgs {
+    /// Calling node.
+    pub src: usize,
+    /// Untyped word arguments (the 4-word AM payload).
+    pub words: Vec<u64>,
+    /// Marshalled argument bytes (unmarshal with
+    /// [`crate::marshal::UnmarshalBuf`]).
+    pub data: Option<Bytes>,
+    /// Target processor-object id for object methods (see [`crate::pobj`]).
+    pub obj: Option<u64>,
+}
+
+/// A method's reply.
+#[derive(Debug, Clone, Default)]
+pub struct RmiRet {
+    pub words: [u64; 4],
+    pub data: Option<Bytes>,
+}
+
+impl RmiRet {
+    /// An empty (void) return.
+    pub fn null() -> Self {
+        Self::default()
+    }
+
+    /// Return up to four words.
+    pub fn of_words(words: [u64; 4]) -> Self {
+        RmiRet { words, data: None }
+    }
+
+    /// Return a marshalled bulk payload.
+    pub fn of_data(data: Bytes) -> Self {
+        RmiRet {
+            words: [0; 4],
+            data: Some(data),
+        }
+    }
+}
+
+/// What the request message targets: a resolved stub address (warm) or a
+/// (program, method name) pair to be resolved remotely (cold).
+enum Target {
+    Addr(u64),
+    Name(u32, String),
+}
+
+/// The typed request payload (the simulation's wire image; byte-level sizes
+/// are accounted through the AM layer's bulk path).
+pub(crate) struct CxRequest {
+    src: usize,
+    mode: CallMode,
+    target: Target,
+    words: Vec<u64>,
+    data: Option<Bytes>,
+    reply: Arc<ReplyCtl>,
+    /// Target processor-object id (object methods; see [`crate::pobj`]).
+    obj: Option<u64>,
+}
+
+/// Reply continuation: completes the cell, then wakes a blocked initiator.
+pub(crate) struct ReplyCtl {
+    pub(crate) cell: Arc<ReplyCell>,
+    pub(crate) sv: Option<Arc<SyncVar<()>>>,
+}
+
+pub(crate) struct CxReply {
+    ret: RmiRet,
+    /// Piggy-backed stub resolution for the initiator's cache.
+    cache_update: Option<(u32, u64, u64)>, // (program, name hash, addr)
+    reply: Arc<ReplyCtl>,
+}
+
+/// The default program id ("a CC++ application can be composed of multiple,
+/// separately compiled program images"; single-image applications live in
+/// program 0).
+pub const DEFAULT_PROGRAM: u32 = 0;
+
+/// Register a method in program 0 on this node, returning its local
+/// entry-point address. General RMI semantics: the method may block.
+pub fn register_method(
+    ctx: &Ctx,
+    name: &str,
+    f: impl Fn(&Ctx, RmiArgs) -> RmiRet + Send + Sync + 'static,
+) -> u64 {
+    register_method_full(ctx, DEFAULT_PROGRAM, name, true, f)
+}
+
+/// Register a method in an explicit program image, with a blocking hint.
+/// `may_block = false` lets [`CallMode::Optimistic`] invocations run the
+/// method inline at the receiver (the OAM fast path).
+pub fn register_method_full(
+    ctx: &Ctx,
+    program: u32,
+    name: &str,
+    may_block: bool,
+    f: impl Fn(&Ctx, RmiArgs) -> RmiRet + Send + Sync + 'static,
+) -> u64 {
+    let st = CcxxState::get(ctx);
+    let mut stubs = st.stubs.write();
+    let addr = stubs.len() as u64;
+    stubs.push(crate::state::StubRec {
+        name: name.to_string(),
+        f: Arc::new(f),
+        may_block,
+    });
+    let prev = st.by_name.write().insert((program, name.to_string()), addr);
+    assert!(
+        prev.is_none(),
+        "method '{name}' registered twice in program {program}"
+    );
+    addr
+}
+
+/// Spin-poll until `pred`, registering as a spinner so the polling thread
+/// defers (no thread operations are charged — this is the Simple path).
+pub(crate) fn spin_wait(ctx: &Ctx, pred: impl FnMut() -> bool) {
+    let st = CcxxState::get(ctx);
+    st.spinners.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    am::wait_until(ctx, pred);
+    st.spinners.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+}
+
+/// Invoke `method` on node `dst` and wait for its reply.
+///
+/// `words` are untyped word arguments (up to 4); marshalled arguments go in
+/// `payload` (built with [`crate::marshal::MarshalBuf`]). Bulk returns are
+/// charged the extra receive-side copy here unless the runtime is configured
+/// to pass return-buffer addresses.
+pub fn rmi(
+    ctx: &Ctx,
+    dst: usize,
+    method: &str,
+    words: &[u64],
+    payload: Option<crate::marshal::MarshalBuf>,
+    mode: CallMode,
+) -> RmiRet {
+    rmi_program(ctx, dst, DEFAULT_PROGRAM, method, words, payload, mode)
+}
+
+/// [`rmi`] against a processor-object method: the invocation record carries
+/// the object id; the owner resolves `(object, method)` to the typed stub.
+/// Used by [`crate::pobj::rmi_obj`].
+pub(crate) fn rmi_with_object(
+    ctx: &Ctx,
+    dst: usize,
+    method: &str,
+    obj: u64,
+    words: &[u64],
+    payload: Option<crate::marshal::MarshalBuf>,
+    mode: CallMode,
+) -> RmiRet {
+    rmi_inner(ctx, dst, DEFAULT_PROGRAM, method, Some(obj), words, payload, mode)
+}
+
+/// [`rmi`] against a method of an explicit program image on the target node.
+pub fn rmi_program(
+    ctx: &Ctx,
+    dst: usize,
+    program: u32,
+    method: &str,
+    words: &[u64],
+    payload: Option<crate::marshal::MarshalBuf>,
+    mode: CallMode,
+) -> RmiRet {
+    rmi_inner(ctx, dst, program, method, None, words, payload, mode)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rmi_inner(
+    ctx: &Ctx,
+    dst: usize,
+    program: u32,
+    method: &str,
+    obj: Option<u64>,
+    words: &[u64],
+    payload: Option<crate::marshal::MarshalBuf>,
+    mode: CallMode,
+) -> RmiRet {
+    assert!(words.len() <= 4, "word arguments are limited to 4");
+    let st = CcxxState::get(ctx);
+    let cfg = st.cfg();
+    let c = &cfg.costs;
+    ctx.charge(Bucket::Runtime, c.send_issue);
+
+    // Stub-cache lookup (charged lock + 3 µs lookup). A miss — or caching
+    // disabled — ships the method name.
+    let hash = name_hash(method) ^ obj.unwrap_or(0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let target = if cfg.stub_caching {
+        ctx.charge(Bucket::Runtime, c.stub_lookup);
+        let cache = st.stub_cache.lock(ctx);
+        match cache.get(&(dst, program, hash)) {
+            Some(e) => Target::Addr(e.addr),
+            None => Target::Name(program, method.to_string()),
+        }
+    } else {
+        Target::Name(program, method.to_string())
+    };
+
+    let sv = if mode.initiator_blocks() {
+        ctx.charge(Bucket::Runtime, c.blocking_plumbing);
+        Some(Arc::new(SyncVar::new()))
+    } else {
+        None
+    };
+    let cell = ReplyCell::new();
+    let reply = Arc::new(ReplyCtl {
+        cell: Arc::clone(&cell),
+        sv: sv.clone(),
+    });
+
+    // The wire image: marshalled payload bytes, plus the method name when
+    // shipping a name instead of an address.
+    let payload_bytes = payload.map(|p| p.finish());
+    let name_bytes = match &target {
+        Target::Name(_, n) => n.len() + 4, // name + program id
+        Target::Addr(_) => 0,
+    };
+    let req = CxRequest {
+        src: ctx.node(),
+        mode,
+        target,
+        words: words.to_vec(),
+        data: payload_bytes.clone(),
+        reply,
+        obj,
+    };
+
+    {
+        drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+        let wire_extra = payload_bytes.as_ref().map_or(0, |b| b.len()) + name_bytes;
+        if wire_extra > 0 {
+            // Argument data (and cold-path names) travel via the AM bulk
+            // primitives — the "+15 µs" of the 1-Word/2-Word rows.
+            let wire = payload_bytes.unwrap_or_else(|| Bytes::from(vec![0u8; name_bytes]));
+            let wire = if wire.len() < wire_extra {
+                // name + payload: extend the wire image to the full size
+                let mut v = vec![0u8; wire_extra];
+                v[..wire.len()].copy_from_slice(&wire);
+                Bytes::from(v)
+            } else {
+                wire
+            };
+            am::request_bulk(ctx, dst, H_REQ, [0; 4], wire, Some(Box::new(req)));
+        } else {
+            am::request(ctx, dst, H_REQ, [0; 4], Some(Box::new(req)));
+        }
+    }
+
+    match sv {
+        None => {
+            let c2 = Arc::clone(&cell);
+            spin_wait(ctx, move || c2.is_done());
+        }
+        Some(sv) => {
+            sv.read(ctx);
+        }
+    }
+
+    let data = cell.take_data();
+    if let Some(d) = &data {
+        // "Bulk reads cost more than bulk writes in CC++ because the return
+        // data has to be copied twice" — unless the initiator passed its
+        // R-buffer address.
+        if !cfg.pass_return_buffer {
+            ctx.charge(Bucket::Runtime, c.extra_copy_charge(d.len()));
+        }
+    }
+    RmiRet {
+        words: cell.words(),
+        data,
+    }
+}
+
+/// Execute a stub and send the reply (shared by the inline and threaded
+/// receive paths). Runs on the receiving node.
+fn run_and_reply(
+    ctx: &Ctx,
+    st: &CcxxState,
+    stub: StubFn,
+    req: CxRequest,
+    cache_update: Option<(u32, u64, u64)>,
+) {
+    let cfg = st.cfg();
+    let c = &cfg.costs;
+    let atomic = matches!(req.mode, CallMode::Atomic);
+    let ret = if atomic {
+        ctx.charge(Bucket::Runtime, c.atomic_lookup);
+        let _obj = st.method_lock.lock(ctx);
+        stub(
+            ctx,
+            RmiArgs {
+                src: req.src,
+                words: req.words,
+                data: req.data,
+                obj: req.obj,
+            },
+        )
+    } else {
+        stub(
+            ctx,
+            RmiArgs {
+                src: req.src,
+                words: req.words,
+                data: req.data,
+                obj: req.obj,
+            },
+        )
+    };
+    // Send the reply.
+    drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
+    ctx.charge(Bucket::Runtime, c.reply_issue);
+    let reply_msg = CxReply {
+        cache_update,
+        reply: req.reply,
+        ret,
+    };
+    let dst = req.src;
+    match reply_msg.ret.data.clone() {
+        Some(d) => am::request_bulk(ctx, dst, H_REPLY, [0; 4], d, Some(Box::new(reply_msg))),
+        None => am::request(ctx, dst, H_REPLY, [0; 4], Some(Box::new(reply_msg))),
+    }
+}
+
+pub(crate) fn register_rmi_handlers(ctx: &Ctx) {
+    am::register(ctx, H_REQ, |ctx, mut m| {
+        let st = CcxxState::get(ctx);
+        let cfg = st.cfg();
+        let c = cfg.costs.clone();
+        if let Some(ic) = cfg.interrupt_cost {
+            // Interrupt-driven reception: the software interrupt and its
+            // kernel propagation cost, per message.
+            ctx.charge(Bucket::Net, ic);
+        }
+        let req = *m
+            .token
+            .take()
+            .expect("RMI request without payload")
+            .downcast::<CxRequest>()
+            .expect("foreign token on RMI handler");
+        drop(st.dispatch_lock.lock(ctx)); // charged lock/unlock pair; released before dispatch (handlers may send)
+        ctx.charge(Bucket::Runtime, c.recv_dispatch);
+
+        // Resolve the stub.
+        let (addr, cache_update) = match &req.target {
+            Target::Addr(a) => (*a, None),
+            Target::Name(prog, n) => {
+                ctx.charge(Bucket::Runtime, c.name_resolve);
+                let wire_name = match req.obj {
+                    Some(obj) => crate::pobj::object_method_wire_name(ctx, obj, n),
+                    None => n.clone(),
+                };
+                let a = *st
+                    .by_name
+                    .read()
+                    .get(&(*prog, wire_name.clone()))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "no method '{wire_name}' registered in program {prog} on node {}",
+                            ctx.node()
+                        )
+                    });
+                let cache_hash = name_hash(n)
+                    ^ req.obj.unwrap_or(0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (a, Some((*prog, cache_hash, a)))
+            }
+        };
+        let (stub, may_block) = {
+            let stubs = st.stubs.read();
+            let rec = &stubs[addr as usize];
+            (Arc::clone(&rec.f), rec.may_block)
+        };
+
+        // Persistent R-buffer management for argument data.
+        if let Some(d) = &req.data {
+            let key = (req.src, addr);
+            let warm = cfg.persistent_buffers && st.rbufs.read().contains(&key);
+            if !warm {
+                // Cold invocation: allocate an R-buffer and pay the extra
+                // copy from the per-node static buffer area.
+                ctx.charge(Bucket::Runtime, c.rbuf_alloc + c.extra_copy_charge(d.len()));
+                if cfg.persistent_buffers {
+                    st.rbufs.write().insert(key);
+                }
+            }
+        }
+
+        // Decide where the method runs.
+        let spawns = match req.mode {
+            CallMode::Threaded | CallMode::Atomic => true,
+            CallMode::Simple | CallMode::Blocking => false,
+            CallMode::Optimistic => {
+                // OAM: run on the stack when the method cannot block; abort
+                // to a fresh thread when it might.
+                ctx.charge(Bucket::Runtime, c.oam_check);
+                if may_block {
+                    ctx.charge(Bucket::Runtime, c.oam_abort);
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if spawns {
+            ctx.charge(Bucket::Runtime, c.threaded_dispatch);
+            let st2 = Arc::clone(&st);
+            mpmd_threads::spawn(ctx, "rmi-method", move |cctx| {
+                run_and_reply(&cctx, &st2, stub, req, cache_update);
+            });
+        } else {
+            run_and_reply(ctx, &st, stub, req, cache_update);
+        }
+    });
+
+    am::register(ctx, H_REPLY, |ctx, mut m| {
+        let st = CcxxState::get(ctx);
+        let cfg = st.cfg();
+        let c = &cfg.costs;
+        if let Some(ic) = cfg.interrupt_cost {
+            ctx.charge(Bucket::Net, ic);
+        }
+        let rep = *m
+            .token
+            .take()
+            .expect("RMI reply without payload")
+            .downcast::<CxReply>()
+            .expect("foreign token on RMI reply handler");
+        drop(st.dispatch_lock.lock(ctx)); // charged lock/unlock pair; released before dispatch (handlers may send)
+        ctx.charge(Bucket::Runtime, c.reply_dispatch);
+        if let Some((prog, hash, addr)) = rep.cache_update {
+            if cfg.stub_caching {
+                ctx.charge(Bucket::Runtime, c.cache_update);
+                let mut cache = st.stub_cache.lock(ctx);
+                cache.insert((m.src, prog, hash), CacheEntry { addr });
+            }
+        }
+        match rep.ret.data {
+            Some(d) => rep.reply.cell.complete_with_data(rep.ret.words, d),
+            None => rep.reply.cell.complete(rep.ret.words),
+        }
+        if let Some(sv) = &rep.reply.sv {
+            sv.write(ctx, ());
+        }
+    });
+}

@@ -1,0 +1,150 @@
+//! # mpmd-nexus — the CC++/Nexus baseline
+//!
+//! "The latest release of CC++ (version 0.4) is built on top of Nexus v3.0.
+//! Nexus is highly portable, supporting a number of architectures,
+//! communication protocols, and thread packages." The paper's measurements
+//! use Nexus "configured with the TCP/IP communication protocol running over
+//! the SP2 high-performance switch" (MPL could not be configured), with a
+//! preemptive pthreads package, and find CC++/ThAM improves on it by 5–35×:
+//! ~5–6× in compute-bound applications, 10–35× where communication
+//! dominates.
+//!
+//! This crate packages that baseline as a [`CcxxConfig`] for the same CC++
+//! runtime: a TCP-like network profile (millisecond round trips,
+//! interrupt-driven reception), heavyweight thread costs, multiplied runtime
+//! overheads (portability layers), and none of ThAM's optimizations (no
+//! method stub caching, no persistent buffers).
+
+use mpmd_am::NetProfile;
+use mpmd_ccxx::{CcxxConfig, CcxxCosts};
+use mpmd_sim::{us, CostModel, ThreadCosts};
+
+/// Scale factor applied to the ThAM runtime-overhead calibration to model
+/// Nexus's portability layers (remote service request dispatch, buffer
+/// management, protocol modules).
+pub const NEXUS_RUNTIME_SCALE: u64 = 6;
+
+/// Per-message software-interrupt + kernel propagation cost of
+/// interrupt-driven reception over TCP/IP.
+pub fn nexus_interrupt_cost() -> mpmd_sim::Time {
+    us(75.0)
+}
+
+/// TCP/IP over the SP switch, as Nexus v3.0 used it: kernel protocol stacks
+/// at both ends, millisecond-scale latency, ~10 MB/s effective bandwidth,
+/// no polling (reception is interrupt-driven).
+pub fn nexus_profile() -> NetProfile {
+    NetProfile {
+        name: "Nexus v3.0 (TCP/IP on SP switch)",
+        send_overhead: us(100.0),
+        recv_overhead: us(150.0),
+        wire_latency: us(1_400.0),
+        lock_overhead: us(5.0),
+        bulk_setup: us(250.0),
+        per_byte_millins: 100_000, // 100 ns/B ≈ 10 MB/s
+        poll_on_send: false,
+    }
+}
+
+/// The runtime-overhead calibration under Nexus: every ThAM cost scaled by
+/// [`NEXUS_RUNTIME_SCALE`].
+pub fn nexus_costs() -> CcxxCosts {
+    let t = CcxxCosts::default();
+    let s = NEXUS_RUNTIME_SCALE;
+    CcxxCosts {
+        send_issue: t.send_issue * s,
+        stub_lookup: t.stub_lookup * s,
+        recv_dispatch: t.recv_dispatch * s,
+        reply_issue: t.reply_issue * s,
+        reply_dispatch: t.reply_dispatch * s,
+        blocking_plumbing: t.blocking_plumbing * s,
+        threaded_dispatch: t.threaded_dispatch * s,
+        atomic_lookup: t.atomic_lookup * s,
+        oam_check: t.oam_check * s,
+        oam_abort: t.oam_abort * s,
+        serialize_per_elem: t.serialize_per_elem * s,
+        marshal_copy_per_byte_millins: t.marshal_copy_per_byte_millins * s,
+        recv_extra_copy_per_byte_millins: t.recv_extra_copy_per_byte_millins * s,
+        name_resolve: t.name_resolve * s,
+        cache_update: t.cache_update * s,
+        rbuf_alloc: t.rbuf_alloc * s,
+        gp_issue: t.gp_issue * s,
+        gp_complete: t.gp_complete * s,
+        gp_serve: t.gp_serve * s,
+        gp_reply: t.gp_reply * s,
+        gp_async_issue: t.gp_async_issue * s,
+        gp_async_complete: t.gp_async_complete * s,
+        gp_async_serve: t.gp_async_serve * s,
+        gp_async_reply: t.gp_async_reply * s,
+        local_gp_deref: t.local_gp_deref * s,
+    }
+}
+
+/// The complete CC++/Nexus runtime configuration.
+pub fn nexus_config() -> CcxxConfig {
+    CcxxConfig {
+        profile: nexus_profile(),
+        costs: nexus_costs(),
+        stub_caching: false,
+        persistent_buffers: false,
+        pass_return_buffer: false,
+        interrupt_cost: Some(nexus_interrupt_cost()),
+    }
+}
+
+/// Preemptive pthreads-like thread costs used by Nexus builds.
+pub fn nexus_thread_costs() -> ThreadCosts {
+    ThreadCosts::heavyweight()
+}
+
+/// Simulator cost model for a CC++/Nexus run (heavyweight threads).
+pub fn nexus_sim_cost_model() -> CostModel {
+    CostModel {
+        threads: nexus_thread_costs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpmd_sim::to_us;
+
+    #[test]
+    fn nexus_rtt_is_milliseconds() {
+        let p = nexus_profile();
+        let rtt = to_us(p.round_trip_null());
+        assert!(
+            (2_000.0..6_000.0).contains(&rtt),
+            "Nexus null RTT = {rtt} µs"
+        );
+    }
+
+    #[test]
+    fn nexus_is_an_order_of_magnitude_slower_than_tham() {
+        let tham = NetProfile::sp_am_ccxx().round_trip_null();
+        let nexus = nexus_profile().round_trip_null();
+        assert!(nexus > 20 * tham);
+    }
+
+    #[test]
+    fn nexus_config_disables_tham_optimizations() {
+        let c = nexus_config();
+        assert!(!c.stub_caching);
+        assert!(!c.persistent_buffers);
+        assert!(c.interrupt_cost.is_some());
+    }
+
+    #[test]
+    fn runtime_costs_are_scaled() {
+        let t = CcxxCosts::default();
+        let n = nexus_costs();
+        assert_eq!(n.stub_lookup, t.stub_lookup * NEXUS_RUNTIME_SCALE);
+        assert_eq!(n.gp_issue, t.gp_issue * NEXUS_RUNTIME_SCALE);
+    }
+
+    #[test]
+    fn heavyweight_threads() {
+        let c = nexus_sim_cost_model();
+        assert!(c.threads.create >= mpmd_sim::us(50.0));
+    }
+}

@@ -1,0 +1,104 @@
+//! Thread-package cost calibration.
+//!
+//! Network and language-runtime costs are owned by the `mpmd-am` and
+//! `mpmd-ccxx` crates respectively; the simulator core only needs the costs of
+//! the thread operations that its own scheduling machinery charges on behalf
+//! of the layered threads package.
+//!
+//! The defaults are fitted to Table 4 of the paper. The caption of Table 4
+//! states the per-op costs used by the authors to compute the `Threads Time`
+//! column (the exact digits are corrupted in the archived PDF); the values
+//! below reproduce the table's aggregate rows:
+//!
+//! * `0-Word Simple`: 10 sync ops            -> 10 x 0.4           =  4 µs
+//! * `0-Word`:       1 switch + 15 sync ops  -> 6 + 15 x 0.4       = 12 µs
+//! * `0-Word Threaded`: 2 switches + 1 create + 10 sync
+//!                                           -> 12 + 5 + 4         = 21 µs
+
+use crate::time::{us, Time};
+
+/// Unit costs of the lightweight, native, non-preemptive threads package.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThreadCosts {
+    /// Cost of creating (forking) a thread.
+    pub create: Time,
+    /// Cost of a context switch (including voluntary yields).
+    pub context_switch: Time,
+    /// Cost of one lock, unlock, condition-variable signal or wait call.
+    pub sync_op: Time,
+}
+
+impl Default for ThreadCosts {
+    fn default() -> Self {
+        ThreadCosts {
+            create: us(5.0),
+            context_switch: us(6.0),
+            sync_op: us(0.4),
+        }
+    }
+}
+
+impl ThreadCosts {
+    /// A heavyweight, preemptive (pthreads-like) cost profile, used for the
+    /// CC++/Nexus baseline. The paper notes thread-management cost "can be
+    /// prohibitively high if a more heavyweight or preemptive threads package
+    /// is used".
+    pub fn heavyweight() -> Self {
+        ThreadCosts {
+            create: us(60.0),
+            context_switch: us(25.0),
+            sync_op: us(5.0),
+        }
+    }
+
+    /// A zero-cost profile, useful in unit tests that check pure scheduling
+    /// semantics without time accounting.
+    pub fn free() -> Self {
+        ThreadCosts {
+            create: 0,
+            context_switch: 0,
+            sync_op: 0,
+        }
+    }
+}
+
+/// Costs the simulator core knows about.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CostModel {
+    /// Thread-operation costs.
+    pub threads: ThreadCosts,
+}
+
+impl CostModel {
+    /// Cost model with all thread operations free (pure-semantics tests).
+    pub fn free() -> Self {
+        CostModel {
+            threads: ThreadCosts::free(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table4_threads_column() {
+        let c = ThreadCosts::default();
+        // 0-Word Simple: 10 sync ops => 4 µs.
+        assert_eq!(10 * c.sync_op, us(4.0));
+        // 0-Word: 1 switch + 15 sync => 12 µs.
+        assert_eq!(c.context_switch + 15 * c.sync_op, us(12.0));
+        // 0-Word Threaded: 2 switches + 1 create + 10 sync => 21 µs.
+        assert_eq!(2 * c.context_switch + c.create + 10 * c.sync_op, us(21.0));
+    }
+
+    #[test]
+    fn heavyweight_is_heavier() {
+        let l = ThreadCosts::default();
+        let h = ThreadCosts::heavyweight();
+        assert!(h.create > l.create);
+        assert!(h.context_switch > l.context_switch);
+        assert!(h.sync_op > l.sync_op);
+    }
+}

@@ -1,0 +1,317 @@
+//! Task-side API: everything a simulated task can do.
+
+use crate::cost::CostModel;
+use crate::engine::{spawn_task, SimInner};
+use crate::event::Msg;
+use crate::kernel::TaskState;
+use crate::report::Snapshot;
+use crate::stats::{Bucket, Stats};
+use crate::task::TaskId;
+use crate::time::Time;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Handle to the simulation held by a running task. Cheap to clone; a clone
+/// refers to the same task (pass clones into closures, not across tasks —
+/// each spawned task receives its own `Ctx`).
+pub struct Ctx {
+    inner: Arc<SimInner>,
+    node: usize,
+    task: TaskId,
+}
+
+impl Clone for Ctx {
+    fn clone(&self) -> Self {
+        Ctx {
+            inner: Arc::clone(&self.inner),
+            node: self.node,
+            task: self.task,
+        }
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(inner: Arc<SimInner>, node: usize, task: TaskId) -> Self {
+        Ctx { inner, node, task }
+    }
+
+    /// This task's node index.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Total number of nodes in the machine.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.inner.num_nodes
+    }
+
+    /// This task's id.
+    #[inline]
+    pub fn task_id(&self) -> TaskId {
+        self.task
+    }
+
+    /// The active cost model.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Current virtual time on this node.
+    pub fn now(&self) -> Time {
+        self.inner.kernel.lock().nodes[self.node].clock
+    }
+
+    /// Advance this node's clock by `ns`, attributing the time to `bucket`.
+    pub fn charge(&self, bucket: Bucket, ns: Time) {
+        if ns == 0 {
+            return;
+        }
+        let mut k = self.inner.kernel.lock();
+        let n = &mut k.nodes[self.node];
+        n.clock += ns;
+        n.stats.bucket_ns[bucket.index()] += ns;
+    }
+
+    /// Mutate this node's instrumentation counters.
+    pub fn with_stats<R>(&self, f: impl FnOnce(&mut Stats) -> R) -> R {
+        let mut k = self.inner.kernel.lock();
+        f(&mut k.nodes[self.node].stats)
+    }
+
+    /// Spawn a new task on this node. Pure scheduling: the *cost* of thread
+    /// creation is charged by the threads package, not here.
+    pub fn spawn<F>(&self, name: &str, f: F) -> TaskId
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_task(&self.inner, self.node, name.to_string(), f)
+    }
+
+    /// Spawn a task on an arbitrary node (used by runtime bootstrap, e.g.
+    /// starting remote polling threads; ordinary code spawns locally).
+    pub fn spawn_on<F>(&self, node: usize, name: &str, f: F) -> TaskId
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_task(&self.inner, node, name.to_string(), f)
+    }
+
+    /// Reschedule this task behind any other runnable work, giving the engine
+    /// a chance to apply due network events and run other tasks. Free of
+    /// modeled cost (the threads package charges context switches).
+    ///
+    /// Includes a fast path: if no event and no other task could possibly run
+    /// before this node's clock, the handoff is skipped entirely.
+    pub fn yield_now(&self) {
+        let cell = {
+            let mut k = self.inner.kernel.lock();
+            let my_clock = k.nodes[self.node].clock;
+            let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
+            let local_ready = !k.nodes[self.node].ready.is_empty();
+            let earlier_node = k
+                .nodes
+                .iter()
+                .enumerate()
+                .any(|(i, n)| i != self.node && !n.ready.is_empty() && n.clock < my_clock);
+            if !event_due && !local_ready && !earlier_node {
+                return;
+            }
+            let rec = &mut k.tasks[self.task.idx()];
+            rec.state = TaskState::Runnable;
+            let cell = Arc::clone(&rec.cell);
+            k.nodes[self.node].ready.push_back(self.task);
+            cell
+        };
+        cell.yield_to_engine();
+    }
+
+    /// Park this task until [`Ctx::unpark`] (or a timer) wakes it.
+    pub fn park(&self) {
+        let cell = {
+            let mut k = self.inner.kernel.lock();
+            let rec = &mut k.tasks[self.task.idx()];
+            rec.state = TaskState::Parked;
+            Arc::clone(&rec.cell)
+        };
+        cell.yield_to_engine();
+    }
+
+    /// Make a parked task runnable again. Must target a task on the *same
+    /// node* (threads and their synchronization live within one address
+    /// space; cross-node wake-ups travel as messages).
+    pub fn unpark(&self, t: TaskId) {
+        let mut k = self.inner.kernel.lock();
+        let rec = &k.tasks[t.idx()];
+        assert_eq!(
+            rec.node, self.node,
+            "unpark across nodes (task on node {}, caller on node {})",
+            rec.node, self.node
+        );
+        match rec.state {
+            TaskState::Parked | TaskState::InboxWait => k.make_runnable(t),
+            // Spurious unpark of an already-runnable/running/finished task is
+            // a no-op (condvar semantics allow it).
+            _ => {}
+        }
+    }
+
+    /// Park until a message is delivered to this node's inbox. Returns
+    /// immediately if the inbox is already non-empty. This is the primitive
+    /// beneath both Split-C's spin-polling (which costs nothing in thread
+    /// operations) and the CC++ polling thread.
+    pub fn park_for_inbox(&self) {
+        let cell = {
+            let mut k = self.inner.kernel.lock();
+            if !k.nodes[self.node].inbox.is_empty() {
+                return;
+            }
+            let rec = &mut k.tasks[self.task.idx()];
+            rec.state = TaskState::InboxWait;
+            let cell = Arc::clone(&rec.cell);
+            k.nodes[self.node].inbox_waiters.push(self.task);
+            cell
+        };
+        cell.yield_to_engine();
+    }
+
+    /// A *poll point*: make all network events due at or before this node's
+    /// clock visible, without otherwise rescheduling. Call before draining
+    /// the inbox.
+    ///
+    /// Unlike [`Ctx::yield_now`], a poll point does **not** queue behind
+    /// other ready tasks on this node — polling the network is not a thread
+    /// switch in a non-preemptive system. The task hands control to the
+    /// engine only when a due event exists or another node lags behind this
+    /// node's clock (and could still produce one), and resumes at the front
+    /// of its node's run queue.
+    pub fn poll_point(&self) {
+        let cell = {
+            let mut k = self.inner.kernel.lock();
+            let my_clock = k.nodes[self.node].clock;
+            let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
+            let earlier_node = k
+                .nodes
+                .iter()
+                .enumerate()
+                .any(|(i, n)| i != self.node && !n.ready.is_empty() && n.clock < my_clock);
+            if !event_due && !earlier_node {
+                return;
+            }
+            let rec = &mut k.tasks[self.task.idx()];
+            rec.state = TaskState::Runnable;
+            let cell = Arc::clone(&rec.cell);
+            k.nodes[self.node].ready.push_front(self.task);
+            cell
+        };
+        cell.yield_to_engine();
+    }
+
+    /// Take the oldest delivered message, if any.
+    pub fn try_recv(&self) -> Option<Msg> {
+        self.inner.kernel.lock().nodes[self.node].inbox.pop_front()
+    }
+
+    /// Number of delivered, unconsumed messages.
+    pub fn inbox_len(&self) -> usize {
+        self.inner.kernel.lock().nodes[self.node].inbox.len()
+    }
+
+    /// Send `payload` to node `dst`; it is delivered `delay` ns after this
+    /// node's current clock. The messaging layer charges its own send
+    /// overhead separately; `delay` models wire/switch time and must be > 0.
+    pub fn send_msg(
+        &self,
+        dst: usize,
+        wire_bytes: usize,
+        delay: Time,
+        payload: Box<dyn Any + Send>,
+    ) {
+        let mut k = self.inner.kernel.lock();
+        k.post_deliver(
+            dst,
+            Msg {
+                src: self.node,
+                wire_bytes,
+                payload,
+            },
+            delay,
+        );
+    }
+
+    /// Park for `ns` of virtual time (a timer; models e.g. interrupt
+    /// delivery delay in the ablation experiments).
+    pub fn sleep(&self, ns: Time) {
+        let cell = {
+            let mut k = self.inner.kernel.lock();
+            let at = k.nodes[self.node].clock + ns;
+            k.post_wake(self.task, at);
+            let rec = &mut k.tasks[self.task.idx()];
+            rec.state = TaskState::Parked;
+            Arc::clone(&rec.cell)
+        };
+        cell.yield_to_engine();
+    }
+
+    /// Block until task `t` finishes. No modeled cost (the threads package
+    /// wraps this with its accounting).
+    pub fn join(&self, t: TaskId) {
+        let cell = {
+            let mut k = self.inner.kernel.lock();
+            if k.tasks[t.idx()].state == TaskState::Finished {
+                return;
+            }
+            k.tasks[t.idx()].joiners.push(self.task);
+            let rec = &mut k.tasks[self.task.idx()];
+            rec.state = TaskState::Parked;
+            Arc::clone(&rec.cell)
+        };
+        cell.yield_to_engine();
+    }
+
+    /// Whether task `t` has finished.
+    pub fn is_finished(&self, t: TaskId) -> bool {
+        self.inner.kernel.lock().tasks[t.idx()].state == TaskState::Finished
+    }
+
+    /// Fetch (or lazily create) this node's singleton of type `T`. The
+    /// runtime crates keep their per-node state (handler tables, memories,
+    /// stub caches) here. `init` runs under the kernel lock and must not call
+    /// back into the simulator.
+    pub fn node_data<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        self.node_data_on(self.node, init)
+    }
+
+    /// [`Ctx::node_data`] for an arbitrary node (bootstrap helper).
+    pub fn node_data_on<T, F>(&self, node: usize, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut k = self.inner.kernel.lock();
+        let slot = k.nodes[node]
+            .data
+            .entry(std::any::TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        Arc::downcast::<T>(Arc::clone(slot)).expect("node_data type confusion")
+    }
+
+    /// Capture all node clocks/stats (quiesce with a barrier first).
+    pub fn snapshot(&self) -> Snapshot {
+        crate::engine::snapshot(&self.inner)
+    }
+
+    /// Debug print with node/time prefix when tracing is enabled.
+    pub fn trace(&self, msg: &str) {
+        let k = self.inner.kernel.lock();
+        if k.trace {
+            eprintln!("[sim] t={} node {} {:?}: {}", k.nodes[self.node].clock, self.node, self.task, msg);
+        }
+    }
+}

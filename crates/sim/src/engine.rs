@@ -1,0 +1,216 @@
+//! The simulator front door ([`Sim`]) and the engine scheduling loop.
+//!
+//! Scheduling invariant: the engine always advances the node with the
+//! smallest virtual clock among nodes that have runnable work, and applies
+//! every pending network event whose timestamp is `<=` that clock first.
+//! Together with the rule that tasks yield to the engine before observing
+//! their inbox (see `Ctx::poll_point`), this makes message visibility at poll
+//! points exact and the whole simulation a deterministic function of its
+//! inputs.
+
+use crate::cost::CostModel;
+use crate::ctx::Ctx;
+use crate::kernel::{Kernel, TaskState};
+use crate::report::{Report, Snapshot};
+use crate::task::{HandoffCell, TaskId, TaskPool};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+pub(crate) struct SimInner {
+    pub(crate) kernel: Mutex<Kernel>,
+    pub(crate) pool: Arc<TaskPool>,
+    pub(crate) cost: CostModel,
+    pub(crate) num_nodes: usize,
+}
+
+/// Builder for a simulated multicomputer run.
+///
+/// ```
+/// use mpmd_sim::{Sim, Bucket};
+///
+/// let report = Sim::new(4).run(|ctx| {
+///     // one "main" task per node
+///     ctx.charge(Bucket::Cpu, 1_000 * (ctx.node() as u64 + 1));
+/// });
+/// assert_eq!(report.elapsed(), 4_000);
+/// ```
+pub struct Sim {
+    nodes: usize,
+    cost: CostModel,
+    trace: bool,
+}
+
+impl Sim {
+    /// A simulation with `nodes` processing nodes and the default (paper
+    /// calibration) cost model.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Sim {
+            nodes,
+            cost: CostModel::default(),
+            trace: false,
+        }
+    }
+
+    /// Override the cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Emit a line per scheduling event to stderr (debugging aid).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Run `main` once per node (as each node's initial task) to completion
+    /// of *all* tasks, and return the measurements.
+    ///
+    /// SPMD programs use the same body everywhere; MPMD programs dispatch on
+    /// `ctx.node()` to run different programs on different nodes — exactly
+    /// the processor-object model of CC++.
+    ///
+    /// # Panics
+    ///
+    /// Propagates any panic raised inside a task, and panics with a state
+    /// dump if the system deadlocks (live tasks but no runnable work and no
+    /// pending events).
+    pub fn run<F>(self, main: F) -> Report
+    where
+        F: Fn(Ctx) + Send + Sync + 'static,
+    {
+        let inner = Arc::new(SimInner {
+            kernel: Mutex::new(Kernel::new(self.nodes, self.trace)),
+            pool: TaskPool::new(),
+            cost: self.cost,
+            num_nodes: self.nodes,
+        });
+        let main = Arc::new(main);
+        for node in 0..self.nodes {
+            let f = Arc::clone(&main);
+            spawn_task(&inner, node, "main".to_string(), move |ctx| f(ctx));
+        }
+        run_engine(&inner);
+        let k = inner.kernel.lock();
+        Report {
+            clocks: k.nodes.iter().map(|n| n.clock).collect(),
+            stats: k.nodes.iter().map(|n| n.stats.clone()).collect(),
+        }
+    }
+}
+
+/// Register a task with the kernel and hand its body to the worker pool.
+/// Shared by the bootstrap path above and `Ctx::spawn`.
+pub(crate) fn spawn_task<F>(inner: &Arc<SimInner>, node: usize, name: String, f: F) -> TaskId
+where
+    F: FnOnce(Ctx) + Send + 'static,
+{
+    let cell = HandoffCell::new();
+    let id = inner.kernel.lock().register_task(node, name, Arc::clone(&cell));
+    let ctx = Ctx::new(Arc::clone(inner), node, id);
+    let inner2 = Arc::clone(inner);
+    let body = Box::new(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
+        let mut k = inner2.kernel.lock();
+        k.finish_task(id);
+        if let Err(p) = result {
+            if k.panic.is_none() {
+                k.panic = Some(p);
+            }
+        }
+    });
+    inner.pool.dispatch(crate::task::Job { cell, body });
+    id
+}
+
+enum Decision {
+    Run(TaskId, Arc<HandoffCell>),
+    Done,
+    Deadlock(String),
+}
+
+pub(crate) fn run_engine(inner: &Arc<SimInner>) {
+    loop {
+        let decision = {
+            let mut k = inner.kernel.lock();
+            decide(&mut k)
+        };
+        match decision {
+            Decision::Run(tid, cell) => {
+                cell.run_task();
+                // The task yielded, parked, or finished; check for captured
+                // panics before scheduling anything else.
+                let panic = {
+                    let mut k = inner.kernel.lock();
+                    let p = k.panic.take();
+                    if p.is_none() && k.tasks[tid.idx()].state == TaskState::Running {
+                        // The body returned without going through finish_task
+                        // (only possible if the finish bookkeeping itself
+                        // failed) — treat as fatal.
+                        panic!("task {tid:?} ended abnormally");
+                    }
+                    p
+                };
+                if let Some(p) = panic {
+                    std::panic::resume_unwind(p);
+                }
+            }
+            Decision::Done => return,
+            Decision::Deadlock(dump) => {
+                panic!("simulated system deadlocked:\n{dump}");
+            }
+        }
+    }
+}
+
+/// Core scheduling choice: apply due events, then pick the min-clock runnable
+/// node's front task.
+fn decide(k: &mut Kernel) -> Decision {
+    loop {
+        let cand = k
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.ready.is_empty())
+            .min_by_key(|(i, n)| (n.clock, *i))
+            .map(|(i, n)| (i, n.clock));
+        let due = match (cand, k.events.peek()) {
+            (Some((_, c)), Some(e)) => e.time <= c,
+            (None, Some(_)) => true,
+            (_, None) => false,
+        };
+        if due {
+            let e = k.events.pop().expect("peeked event vanished");
+            k.apply_event(e);
+            continue;
+        }
+        match cand {
+            Some((node, _)) => {
+                let tid = k.nodes[node].ready.pop_front().expect("ready queue emptied");
+                debug_assert_eq!(k.tasks[tid.idx()].state, TaskState::Runnable);
+                k.tasks[tid.idx()].state = TaskState::Running;
+                let cell = Arc::clone(&k.tasks[tid.idx()].cell);
+                return Decision::Run(tid, cell);
+            }
+            None => {
+                return if k.live == 0 {
+                    Decision::Done
+                } else {
+                    Decision::Deadlock(k.dump_live())
+                };
+            }
+        }
+    }
+}
+
+/// Capture a [`Snapshot`] of all node clocks/stats. Exposed through
+/// [`Ctx::snapshot`]; callers should quiesce (e.g. barrier) first so the
+/// snapshot is meaningful.
+pub(crate) fn snapshot(inner: &SimInner) -> Snapshot {
+    let k = inner.kernel.lock();
+    Snapshot {
+        clocks: k.nodes.iter().map(|n| n.clock).collect(),
+        stats: k.nodes.iter().map(|n| n.stats.clone()).collect(),
+    }
+}

@@ -1,0 +1,103 @@
+//! Network messages and the engine's event queue.
+
+use crate::task::TaskId;
+use crate::time::Time;
+use std::any::Any;
+use std::cmp::Ordering;
+
+/// An in-flight or delivered message.
+///
+/// The simulator core is payload-agnostic: the messaging layer (`mpmd-am`)
+/// defines the payload types and downcasts on receipt. `wire_bytes` is the
+/// modeled on-the-wire size, used for byte accounting and (by the AM layer)
+/// for per-byte transfer costs.
+pub struct Msg {
+    /// Sending node.
+    pub src: usize,
+    /// Modeled wire size in bytes.
+    pub wire_bytes: usize,
+    /// Opaque payload, downcast by the messaging layer.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Msg")
+            .field("src", &self.src)
+            .field("wire_bytes", &self.wire_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// A message arrives at a node's inbox.
+    Deliver { node: usize, msg: Msg },
+    /// A timer wakes a parked task (used by `Ctx::sleep` and the
+    /// interrupt-model ablation).
+    Wake { task: TaskId },
+}
+
+/// A timestamped event. Ordered as a *min*-heap key on `(time, seq)`; `seq`
+/// is a global issue counter that makes ordering total and deterministic.
+pub(crate) struct Event {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: Time, seq: u64) -> Event {
+        Event {
+            time,
+            seq,
+            kind: EventKind::Wake { task: TaskId(0) },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(30, 0));
+        h.push(ev(10, 1));
+        h.push(ev(20, 2));
+        assert_eq!(h.pop().unwrap().time, 10);
+        assert_eq!(h.pop().unwrap().time, 20);
+        assert_eq!(h.pop().unwrap().time, 30);
+    }
+
+    #[test]
+    fn ties_break_by_issue_order() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10, 5));
+        h.push(ev(10, 2));
+        h.push(ev(10, 9));
+        assert_eq!(h.pop().unwrap().seq, 2);
+        assert_eq!(h.pop().unwrap().seq, 5);
+        assert_eq!(h.pop().unwrap().seq, 9);
+    }
+}

@@ -1,0 +1,238 @@
+//! The simulation kernel: task table, per-node state, and event application.
+//!
+//! The kernel is a passive data structure guarded by one mutex. It is touched
+//! by exactly one logical thread of control at a time (the engine, or the one
+//! task currently holding the baton), so the lock is always uncontended; it
+//! exists to satisfy the borrow checker across OS-thread boundaries.
+
+use crate::event::{Event, EventKind, Msg};
+use crate::stats::Stats;
+use crate::task::{HandoffCell, TaskId};
+use crate::time::Time;
+use std::any::{Any, TypeId};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Scheduling state of a task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum TaskState {
+    /// In its node's ready queue.
+    Runnable,
+    /// Currently holding the baton.
+    Running,
+    /// Parked until an explicit unpark / wake event / join completion.
+    Parked,
+    /// Parked until a message is delivered to its node's inbox.
+    InboxWait,
+    /// Completed.
+    Finished,
+}
+
+pub(crate) struct TaskRec {
+    pub(crate) node: usize,
+    pub(crate) state: TaskState,
+    pub(crate) cell: Arc<HandoffCell>,
+    pub(crate) name: String,
+    /// Tasks parked in `join` on this task.
+    pub(crate) joiners: Vec<TaskId>,
+}
+
+pub(crate) struct NodeState {
+    /// This node's virtual clock.
+    pub(crate) clock: Time,
+    /// Tasks ready to run, in FIFO order.
+    pub(crate) ready: VecDeque<TaskId>,
+    /// Delivered but not yet polled messages.
+    pub(crate) inbox: VecDeque<Msg>,
+    /// Tasks parked waiting for the inbox to become non-empty. May contain
+    /// stale entries (tasks woken by other means); filtered by state on wake.
+    pub(crate) inbox_waiters: Vec<TaskId>,
+    /// Instrumentation.
+    pub(crate) stats: Stats,
+    /// Per-node typed singletons (runtime state for the layered crates).
+    pub(crate) data: HashMap<TypeId, Arc<dyn Any + Send + Sync>>,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            clock: 0,
+            ready: VecDeque::new(),
+            inbox: VecDeque::new(),
+            inbox_waiters: Vec::new(),
+            stats: Stats::default(),
+            data: HashMap::new(),
+        }
+    }
+}
+
+pub(crate) struct Kernel {
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) tasks: Vec<TaskRec>,
+    pub(crate) events: BinaryHeap<Event>,
+    pub(crate) seq: u64,
+    /// Unfinished task count.
+    pub(crate) live: usize,
+    /// Captured panic payload from a task body, re-raised by the engine.
+    pub(crate) panic: Option<Box<dyn Any + Send>>,
+    pub(crate) trace: bool,
+}
+
+impl Kernel {
+    pub(crate) fn new(nodes: usize, trace: bool) -> Self {
+        Kernel {
+            nodes: (0..nodes).map(|_| NodeState::new()).collect(),
+            tasks: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            live: 0,
+            panic: None,
+            trace,
+        }
+    }
+
+    /// Register a new task record in `Runnable` state and enqueue it.
+    pub(crate) fn register_task(
+        &mut self,
+        node: usize,
+        name: String,
+        cell: Arc<HandoffCell>,
+    ) -> TaskId {
+        assert!(node < self.nodes.len(), "spawn on nonexistent node {node}");
+        let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
+        self.tasks.push(TaskRec {
+            node,
+            state: TaskState::Runnable,
+            cell,
+            name,
+            joiners: Vec::new(),
+        });
+        self.live += 1;
+        self.nodes[node].ready.push_back(id);
+        if self.trace {
+            eprintln!("[sim] t={} spawn {:?} on node {}", self.nodes[node].clock, id, node);
+        }
+        id
+    }
+
+    /// Schedule a message delivery `delay` ns after the sending node's
+    /// current clock.
+    pub(crate) fn post_deliver(&mut self, dst: usize, msg: Msg, delay: Time) {
+        assert!(delay > 0, "message delay must be positive (causality)");
+        assert!(dst < self.nodes.len(), "send to nonexistent node {dst}");
+        let src = msg.src;
+        let at = self.nodes[src].clock + delay;
+        self.nodes[src].stats.msgs_sent += 1;
+        self.nodes[src].stats.bytes_sent += msg.wire_bytes as u64;
+        self.nodes[src].stats.msg_size_hist[crate::stats::size_bucket(msg.wire_bytes)] += 1;
+        let seq = self.next_seq();
+        if self.trace {
+            eprintln!("[sim] t={} node {} -> node {} ({} B) arrives t={}",
+                self.nodes[src].clock, src, dst, msg.wire_bytes, at);
+        }
+        self.events.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::Deliver { node: dst, msg },
+        });
+    }
+
+    /// Schedule a wake event for `task` at absolute time `at`.
+    pub(crate) fn post_wake(&mut self, task: TaskId, at: Time) {
+        let seq = self.next_seq();
+        self.events.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::Wake { task },
+        });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Apply one event. Only called by the engine when every node with ready
+    /// work has `clock >= event.time`, which keeps clock bumps causal.
+    pub(crate) fn apply_event(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Deliver { node, msg } => {
+                if self.trace {
+                    eprintln!("[sim] t={} deliver to node {}", ev.time, node);
+                }
+                let n = &mut self.nodes[node];
+                n.stats.msgs_received += 1;
+                n.inbox.push_back(msg);
+                n.clock = n.clock.max(ev.time);
+                let waiters = std::mem::take(&mut n.inbox_waiters);
+                for t in waiters {
+                    if self.tasks[t.idx()].state == TaskState::InboxWait {
+                        self.make_runnable(t);
+                    }
+                }
+            }
+            EventKind::Wake { task } => {
+                if self.tasks[task.idx()].state == TaskState::Parked {
+                    let node = self.tasks[task.idx()].node;
+                    self.nodes[node].clock = self.nodes[node].clock.max(ev.time);
+                    self.make_runnable(task);
+                }
+            }
+        }
+    }
+
+    /// Move a parked/inbox-waiting task to its node's ready queue.
+    pub(crate) fn make_runnable(&mut self, t: TaskId) {
+        let rec = &mut self.tasks[t.idx()];
+        debug_assert!(
+            matches!(rec.state, TaskState::Parked | TaskState::InboxWait),
+            "make_runnable on task in state {:?}",
+            rec.state
+        );
+        rec.state = TaskState::Runnable;
+        let node = rec.node;
+        self.nodes[node].ready.push_back(t);
+    }
+
+    /// Mark a task finished: wake joiners and drop it from the live count.
+    /// Joiners on other nodes have their clocks advanced to the finisher's
+    /// clock (cross-node joins model a zero-cost completion notification and
+    /// are only used by test scaffolding; real runtimes use messages).
+    pub(crate) fn finish_task(&mut self, t: TaskId) {
+        let finish_clock = self.nodes[self.tasks[t.idx()].node].clock;
+        let rec = &mut self.tasks[t.idx()];
+        debug_assert_ne!(rec.state, TaskState::Finished, "double finish");
+        rec.state = TaskState::Finished;
+        let joiners = std::mem::take(&mut rec.joiners);
+        self.live -= 1;
+        for j in joiners {
+            if self.tasks[j.idx()].state == TaskState::Parked {
+                let jn = self.tasks[j.idx()].node;
+                self.nodes[jn].clock = self.nodes[jn].clock.max(finish_clock);
+                self.make_runnable(j);
+            }
+        }
+    }
+
+    /// Human-readable dump of unfinished tasks, for deadlock diagnostics.
+    pub(crate) fn dump_live(&self) -> String {
+        let mut s = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "node {i}: clock={}ns inbox={} ready={}\n",
+                n.clock,
+                n.inbox.len(),
+                n.ready.len()
+            ));
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.state != TaskState::Finished {
+                s.push_str(&format!(
+                    "  task {} '{}' on node {}: {:?}\n",
+                    i, t.name, t.node, t.state
+                ));
+            }
+        }
+        s
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-node cost accounting.
+//!
+//! The paper instruments the AM layer and the threads package "to account for
+//! the number, types, and sizes of message transfers as well as the number of
+//! threads, context switches, and synchronization operations", and reports all
+//! application results broken into five components: **cpu**, **net**,
+//! **thread mgmt**, **thread sync** and **(CC++) runtime**. [`Stats`] is that
+//! instrumentation block; every node carries one.
+
+use crate::time::Time;
+
+/// The five cost components of the paper's breakdown figures (Figures 5 & 6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Application computation (FP kernels, local data structure work).
+    Cpu,
+    /// Messaging-layer CPU occupancy (send/receive overheads). Wire latency is
+    /// *not* charged anywhere: it shows up as idle virtual time and is
+    /// recovered as the residual `total - sum(charged buckets)`, matching the
+    /// paper's `Total = AM + Threads + Runtime` accounting.
+    Net,
+    /// Thread creation and context switches.
+    ThreadMgmt,
+    /// Locks, unlocks, condition-variable signals and waits.
+    ThreadSync,
+    /// Language-runtime overhead: marshalling, method-name lookup, buffer
+    /// management, global-pointer bookkeeping.
+    Runtime,
+}
+
+/// Number of [`Bucket`] variants.
+pub const NUM_BUCKETS: usize = 5;
+
+impl Bucket {
+    /// Index into a `[u64; NUM_BUCKETS]` accumulator array.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Bucket::Cpu => 0,
+            Bucket::Net => 1,
+            Bucket::ThreadMgmt => 2,
+            Bucket::ThreadSync => 3,
+            Bucket::Runtime => 4,
+        }
+    }
+
+    /// All buckets, in display order.
+    pub const ALL: [Bucket; NUM_BUCKETS] = [
+        Bucket::Cpu,
+        Bucket::Net,
+        Bucket::ThreadMgmt,
+        Bucket::ThreadSync,
+        Bucket::Runtime,
+    ];
+
+    /// Human-readable label used by the reporting binaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Cpu => "cpu",
+            Bucket::Net => "net",
+            Bucket::ThreadMgmt => "thread mgmt",
+            Bucket::ThreadSync => "thread sync",
+            Bucket::Runtime => "runtime",
+        }
+    }
+}
+
+/// Instrumentation counters for one node.
+///
+/// Time totals are virtual nanoseconds; event counters are raw counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Charged virtual time per [`Bucket`], indexed by [`Bucket::index`].
+    pub bucket_ns: [Time; NUM_BUCKETS],
+    /// Threads created (the paper's `Create` column).
+    pub thread_creates: u64,
+    /// Context switches / yields (the paper's `Yield` column).
+    pub context_switches: u64,
+    /// Lock, unlock, signal and wait calls (the paper's `Sync` column).
+    pub sync_ops: u64,
+    /// Lock acquisitions (subset of `sync_ops`; used for the paper's
+    /// "95% of lock acquisitions are contention-less" claim).
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that found the lock held.
+    pub lock_contended: u64,
+    /// Messages sent from this node.
+    pub msgs_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Payload bytes sent from this node.
+    pub bytes_sent: u64,
+    /// Short (4-word) active messages sent.
+    pub short_msgs: u64,
+    /// Bulk-transfer active messages sent.
+    pub bulk_msgs: u64,
+    /// Poll operations executed.
+    pub polls: u64,
+    /// Message handlers executed on this node.
+    pub handlers_run: u64,
+    /// Histogram of sent wire sizes; bucket `i` counts messages of size
+    /// `<= 64 * 4^i` bytes (64 B, 256 B, 1 KiB, 4 KiB, 16 KiB, 64 KiB,
+    /// 256 KiB, larger). The paper's instrumentation records "the number,
+    /// types, and sizes of message transfers".
+    pub msg_size_hist: [u64; 8],
+}
+
+/// Histogram bucket index for a wire size.
+pub fn size_bucket(bytes: usize) -> usize {
+    let mut limit = 64usize;
+    for i in 0..7 {
+        if bytes <= limit {
+            return i;
+        }
+        limit *= 4;
+    }
+    7
+}
+
+/// Upper bound (bytes) of histogram bucket `i` (`None` for the last).
+pub fn size_bucket_limit(i: usize) -> Option<usize> {
+    if i >= 7 {
+        None
+    } else {
+        Some(64 * 4usize.pow(i as u32))
+    }
+}
+
+impl Stats {
+    /// Charged time for one bucket.
+    #[inline]
+    pub fn bucket(&self, b: Bucket) -> Time {
+        self.bucket_ns[b.index()]
+    }
+
+    /// Sum of all charged time.
+    #[inline]
+    pub fn charged_total(&self) -> Time {
+        self.bucket_ns.iter().sum()
+    }
+
+    /// Accumulate another stats block into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        for i in 0..NUM_BUCKETS {
+            self.bucket_ns[i] += other.bucket_ns[i];
+        }
+        self.thread_creates += other.thread_creates;
+        self.context_switches += other.context_switches;
+        self.sync_ops += other.sync_ops;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.lock_contended += other.lock_contended;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_received += other.msgs_received;
+        self.bytes_sent += other.bytes_sent;
+        self.short_msgs += other.short_msgs;
+        self.bulk_msgs += other.bulk_msgs;
+        self.polls += other.polls;
+        self.handlers_run += other.handlers_run;
+        for i in 0..8 {
+            self.msg_size_hist[i] += other.msg_size_hist[i];
+        }
+    }
+
+    /// Element-wise difference `self - earlier` (panics on counter regression,
+    /// which would indicate a bookkeeping bug).
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        fn sub(a: u64, b: u64) -> u64 {
+            a.checked_sub(b).expect("stats counter went backwards")
+        }
+        let mut bucket_ns = [0; NUM_BUCKETS];
+        for i in 0..NUM_BUCKETS {
+            bucket_ns[i] = sub(self.bucket_ns[i], earlier.bucket_ns[i]);
+        }
+        Stats {
+            bucket_ns,
+            thread_creates: sub(self.thread_creates, earlier.thread_creates),
+            context_switches: sub(self.context_switches, earlier.context_switches),
+            sync_ops: sub(self.sync_ops, earlier.sync_ops),
+            lock_acquisitions: sub(self.lock_acquisitions, earlier.lock_acquisitions),
+            lock_contended: sub(self.lock_contended, earlier.lock_contended),
+            msgs_sent: sub(self.msgs_sent, earlier.msgs_sent),
+            msgs_received: sub(self.msgs_received, earlier.msgs_received),
+            bytes_sent: sub(self.bytes_sent, earlier.bytes_sent),
+            short_msgs: sub(self.short_msgs, earlier.short_msgs),
+            bulk_msgs: sub(self.bulk_msgs, earlier.bulk_msgs),
+            polls: sub(self.polls, earlier.polls),
+            handlers_run: sub(self.handlers_run, earlier.handlers_run),
+            msg_size_hist: {
+                let mut h = [0u64; 8];
+                for i in 0..8 {
+                    h[i] = sub(self.msg_size_hist[i], earlier.msg_size_hist[i]);
+                }
+                h
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_dense_and_distinct() {
+        let mut seen = [false; NUM_BUCKETS];
+        for b in Bucket::ALL {
+            assert!(!seen[b.index()], "duplicate index for {b:?}");
+            seen[b.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats::default();
+        a.bucket_ns[Bucket::Cpu.index()] = 10;
+        a.msgs_sent = 3;
+        let mut b = Stats::default();
+        b.bucket_ns[Bucket::Cpu.index()] = 5;
+        b.bucket_ns[Bucket::Net.index()] = 7;
+        b.msgs_sent = 2;
+        a.merge(&b);
+        assert_eq!(a.bucket(Bucket::Cpu), 15);
+        assert_eq!(a.bucket(Bucket::Net), 7);
+        assert_eq!(a.msgs_sent, 5);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut early = Stats::default();
+        early.sync_ops = 4;
+        early.bucket_ns[Bucket::ThreadSync.index()] = 1_600;
+        let mut late = early.clone();
+        late.sync_ops = 14;
+        late.bucket_ns[Bucket::ThreadSync.index()] = 5_600;
+        let d = late.since(&early);
+        assert_eq!(d.sync_ops, 10);
+        assert_eq!(d.bucket(Bucket::ThreadSync), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter went backwards")]
+    fn since_panics_on_regression() {
+        let mut early = Stats::default();
+        early.sync_ops = 4;
+        let late = Stats::default();
+        let _ = late.since(&early);
+    }
+
+    #[test]
+    fn size_buckets_partition_sizes() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(64), 0);
+        assert_eq!(size_bucket(65), 1);
+        assert_eq!(size_bucket(256), 1);
+        assert_eq!(size_bucket(1024), 2);
+        assert_eq!(size_bucket(4096), 3);
+        assert_eq!(size_bucket(1 << 30), 7);
+        assert_eq!(size_bucket_limit(0), Some(64));
+        assert_eq!(size_bucket_limit(2), Some(1024));
+        assert_eq!(size_bucket_limit(7), None);
+    }
+
+    #[test]
+    fn charged_total_sums_buckets() {
+        let mut s = Stats::default();
+        for (i, b) in Bucket::ALL.iter().enumerate() {
+            s.bucket_ns[b.index()] = (i as u64 + 1) * 100;
+        }
+        assert_eq!(s.charged_total(), 100 + 200 + 300 + 400 + 500);
+    }
+}

@@ -1,0 +1,307 @@
+//! Green-thread execution machinery.
+//!
+//! Simulated tasks must be *stackful*: application code written against the
+//! runtimes blocks in the middle of ordinary Rust call stacks (a remote read
+//! deep inside an inner loop parks the task until the reply arrives). We get
+//! real stacks by running every task body on an OS thread, but we keep the
+//! simulation deterministic with a strict handoff protocol: at any instant
+//! exactly one of {engine, one task} is executing. The engine resumes a task
+//! via its [`HandoffCell`]; the task gives control back at every scheduling
+//! point. OS threads are pooled and reused across tasks, so spawning a
+//! simulated thread does not pay OS-thread creation after warm-up.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Identifier of a simulated task. Dense indices into the kernel task table;
+/// never reused within one simulation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whose turn it is to run on a given task's handoff cell.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Turn {
+    Engine,
+    Task,
+}
+
+/// One-at-a-time baton between the engine thread and a task's OS thread.
+pub(crate) struct HandoffCell {
+    turn: Mutex<Turn>,
+    cv: Condvar,
+}
+
+impl HandoffCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(HandoffCell {
+            turn: Mutex::new(Turn::Engine),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Engine side: hand the baton to the task and block until it comes back.
+    pub(crate) fn run_task(&self) {
+        let mut t = self.turn.lock();
+        debug_assert_eq!(*t, Turn::Engine, "engine resumed a running task");
+        *t = Turn::Task;
+        self.cv.notify_all();
+        while *t == Turn::Task {
+            self.cv.wait(&mut t);
+        }
+    }
+
+    /// Task side: wait for the engine to hand us the baton.
+    pub(crate) fn wait_for_turn(&self) {
+        let mut t = self.turn.lock();
+        while *t == Turn::Engine {
+            self.cv.wait(&mut t);
+        }
+    }
+
+    /// Task side: give the baton back and block until resumed again.
+    pub(crate) fn yield_to_engine(&self) {
+        let mut t = self.turn.lock();
+        debug_assert_eq!(*t, Turn::Task);
+        *t = Turn::Engine;
+        self.cv.notify_all();
+        while *t == Turn::Engine {
+            self.cv.wait(&mut t);
+        }
+    }
+
+    /// Task side, final transition: give the baton back without waiting. The
+    /// cell is never used again after this.
+    pub(crate) fn release_to_engine(&self) {
+        let mut t = self.turn.lock();
+        *t = Turn::Engine;
+        self.cv.notify_all();
+    }
+}
+
+/// A unit of work shipped to a pool worker: the task's handoff cell plus its
+/// body. The body performs all kernel bookkeeping itself (including marking
+/// the task finished); the worker only drives the handoff protocol.
+pub(crate) struct Job {
+    pub(crate) cell: Arc<HandoffCell>,
+    pub(crate) body: Box<dyn FnOnce() + Send>,
+}
+
+enum WorkerCmd {
+    Run(Job),
+    Shutdown,
+}
+
+struct WorkerSlot {
+    cmd: Mutex<Option<WorkerCmd>>,
+    cv: Condvar,
+    /// True from dispatch until the hosted task body has fully completed.
+    busy: AtomicBool,
+}
+
+struct Worker {
+    slot: Arc<WorkerSlot>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// Pool of reusable OS threads that host task bodies.
+pub(crate) struct TaskPool {
+    workers: Mutex<Vec<Worker>>,
+}
+
+impl TaskPool {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TaskPool {
+            workers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Hand a job to an idle worker, or spawn a new worker. Returns
+    /// immediately; the task does not run until the engine hands it the baton
+    /// via `job.cell`.
+    pub(crate) fn dispatch(&self, job: Job) {
+        let workers = self.workers.lock();
+        for w in workers.iter() {
+            if !w.slot.busy.load(Ordering::Acquire) {
+                // A non-busy worker is parked waiting for a command (or about
+                // to be); its cmd slot is empty.
+                w.slot.busy.store(true, Ordering::Release);
+                let mut cmd = w.slot.cmd.lock();
+                debug_assert!(cmd.is_none(), "idle worker had a pending command");
+                *cmd = Some(WorkerCmd::Run(job));
+                w.slot.cv.notify_all();
+                return;
+            }
+        }
+        drop(workers);
+        let slot = Arc::new(WorkerSlot {
+            cmd: Mutex::new(Some(WorkerCmd::Run(job))),
+            cv: Condvar::new(),
+            busy: AtomicBool::new(true),
+        });
+        let slot2 = Arc::clone(&slot);
+        let handle = thread::Builder::new()
+            .name("mpmd-sim-worker".into())
+            .spawn(move || worker_loop(slot2))
+            .expect("failed to spawn simulator worker thread");
+        self.workers.lock().push(Worker {
+            slot,
+            handle: Some(handle),
+        });
+    }
+
+    #[cfg(test)]
+    fn worker_count(&self) -> usize {
+        self.workers.lock().len()
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        let mut workers = std::mem::take(&mut *self.workers.lock());
+        // Queue a shutdown for every worker whose command slot is free. A
+        // worker still hosting a live parked task (possible only if the
+        // simulation aborted by panic) keeps its Run job in flight and is
+        // detached below rather than joined.
+        for w in &workers {
+            let mut cmd = w.slot.cmd.lock();
+            if cmd.is_none() {
+                *cmd = Some(WorkerCmd::Shutdown);
+                w.slot.cv.notify_all();
+            }
+        }
+        for w in &mut workers {
+            if !w.slot.busy.load(Ordering::Acquire) {
+                if let Some(h) = w.handle.take() {
+                    let _ = h.join();
+                }
+            }
+            // Busy (or just-finishing) workers: detach. A just-finishing
+            // worker will observe the queued Shutdown and exit cleanly.
+        }
+    }
+}
+
+fn worker_loop(slot: Arc<WorkerSlot>) {
+    loop {
+        let cmd = {
+            let mut guard = slot.cmd.lock();
+            loop {
+                if let Some(c) = guard.take() {
+                    break c;
+                }
+                slot.cv.wait(&mut guard);
+            }
+        };
+        match cmd {
+            WorkerCmd::Shutdown => return,
+            WorkerCmd::Run(job) => {
+                job.cell.wait_for_turn();
+                // The body is responsible for all kernel bookkeeping,
+                // including panic capture; `catch_unwind` here is a backstop
+                // so a worker never dies and strands the engine.
+                let _ = catch_unwind(AssertUnwindSafe(job.body));
+                job.cell.release_to_engine();
+                slot.busy.store(false, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn handoff_round_trip() {
+        let cell = HandoffCell::new();
+        let c2 = Arc::clone(&cell);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h2 = Arc::clone(&hits);
+        let t = thread::spawn(move || {
+            c2.wait_for_turn();
+            h2.fetch_add(1, Ordering::SeqCst);
+            c2.yield_to_engine();
+            h2.fetch_add(1, Ordering::SeqCst);
+            c2.release_to_engine();
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        cell.run_task();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        cell.run_task();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn pool_reuses_workers_for_sequential_jobs() {
+        let pool = TaskPool::new();
+        for _ in 0..16 {
+            let cell = HandoffCell::new();
+            pool.dispatch(Job {
+                cell: Arc::clone(&cell),
+                body: Box::new(|| {}),
+            });
+            cell.run_task();
+            // Give the worker a moment to mark itself idle so the next
+            // dispatch can reuse it.
+            for _ in 0..1000 {
+                if pool
+                    .workers
+                    .lock()
+                    .iter()
+                    .any(|w| !w.slot.busy.load(Ordering::Acquire))
+                {
+                    break;
+                }
+                thread::sleep(Duration::from_micros(50));
+            }
+        }
+        assert!(
+            pool.worker_count() <= 2,
+            "expected worker reuse, got {} workers",
+            pool.worker_count()
+        );
+    }
+
+    #[test]
+    fn pool_handles_concurrent_jobs() {
+        let pool = TaskPool::new();
+        let mut cells = Vec::new();
+        for _ in 0..8 {
+            let cell = HandoffCell::new();
+            pool.dispatch(Job {
+                cell: Arc::clone(&cell),
+                body: Box::new(|| {}),
+            });
+            cells.push(cell);
+        }
+        for c in cells {
+            c.run_task();
+        }
+        assert_eq!(pool.worker_count(), 8);
+    }
+
+    #[test]
+    fn worker_panic_does_not_strand_engine() {
+        let pool = TaskPool::new();
+        let cell = HandoffCell::new();
+        pool.dispatch(Job {
+            cell: Arc::clone(&cell),
+            body: Box::new(|| panic!("task body panicked")),
+        });
+        // run_task must return even though the body panicked.
+        cell.run_task();
+    }
+}

@@ -1,0 +1,66 @@
+//! Virtual time.
+//!
+//! All simulated time is kept in integer **nanoseconds** so that the engine is
+//! exactly deterministic (no floating-point clock drift). The paper reports
+//! costs in microseconds; the [`us`] / [`to_us`] helpers convert at API
+//! boundaries.
+
+/// Virtual time or duration, in nanoseconds.
+pub type Time = u64;
+
+/// Convert microseconds (possibly fractional, e.g. the paper's `0.4 µs` lock
+/// cost) to virtual nanoseconds.
+#[inline]
+pub fn us(x: f64) -> Time {
+    debug_assert!(x >= 0.0, "negative duration");
+    (x * 1_000.0).round() as Time
+}
+
+/// Convert milliseconds to virtual nanoseconds.
+#[inline]
+pub fn ms(x: f64) -> Time {
+    us(x * 1_000.0)
+}
+
+/// Convert seconds to virtual nanoseconds.
+#[inline]
+pub fn secs(x: f64) -> Time {
+    us(x * 1_000_000.0)
+}
+
+/// Virtual nanoseconds as fractional microseconds (for reporting).
+#[inline]
+pub fn to_us(t: Time) -> f64 {
+    t as f64 / 1_000.0
+}
+
+/// Virtual nanoseconds as fractional seconds (for reporting).
+#[inline]
+pub fn to_secs(t: Time) -> f64 {
+    t as f64 / 1_000_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_us() {
+        assert_eq!(us(55.0), 55_000);
+        assert_eq!(us(0.4), 400);
+        assert_eq!(to_us(55_000), 55.0);
+    }
+
+    #[test]
+    fn ms_and_secs() {
+        assert_eq!(ms(1.4), 1_400_000);
+        assert_eq!(secs(0.81), 810_000_000);
+        assert!((to_secs(810_000_000) - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_us_rounds() {
+        assert_eq!(us(0.0286), 29);
+        assert_eq!(us(5.3), 5_300);
+    }
+}

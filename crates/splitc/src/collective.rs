@@ -1,0 +1,161 @@
+//! Collective operations: initialization, allocation, barrier, reductions,
+//! and `all_store_sync`.
+
+use crate::gptr::SpreadArray;
+use crate::handlers::{register_handlers, H_REDUCE, H_REDUCE_RELEASE};
+use crate::ops::register_builtin_atomics;
+use crate::state::ScState;
+use mpmd_am as am;
+use mpmd_sim::Ctx;
+use std::sync::atomic::Ordering;
+
+/// Reduction operators (encoded on the wire).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    SumU64 = 0,
+    SumF64 = 1,
+    MaxU64 = 2,
+}
+
+/// Initialize the Split-C runtime on this node: AM endpoint (Split-C
+/// profile), barrier and runtime handlers, built-in atomics. Collective —
+/// every node must call it before any communication; ends with a barrier.
+pub fn init(ctx: &Ctx) {
+    am::init(ctx, am::NetProfile::sp_am_splitc());
+    am::register_barrier_handlers(ctx);
+    register_handlers(ctx);
+    register_builtin_atomics(ctx);
+    am::barrier(ctx);
+}
+
+/// Global barrier.
+pub fn barrier(ctx: &Ctx) {
+    am::barrier(ctx);
+}
+
+/// Allocate a local region of `len` doubles initialized to `fill`, returning
+/// its id. Region ids are allocated from a per-node counter; SPMD programs
+/// allocate in lockstep so ids agree across nodes (asserted by
+/// [`all_spread_alloc`]).
+pub fn alloc_region(ctx: &Ctx, len: usize, fill: f64) -> u32 {
+    let st = ScState::get(ctx);
+    let id = st.next_region.fetch_add(1, Ordering::AcqRel) as u32;
+    let prev = st
+        .regions
+        .write()
+        .insert(id, std::sync::Arc::new(parking_lot::RwLock::new(vec![fill; len])));
+    assert!(prev.is_none(), "region id {id} reused");
+    id
+}
+
+/// Collectively allocate a spread array with `per_node` doubles on every
+/// node. Asserts that all nodes agreed on the region id.
+pub fn all_spread_alloc(ctx: &Ctx, per_node: usize, fill: f64) -> SpreadArray {
+    let id = alloc_region(ctx, per_node, fill);
+    let max = reduce(ctx, ReduceOp::MaxU64, id as u64);
+    assert_eq!(
+        max, id as u64,
+        "collective allocation out of lockstep (node {} got region {id}, max {max})",
+        ctx.node()
+    );
+    SpreadArray {
+        region: id,
+        per_node,
+        nodes: ctx.nodes(),
+    }
+}
+
+/// All-reduce: every node contributes `value` (raw bits for `SumF64`); all
+/// nodes receive the combined result. Centralized at node 0, like the
+/// barrier.
+pub fn reduce(ctx: &Ctx, op: ReduceOp, value: u64) -> u64 {
+    let st = ScState::get(ctx);
+    let gen = {
+        let mut red = st.reduce.lock();
+        red.my_gen += 1;
+        red.my_gen
+    };
+    if ctx.node() == 0 {
+        note_reduce_arrival(ctx, gen, value, op as u64);
+    } else {
+        am::request(ctx, 0, H_REDUCE, [gen, value, op as u64, 0], None);
+    }
+    let st2 = ScState::get(ctx);
+    am::wait_until(ctx, move || {
+        st2.reduce.lock().released.is_some_and(|(g, _)| g >= gen)
+    });
+    let red = st.reduce.lock();
+    let (g, v) = red.released.expect("reduction vanished");
+    assert_eq!(g, gen, "overlapping reductions");
+    v
+}
+
+/// Sum an `f64` across all nodes.
+pub fn reduce_sum_f64(ctx: &Ctx, value: f64) -> f64 {
+    f64::from_bits(reduce(ctx, ReduceOp::SumF64, value.to_bits()))
+}
+
+/// Sum a `u64` across all nodes.
+pub fn reduce_sum_u64(ctx: &Ctx, value: u64) -> u64 {
+    reduce(ctx, ReduceOp::SumU64, value)
+}
+
+/// Record one reduction arrival on node 0; release everyone when complete.
+/// Also invoked by the `H_REDUCE` handler.
+pub(crate) fn note_reduce_arrival(ctx: &Ctx, gen: u64, value: u64, op: u64) {
+    debug_assert_eq!(ctx.node(), 0);
+    let st = ScState::get(ctx);
+    let complete = {
+        let mut red = st.reduce.lock();
+        let entry = red.collect.entry(gen).or_insert_with(|| {
+            (
+                0,
+                match op {
+                    o if o == ReduceOp::SumF64 as u64 => 0f64.to_bits(),
+                    o if o == ReduceOp::MaxU64 as u64 => 0,
+                    _ => 0,
+                },
+            )
+        });
+        entry.0 += 1;
+        entry.1 = match op {
+            o if o == ReduceOp::SumU64 as u64 => entry.1.wrapping_add(value),
+            o if o == ReduceOp::SumF64 as u64 => {
+                (f64::from_bits(entry.1) + f64::from_bits(value)).to_bits()
+            }
+            o if o == ReduceOp::MaxU64 as u64 => entry.1.max(value),
+            _ => panic!("unknown reduction op {op}"),
+        };
+        if entry.0 == ctx.nodes() {
+            let total = entry.1;
+            red.collect.remove(&gen);
+            red.released = Some((gen, total));
+            Some(total)
+        } else {
+            None
+        }
+    };
+    if let Some(total) = complete {
+        for n in 1..ctx.nodes() {
+            am::request(ctx, n, H_REDUCE_RELEASE, [gen, total, 0, 0], None);
+        }
+    }
+}
+
+/// Wait until every one-way store issued by *any* node has been performed:
+/// repeatedly all-reduce (sent, received) totals until they agree. Subsumes a
+/// barrier.
+pub fn all_store_sync(ctx: &Ctx) {
+    let st = ScState::get(ctx);
+    loop {
+        let sent = reduce_sum_u64(ctx, st.stores_sent.load(Ordering::Acquire));
+        let recvd = reduce_sum_u64(ctx, st.stores_recvd.load(Ordering::Acquire));
+        if sent == recvd {
+            return;
+        }
+        // Not yet quiescent: in-flight stores will be delivered while the
+        // next round of reductions runs (each reduction is itself a global
+        // message exchange, so virtual time always advances).
+        am::poll(ctx);
+    }
+}

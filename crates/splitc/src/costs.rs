@@ -1,0 +1,86 @@
+//! Split-C runtime overhead calibration.
+//!
+//! Split-C's compiler performs "simple source-to-source transformations,
+//! converting the language extensions into runtime library calls"; the
+//! runtime overhead per call is small. Defaults are fitted to the Split-C
+//! columns of Table 4:
+//!
+//! | benchmark      | Total | AM | Runtime |
+//! |----------------|------:|---:|--------:|
+//! | 0-Word Atomic  |    56 | 53 |       3 |
+//! | GP 2-Word R/W  |    57 | 53 |       4 |
+//! | BulkWrite 40W  |    74 | 70 |       4 |
+//! | BulkRead 40W   |    75 | 70 |       5 |
+//! | Prefetch (20)  |  12.1 | 6.2|     5.9 |
+
+use mpmd_sim::{us, Time};
+
+/// Per-operation runtime charges (ns), all attributed to
+/// [`mpmd_sim::Bucket::Runtime`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScCosts {
+    /// Issuing a synchronous global-pointer read or write.
+    pub sync_access_issue: Time,
+    /// Completing a synchronous access (consuming the reply).
+    pub sync_access_complete: Time,
+    /// Issuing an atomic RPC.
+    pub atomic_issue: Time,
+    /// Completing an atomic RPC.
+    pub atomic_complete: Time,
+    /// Executing an atomic function at the remote end (table lookup).
+    pub atomic_dispatch: Time,
+    /// Issuing a split-phase get/put.
+    pub split_issue: Time,
+    /// Completion bookkeeping when a split-phase reply/ack arrives.
+    pub split_complete: Time,
+    /// One `sync()` call (on top of per-operation completions).
+    pub sync_call: Time,
+    /// Issuing a bulk read/write/store.
+    pub bulk_issue: Time,
+    /// Completing a bulk operation at the initiator.
+    pub bulk_complete: Time,
+    /// Servicing a remote access at the owner (read/write the location).
+    pub serve_access: Time,
+    /// Dereferencing a global pointer that happens to be local.
+    pub local_deref: Time,
+}
+
+impl Default for ScCosts {
+    fn default() -> Self {
+        ScCosts {
+            sync_access_issue: us(2.0),
+            sync_access_complete: us(2.0),
+            atomic_issue: us(1.5),
+            atomic_complete: us(1.5),
+            atomic_dispatch: us(0.5),
+            split_issue: us(3.0),
+            split_complete: us(2.7),
+            sync_call: us(1.0),
+            bulk_issue: us(2.0),
+            bulk_complete: us(2.0),
+            serve_access: us(0.5),
+            local_deref: us(0.05),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_runtime_columns() {
+        let c = ScCosts::default();
+        // GP R/W runtime = 4 µs.
+        assert_eq!(c.sync_access_issue + c.sync_access_complete, us(4.0));
+        // Atomic RPC runtime = 3 µs.
+        assert_eq!(c.atomic_issue + c.atomic_complete, us(3.0));
+        // Bulk write runtime = 4 µs.
+        assert_eq!(c.bulk_issue + c.bulk_complete, us(4.0));
+        // Prefetch per-element runtime ≈ 5.9 µs (issue + completion + the
+        // amortized sync() call: 3.0 + 2.7 + 1.0/20 ≈ 5.75).
+        let per_elt = c.split_issue + c.split_complete + c.sync_call / 20;
+        let got = mpmd_sim::to_us(per_elt);
+        assert!((got - 5.9).abs() < 0.3, "prefetch runtime/elt = {got}");
+    }
+}

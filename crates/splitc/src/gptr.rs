@@ -1,0 +1,151 @@
+//! Global pointers and spread arrays.
+//!
+//! "The structure of Split-C's global name space is made visible to the
+//! programmer in that a global pointer consists of a processing node number
+//! and a local address on that node. In particular, arithmetic on the node
+//! part of the global pointer is used to access static variables on
+//! arbitrary nodes and to spread arrays across all nodes."
+//!
+//! Our "local address" is a `(region, offset)` pair into the node's
+//! registered global-memory regions (all regions hold `f64`, the element
+//! type of every application in the paper).
+
+/// A Split-C global pointer: `(node, local address)`, where the local
+/// address is a registered region plus an element offset.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GlobalPtr {
+    /// Owning node.
+    pub node: usize,
+    /// Region id on the owning node.
+    pub region: u32,
+    /// Element offset within the region.
+    pub offset: usize,
+}
+
+impl GlobalPtr {
+    /// Pointer arithmetic on the *local* part.
+    #[inline]
+    pub fn add(self, elems: usize) -> GlobalPtr {
+        GlobalPtr {
+            offset: self.offset + elems,
+            ..self
+        }
+    }
+
+    /// Pointer arithmetic on the *node* part (Split-C's signature trick for
+    /// addressing a co-located datum on another node).
+    #[inline]
+    pub fn on_node(self, node: usize) -> GlobalPtr {
+        GlobalPtr { node, ..self }
+    }
+}
+
+/// A spread array: `n_per_node` elements on each of `nodes` nodes, registered
+/// under the *same* region id everywhere (allocation is collective and SPMD
+/// programs allocate in lockstep, so ids agree).
+#[derive(Copy, Clone, Debug)]
+pub struct SpreadArray {
+    pub region: u32,
+    pub per_node: usize,
+    pub nodes: usize,
+}
+
+impl SpreadArray {
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.per_node * self.nodes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global pointer to global element `i`, **block** distribution:
+    /// elements `[k*per_node, (k+1)*per_node)` live on node `k`.
+    pub fn gp_block(&self, i: usize) -> GlobalPtr {
+        assert!(i < self.len(), "index {i} out of bounds {}", self.len());
+        GlobalPtr {
+            node: i / self.per_node,
+            region: self.region,
+            offset: i % self.per_node,
+        }
+    }
+
+    /// Global pointer to global element `i`, **cyclic** distribution:
+    /// element `i` lives on node `i % nodes` at offset `i / nodes`.
+    pub fn gp_cyclic(&self, i: usize) -> GlobalPtr {
+        assert!(i < self.len(), "index {i} out of bounds {}", self.len());
+        GlobalPtr {
+            node: i % self.nodes,
+            region: self.region,
+            offset: i / self.nodes,
+        }
+    }
+
+    /// Pointer to the start of node `k`'s chunk.
+    pub fn node_chunk(&self, k: usize) -> GlobalPtr {
+        assert!(k < self.nodes);
+        GlobalPtr {
+            node: k,
+            region: self.region,
+            offset: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_arithmetic() {
+        let p = GlobalPtr {
+            node: 1,
+            region: 7,
+            offset: 3,
+        };
+        assert_eq!(p.add(5).offset, 8);
+        assert_eq!(p.add(5).node, 1);
+        assert_eq!(p.on_node(3).node, 3);
+        assert_eq!(p.on_node(3).offset, 3);
+    }
+
+    #[test]
+    fn block_distribution() {
+        let a = SpreadArray {
+            region: 1,
+            per_node: 10,
+            nodes: 4,
+        };
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.gp_block(0).node, 0);
+        assert_eq!(a.gp_block(9).node, 0);
+        assert_eq!(a.gp_block(10).node, 1);
+        assert_eq!(a.gp_block(39).node, 3);
+        assert_eq!(a.gp_block(25).offset, 5);
+    }
+
+    #[test]
+    fn cyclic_distribution() {
+        let a = SpreadArray {
+            region: 1,
+            per_node: 10,
+            nodes: 4,
+        };
+        assert_eq!(a.gp_cyclic(0).node, 0);
+        assert_eq!(a.gp_cyclic(1).node, 1);
+        assert_eq!(a.gp_cyclic(5).node, 1);
+        assert_eq!(a.gp_cyclic(5).offset, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_index_panics() {
+        let a = SpreadArray {
+            region: 1,
+            per_node: 2,
+            nodes: 2,
+        };
+        a.gp_block(4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Active-message handlers of the Split-C runtime.
+//!
+//! Handler ids 16–63 are reserved for Split-C. Remote accesses are served
+//! *inline* in whichever task polled — a Split-C node is single-threaded, so
+//! handlers never spawn.
+
+use crate::state::{bytes_to_f64s, f64s_to_bytes, ScState};
+use mpmd_am::{self as am, AmMsg, HandlerId, PendingCounter, ReplyCell};
+use mpmd_sim::{Bucket, Ctx};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) const H_READ: HandlerId = 16;
+pub(crate) const H_WRITE: HandlerId = 17;
+pub(crate) const H_STORE: HandlerId = 18;
+pub(crate) const H_BULK_READ: HandlerId = 19;
+pub(crate) const H_BULK_WRITE: HandlerId = 20;
+pub(crate) const H_BULK_STORE: HandlerId = 21;
+pub(crate) const H_ATOMIC: HandlerId = 22;
+pub(crate) const H_REPLY_VALUE: HandlerId = 23;
+pub(crate) const H_REPLY_DATA: HandlerId = 24;
+pub(crate) const H_REDUCE: HandlerId = 25;
+pub(crate) const H_REDUCE_RELEASE: HandlerId = 26;
+pub(crate) const H_READ3: HandlerId = 27;
+pub(crate) const H_ATOMIC_ADD3: HandlerId = 28;
+
+/// Completion context carried in request tokens and passed back in replies.
+pub(crate) struct ScToken {
+    /// Result cell (synchronous ops and split-phase gets).
+    pub(crate) cell: Option<Arc<ReplyCell>>,
+    /// Split-phase bookkeeping: decremented when the reply arrives.
+    pub(crate) pending: Option<Arc<PendingCounter>>,
+}
+
+fn take_token(m: &mut AmMsg) -> ScToken {
+    *m.token
+        .take()
+        .expect("Split-C reply without token")
+        .downcast::<ScToken>()
+        .expect("foreign token in Split-C reply")
+}
+
+pub(crate) fn register_handlers(ctx: &Ctx) {
+    am::register(ctx, H_READ, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        let region = st.region(m.args[0] as u32);
+        let v = region.read()[m.args[1] as usize];
+        am::request(ctx, m.src, H_REPLY_VALUE, [v.to_bits(), 0, 0, 0], m.token);
+    });
+
+    am::register(ctx, H_READ3, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        let region = st.region(m.args[0] as u32);
+        let off = m.args[1] as usize;
+        let r = region.read();
+        let reply = [
+            r[off].to_bits(),
+            r[off + 1].to_bits(),
+            r[off + 2].to_bits(),
+            0,
+        ];
+        drop(r);
+        am::request(ctx, m.src, H_REPLY_VALUE, reply, m.token);
+    });
+
+    am::register(ctx, H_WRITE, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        let region = st.region(m.args[0] as u32);
+        region.write()[m.args[1] as usize] = f64::from_bits(m.args[2]);
+        am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
+    });
+
+    am::register(ctx, H_STORE, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        let region = st.region(m.args[0] as u32);
+        region.write()[m.args[1] as usize] = f64::from_bits(m.args[2]);
+        st.stores_recvd.fetch_add(1, Ordering::AcqRel);
+    });
+
+    am::register(ctx, H_BULK_READ, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        let region = st.region(m.args[0] as u32);
+        let off = m.args[1] as usize;
+        let len = m.args[2] as usize;
+        let data = {
+            let r = region.read();
+            assert!(
+                off + len <= r.len(),
+                "bulk_read out of bounds: {off}+{len} > {}",
+                r.len()
+            );
+            f64s_to_bytes(&r[off..off + len])
+        };
+        am::request_bulk(ctx, m.src, H_REPLY_DATA, [len as u64, 0, 0, 0], data, m.token);
+    });
+
+    am::register(ctx, H_BULK_WRITE, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        write_bulk_into_region(ctx, &m);
+        am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
+    });
+
+    am::register(ctx, H_BULK_STORE, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.serve_access);
+        write_bulk_into_region(ctx, &m);
+        st.stores_recvd.fetch_add(1, Ordering::AcqRel);
+    });
+
+    am::register(ctx, H_ATOMIC, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.atomic_dispatch);
+        let f = {
+            let tbl = st.atomics.read();
+            Arc::clone(
+                tbl.get(&(m.args[0] as u32))
+                    .unwrap_or_else(|| panic!("unknown atomic function {}", m.args[0])),
+            )
+        };
+        let result = f(ctx, [m.args[1], m.args[2], m.args[3], 0]);
+        am::request(ctx, m.src, H_REPLY_VALUE, result, m.token);
+    });
+
+    // Dedicated three-component atomic accumulate: the handler id implies
+    // the function, freeing all four argument words for the packed address
+    // plus three deltas (Water's force write-back in one message).
+    am::register(ctx, H_ATOMIC_ADD3, |ctx, m| {
+        let st = ScState::get(ctx);
+        ctx.charge(Bucket::Runtime, st.costs.atomic_dispatch);
+        let (region, offset) = crate::ops::unpack_addr(m.args[0]);
+        {
+            let region = st.region(region);
+            let mut w = region.write();
+            w[offset] += f64::from_bits(m.args[1]);
+            w[offset + 1] += f64::from_bits(m.args[2]);
+            w[offset + 2] += f64::from_bits(m.args[3]);
+        }
+        am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
+    });
+
+    am::register(ctx, H_REPLY_VALUE, |ctx, mut m| {
+        let tok = take_token(&mut m);
+        if let Some(p) = &tok.pending {
+            let st = ScState::get(ctx);
+            ctx.charge(Bucket::Runtime, st.costs.split_complete);
+            p.complete();
+        }
+        if let Some(c) = &tok.cell {
+            c.complete(m.args);
+        }
+    });
+
+    am::register(ctx, H_REPLY_DATA, |ctx, mut m| {
+        let tok = take_token(&mut m);
+        if let Some(p) = &tok.pending {
+            let st = ScState::get(ctx);
+            ctx.charge(Bucket::Runtime, st.costs.split_complete);
+            p.complete();
+        }
+        if let Some(c) = &tok.cell {
+            c.complete_with_data(m.args, m.data.expect("data reply without payload"));
+        }
+    });
+
+    am::register(ctx, H_REDUCE, |ctx, m| {
+        crate::collective::note_reduce_arrival(ctx, m.args[0], m.args[1], m.args[2]);
+    });
+
+    am::register(ctx, H_REDUCE_RELEASE, |ctx, m| {
+        let st = ScState::get(ctx);
+        let mut red = st.reduce.lock();
+        red.released = Some((m.args[0], m.args[1]));
+    });
+}
+
+fn write_bulk_into_region(ctx: &Ctx, m: &AmMsg) {
+    let st = ScState::get(ctx);
+    let region = st.region(m.args[0] as u32);
+    let off = m.args[1] as usize;
+    let vals = bytes_to_f64s(m.data.as_ref().expect("bulk write without payload"));
+    let mut w = region.write();
+    assert!(
+        off + vals.len() <= w.len(),
+        "bulk write out of bounds: {off}+{} > {}",
+        vals.len(),
+        w.len()
+    );
+    w[off..off + vals.len()].copy_from_slice(&vals);
+}

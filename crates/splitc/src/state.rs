@@ -1,0 +1,106 @@
+//! Per-node Split-C runtime state.
+
+use crate::costs::ScCosts;
+use bytes::Bytes;
+use mpmd_am::PendingCounter;
+use mpmd_sim::Ctx;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// An atomic RPC function: runs atomically at the target node.
+pub type AtomicFn = Arc<dyn Fn(&Ctx, [u64; 4]) -> [u64; 4] + Send + Sync>;
+
+pub(crate) struct ScState {
+    pub(crate) costs: ScCosts,
+    /// Registered global-memory regions (element type `f64`).
+    pub(crate) regions: RwLock<HashMap<u32, Arc<RwLock<Vec<f64>>>>>,
+    /// Collective region-id allocator (SPMD lockstep keeps nodes in sync).
+    pub(crate) next_region: AtomicU64,
+    /// Outstanding split-phase operations awaiting `sync()`.
+    pub(crate) pending: Arc<PendingCounter>,
+    /// Registered atomic RPC functions.
+    pub(crate) atomics: RwLock<HashMap<u32, AtomicFn>>,
+    /// One-way stores issued from this node (for `all_store_sync`).
+    pub(crate) stores_sent: AtomicU64,
+    /// One-way stores received by this node.
+    pub(crate) stores_recvd: AtomicU64,
+    /// Reduction scratch (node 0 collects; everyone receives the release).
+    pub(crate) reduce: Mutex<ReduceState>,
+}
+
+#[derive(Default)]
+pub(crate) struct ReduceState {
+    /// generation -> (arrivals, accumulated bits interpreted by op)
+    pub(crate) collect: HashMap<u64, (usize, u64)>,
+    /// latest released generation and value
+    pub(crate) released: Option<(u64, u64)>,
+    /// this node's reduction generation counter
+    pub(crate) my_gen: u64,
+}
+
+impl ScState {
+    fn new() -> Self {
+        ScState {
+            costs: ScCosts::default(),
+            regions: RwLock::new(HashMap::new()),
+            next_region: AtomicU64::new(1),
+            pending: PendingCounter::new(),
+            atomics: RwLock::new(HashMap::new()),
+            stores_sent: AtomicU64::new(0),
+            stores_recvd: AtomicU64::new(0),
+            reduce: Mutex::new(ReduceState::default()),
+        }
+    }
+
+    pub(crate) fn get(ctx: &Ctx) -> Arc<ScState> {
+        ctx.node_data(ScState::new)
+    }
+
+    /// The region storage for `(region)` on this node.
+    pub(crate) fn region(&self, region: u32) -> Arc<RwLock<Vec<f64>>> {
+        Arc::clone(
+            self.regions
+                .read()
+                .get(&region)
+                .unwrap_or_else(|| panic!("unknown Split-C region {region}")),
+        )
+    }
+}
+
+/// Encode a slice of doubles as wire bytes (little-endian).
+pub fn f64s_to_bytes(v: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode wire bytes back into doubles.
+pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
+    assert!(b.len().is_multiple_of(8), "bulk payload not a whole number of f64s");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_bytes_round_trip() {
+        let v = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let b = f64s_to_bytes(&v);
+        assert_eq!(b.len(), 40);
+        assert_eq!(bytes_to_f64s(&b), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of f64s")]
+    fn ragged_payload_panics() {
+        bytes_to_f64s(&Bytes::from_static(&[1, 2, 3]));
+    }
+}

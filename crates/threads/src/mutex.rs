@@ -1,0 +1,201 @@
+//! A node-local mutex for simulated threads.
+//!
+//! Real mutual exclusion is provided by the simulator (exactly one task runs
+//! at a time and tasks only lose the processor at explicit scheduling
+//! points), so the interesting part is the *modeling*: acquisitions and
+//! releases are counted and charged, contended acquisitions block the task
+//! and are counted separately (the paper reports that ~95% of lock
+//! acquisitions in its applications are contention-less).
+
+use crate::thread::{charge_context_switch, charge_sync_op};
+use mpmd_sim::{Ctx, TaskId};
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+
+struct LockState {
+    locked: bool,
+    waiters: VecDeque<TaskId>,
+}
+
+/// A mutex usable only by simulated threads on one node.
+pub struct Mutex<T> {
+    state: parking_lot::Mutex<LockState>,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: access to `value` is guarded by the simulated lock protocol: a
+// `&mut T` is only reachable through a `MutexGuard`, which is only
+// constructed after atomically setting `locked = true`, and the simulator
+// runs at most one task at any instant.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            state: parking_lot::Mutex::new(LockState {
+                locked: false,
+                waiters: VecDeque::new(),
+            }),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking the simulated thread if contended.
+    /// Charges one sync op (plus a context switch if it blocks).
+    pub fn lock<'a>(&'a self, ctx: &Ctx) -> MutexGuard<'a, T> {
+        charge_sync_op(ctx);
+        ctx.with_stats(|s| s.lock_acquisitions += 1);
+        let mut first_attempt = true;
+        loop {
+            {
+                let mut st = self.state.lock();
+                if !st.locked {
+                    st.locked = true;
+                    break;
+                }
+                st.waiters.push_back(ctx.task_id());
+                if first_attempt {
+                    ctx.with_stats(|s| s.lock_contended += 1);
+                    charge_context_switch(ctx);
+                    first_attempt = false;
+                }
+            }
+            ctx.park();
+        }
+        MutexGuard {
+            mutex: self,
+            ctx: ctx.clone(),
+        }
+    }
+
+    /// Try to acquire without blocking. Charges one sync op either way.
+    pub fn try_lock<'a>(&'a self, ctx: &Ctx) -> Option<MutexGuard<'a, T>> {
+        charge_sync_op(ctx);
+        ctx.with_stats(|s| s.lock_acquisitions += 1);
+        let mut st = self.state.lock();
+        if st.locked {
+            return None;
+        }
+        st.locked = true;
+        drop(st);
+        Some(MutexGuard {
+            mutex: self,
+            ctx: ctx.clone(),
+        })
+    }
+
+    /// Consume the mutex, returning the value (no accounting — this is a
+    /// host-level operation used when tearing down runtime state).
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    /// Release while parked in a condition-variable wait: unlocks and wakes
+    /// the next waiter *without* charging (the paper counts API calls, and
+    /// `wait`'s internal unlock is not an API call).
+    pub(crate) fn raw_unlock(&self, ctx: &Ctx) {
+        let next = {
+            let mut st = self.state.lock();
+            debug_assert!(st.locked, "raw_unlock of unlocked mutex");
+            st.locked = false;
+            st.waiters.pop_front()
+        };
+        if let Some(t) = next {
+            ctx.unpark(t);
+        }
+    }
+
+    /// Reacquire after a condition-variable wait, without charging.
+    pub(crate) fn raw_lock<'a>(&'a self, ctx: &Ctx) -> MutexGuard<'a, T> {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if !st.locked {
+                    st.locked = true;
+                    break;
+                }
+                st.waiters.push_back(ctx.task_id());
+            }
+            ctx.park();
+        }
+        MutexGuard {
+            mutex: self,
+            ctx: ctx.clone(),
+        }
+    }
+}
+
+/// RAII guard; unlocking (on drop) charges one sync op and wakes the next
+/// waiter.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    ctx: Ctx,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    pub(crate) fn forget_for_wait(self) -> &'a Mutex<T> {
+        let m = self.mutex;
+        std::mem::forget(self);
+        m
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard implies exclusive simulated ownership (see Mutex).
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        charge_sync_op(&self.ctx);
+        self.mutex.raw_unlock(&self.ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpmd_sim::Sim;
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        Sim::new(1).run(|ctx| {
+            let m = Mutex::new(1u8);
+            let g = m.lock(&ctx);
+            assert!(m.try_lock(&ctx).is_none());
+            drop(g);
+            assert!(m.try_lock(&ctx).is_some());
+        });
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn guard_gives_mutable_access() {
+        Sim::new(1).run(|ctx| {
+            let m = Mutex::new(String::new());
+            {
+                let mut g = m.lock(&ctx);
+                g.push_str("hi");
+            }
+            assert_eq!(&*m.lock(&ctx), "hi");
+        });
+    }
+}

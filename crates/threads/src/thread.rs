@@ -1,0 +1,101 @@
+//! Thread spawn/join/yield with cost accounting.
+
+use mpmd_sim::{Bucket, Ctx, TaskId};
+
+/// Handle to a spawned thread.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    id: TaskId,
+}
+
+impl Thread {
+    /// The underlying simulator task id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Block until the thread completes. Charges a context switch only if we
+    /// actually block.
+    pub fn join(&self, ctx: &Ctx) {
+        if !ctx.is_finished(self.id) {
+            charge_context_switch(ctx);
+        }
+        ctx.join(self.id);
+    }
+
+    /// Whether the thread has completed.
+    pub fn is_finished(&self, ctx: &Ctx) -> bool {
+        ctx.is_finished(self.id)
+    }
+}
+
+/// Fork a new thread on the caller's node. Charges one thread-create.
+pub fn spawn<F>(ctx: &Ctx, name: &str, f: F) -> Thread
+where
+    F: FnOnce(Ctx) + Send + 'static,
+{
+    let cost = ctx.cost().threads.create;
+    ctx.charge(Bucket::ThreadMgmt, cost);
+    ctx.with_stats(|s| s.thread_creates += 1);
+    Thread {
+        id: ctx.spawn(name, f),
+    }
+}
+
+/// Voluntarily yield the processor. Charges one context switch.
+pub fn yield_now(ctx: &Ctx) {
+    charge_context_switch(ctx);
+    ctx.yield_now();
+}
+
+/// Charge and count one context switch (used by blocking primitives; one
+/// switch is charged per block/wake pair, on the blocking side).
+pub fn charge_context_switch(ctx: &Ctx) {
+    let cost = ctx.cost().threads.context_switch;
+    ctx.charge(Bucket::ThreadMgmt, cost);
+    ctx.with_stats(|s| s.context_switches += 1);
+}
+
+/// Charge and count one synchronization operation (a lock, unlock, signal or
+/// wait API call).
+pub fn charge_sync_op(ctx: &Ctx) {
+    let cost = ctx.cost().threads.sync_op;
+    ctx.charge(Bucket::ThreadSync, cost);
+    ctx.with_stats(|s| s.sync_ops += 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpmd_sim::Sim;
+
+    #[test]
+    fn yield_now_charges_switch_cost() {
+        let r = Sim::new(1).run(|ctx| {
+            yield_now(&ctx);
+            yield_now(&ctx);
+        });
+        let s = r.total_stats();
+        assert_eq!(s.context_switches, 2);
+        assert_eq!(s.bucket(Bucket::ThreadMgmt), 12_000);
+    }
+
+    #[test]
+    fn spawn_charges_create_cost() {
+        let r = Sim::new(1).run(|ctx| {
+            let t = spawn(&ctx, "t", |_| {});
+            t.join(&ctx);
+        });
+        assert_eq!(r.total_stats().thread_creates, 1);
+    }
+
+    #[test]
+    fn is_finished_tracks_completion() {
+        Sim::new(1).run(|ctx| {
+            let t = spawn(&ctx, "t", |_| {});
+            assert!(!t.is_finished(&ctx));
+            t.join(&ctx);
+            assert!(t.is_finished(&ctx));
+        });
+    }
+}

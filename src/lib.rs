@@ -1,0 +1,15 @@
+//! # mpmd-repro
+//!
+//! A full reproduction of *"Evaluating the Performance Limitations of MPMD
+//! Communication"* (Chang, Czajkowski, von Eicken, Kesselman; SC 1997) as a
+//! Rust workspace. This facade crate re-exports the component crates; see
+//! `README.md` for the architecture and `EXPERIMENTS.md` for paper-vs-
+//! measured results.
+
+pub use mpmd_am as am;
+pub use mpmd_apps as apps;
+pub use mpmd_ccxx as ccxx;
+pub use mpmd_nexus as nexus;
+pub use mpmd_sim as sim;
+pub use mpmd_splitc as splitc;
+pub use mpmd_threads as threads;

@@ -1,0 +1,151 @@
+//! Cross-crate application correctness: every distributed implementation
+//! agrees with its sequential reference across sweeps of parameters.
+
+use mpmd_repro::apps::em3d::{self, Em3dParams, Em3dVersion};
+use mpmd_repro::apps::lu::{self, LuParams};
+use mpmd_repro::apps::water::{self, WaterParams, WaterVersion};
+use mpmd_repro::ccxx::CcxxConfig;
+use mpmd_repro::nexus;
+use mpmd_repro::sim::CostModel;
+
+#[test]
+fn em3d_all_versions_all_langs_agree_across_fractions() {
+    for frac in [0.0, 0.25, 0.75, 1.0] {
+        let p = Em3dParams {
+            graph_nodes: 120,
+            degree: 5,
+            procs: 4,
+            steps: 2,
+            remote_frac: frac,
+            seed: 21,
+        };
+        let want = em3d::em3d_reference(&p);
+        for v in Em3dVersion::ALL {
+            let sc = em3d::run_splitc(&p, v);
+            assert_eq!(sc.output.e, want.e, "split-c {} at {frac}", v.label());
+            assert_eq!(sc.output.h, want.h, "split-c {} at {frac}", v.label());
+            let cc = em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
+            assert_eq!(cc.output.e, want.e, "cc++ {} at {frac}", v.label());
+            assert_eq!(cc.output.h, want.h, "cc++ {} at {frac}", v.label());
+        }
+    }
+}
+
+#[test]
+fn em3d_is_correct_under_the_nexus_runtime_too() {
+    // The Nexus baseline changes costs, never results.
+    let p = Em3dParams {
+        graph_nodes: 80,
+        degree: 4,
+        procs: 4,
+        steps: 2,
+        remote_frac: 0.5,
+        seed: 5,
+    };
+    let want = em3d::em3d_reference(&p);
+    let run = em3d::run_ccxx(
+        &p,
+        Em3dVersion::Ghost,
+        nexus::nexus_config(),
+        nexus::nexus_sim_cost_model(),
+    );
+    assert_eq!(run.output.e, want.e);
+}
+
+#[test]
+fn em3d_is_correct_under_every_ablation_config() {
+    let p = Em3dParams {
+        graph_nodes: 80,
+        degree: 4,
+        procs: 4,
+        steps: 2,
+        remote_frac: 0.6,
+        seed: 9,
+    };
+    let want = em3d::em3d_reference(&p);
+    for cfg in [
+        CcxxConfig::tham().without_stub_caching(),
+        CcxxConfig::tham().without_persistent_buffers(),
+        CcxxConfig::tham().with_return_buffer_passing(),
+        CcxxConfig::tham().with_interrupts(mpmd_repro::sim::us(40.0)),
+    ] {
+        let run = em3d::run_ccxx(&p, Em3dVersion::Bulk, cfg.clone(), CostModel::default());
+        assert_eq!(run.output.e, want.e, "config {cfg:?}");
+    }
+}
+
+#[test]
+fn water_agrees_for_odd_sizes_and_multiple_steps() {
+    for (n, steps) in [(8, 3), (16, 2), (24, 1)] {
+        let p = WaterParams {
+            n_mol: n,
+            procs: 4,
+            steps,
+            seed: 31,
+            box_size: 8.0,
+        };
+        let (want, energy) = water::water_reference(&p);
+        for v in WaterVersion::ALL {
+            let run = water::run_splitc(&p, v);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+            assert!(
+                run.output
+                    .pos
+                    .iter()
+                    .zip(&want.pos)
+                    .all(|(a, b)| close(*a, *b)),
+                "{} n={n} steps={steps}",
+                v.label()
+            );
+            assert!(close(run.output.energy, energy));
+        }
+    }
+}
+
+#[test]
+fn lu_matches_reference_for_various_shapes() {
+    for (n, b, procs) in [(16, 4, 4), (32, 8, 2), (40, 8, 4), (48, 16, 4)] {
+        let p = LuParams {
+            n,
+            block: b,
+            procs,
+            seed: n as u64,
+        };
+        let want = lu::lu_blocked_reference(&p);
+        let sc = lu::run_splitc(&p);
+        assert_eq!(sc.output.factored, want, "sc-lu n={n} b={b} procs={procs}");
+        let cc = lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default());
+        assert_eq!(cc.output.factored, want, "cc-lu n={n} b={b} procs={procs}");
+    }
+}
+
+#[test]
+fn lu_reconstruction_is_numerically_sound_at_scale() {
+    let p = LuParams {
+        n: 128,
+        block: 16,
+        procs: 4,
+        seed: 1,
+    };
+    let original = lu::generate_matrix(&p);
+    let run = lu::run_splitc(&p);
+    let err = lu::reconstruction_error(&original, &run.output.factored, p.n);
+    assert!(err < 1e-8, "reconstruction error {err}");
+}
+
+#[test]
+fn runs_are_deterministic_across_repetitions() {
+    let p = Em3dParams {
+        graph_nodes: 80,
+        degree: 4,
+        procs: 4,
+        steps: 2,
+        remote_frac: 0.5,
+        seed: 77,
+    };
+    let a = em3d::run_splitc(&p, Em3dVersion::Ghost);
+    let b = em3d::run_splitc(&p, Em3dVersion::Ghost);
+    assert_eq!(a.breakdown.elapsed, b.breakdown.elapsed);
+    assert_eq!(a.breakdown.counts, b.breakdown.counts);
+    assert_eq!(a.output.e, b.output.e);
+}
