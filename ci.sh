@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting, and a smoke run of
+# the machine-readable benchmark output.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> table4 --json smoke test"
+cargo run --release -p mpmd-bench --bin table4 -- 50 --json results/table4.json >/dev/null
+python3 - <<'EOF' 2>/dev/null || node -e "JSON.parse(require('fs').readFileSync('results/table4.json'))" 2>/dev/null || \
+    grep -q '"bucket_us"' results/table4.json
+import json
+d = json.load(open("results/table4.json"))
+assert d["table"] == "table4" and d["rows"], "table4.json missing rows"
+assert "bucket_us" in d["rows"][0]["cc"], "per-bucket totals missing"
+EOF
+echo "results/table4.json OK"
+
+echo "==> all checks passed"

@@ -25,7 +25,8 @@ pub fn register_barrier_handlers(ctx: &Ctx) {
     });
     register(ctx, H_BARRIER_RELEASE, |ctx, m: AmMsg| {
         let st = AmState::get(ctx);
-        st.barrier_release_gen.fetch_max(m.args[0], Ordering::AcqRel);
+        st.barrier_release_gen
+            .fetch_max(m.args[0], Ordering::AcqRel);
     });
 }
 
@@ -56,6 +57,8 @@ fn note_arrival(ctx: &Ctx, gen: u64) {
 pub fn barrier(ctx: &Ctx) {
     let st = AmState::get(ctx);
     let gen = st.barrier_my_gen.fetch_add(1, Ordering::AcqRel) + 1;
+    ctx.barrier_enter(gen);
+    let _span = ctx.span("am.barrier");
     if ctx.node() == 0 {
         note_arrival(ctx, gen);
     } else {
@@ -65,4 +68,6 @@ pub fn barrier(ctx: &Ctx) {
     wait_until(ctx, move || {
         st2.barrier_release_gen.load(Ordering::Acquire) >= gen
     });
+    drop(_span);
+    ctx.barrier_exit(gen);
 }

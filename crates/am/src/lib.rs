@@ -74,7 +74,13 @@ mod tests {
                 barrier(&ctx);
                 let t0 = ctx.now();
                 let cell = ReplyCell::new();
-                request(&ctx, 1, H_ECHO, [7, 0, 0, 0], Some(Box::new(Arc::clone(&cell))));
+                request(
+                    &ctx,
+                    1,
+                    H_ECHO,
+                    [7, 0, 0, 0],
+                    Some(Box::new(Arc::clone(&cell))),
+                );
                 let c2 = Arc::clone(&cell);
                 wait_until(&ctx, move || c2.is_done());
                 assert_eq!(cell.words()[0], 7);
@@ -277,6 +283,10 @@ mod tests {
         });
         // Wall clock after barriers exists; the real assertion is indirect:
         // 10 sends at 2 µs overhead + 22.5 µs wire ≈ 45 µs, not 265 µs.
-        assert!(r.elapsed() < us(200.0), "elapsed = {} µs", to_us(r.elapsed()));
+        assert!(
+            r.elapsed() < us(200.0),
+            "elapsed = {} µs",
+            to_us(r.elapsed())
+        );
     }
 }

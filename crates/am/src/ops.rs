@@ -60,7 +60,12 @@ fn send_inner(
         data,
         token,
     };
-    ctx.send_msg(dst, SHORT_WIRE_BYTES + bytes, p.wire_delay(bytes), Box::new(msg));
+    ctx.send_msg(
+        dst,
+        SHORT_WIRE_BYTES + bytes,
+        p.wire_delay(bytes),
+        Box::new(msg),
+    );
     if p.poll_on_send {
         poll(ctx);
     }
@@ -84,10 +89,16 @@ pub fn poll(ctx: &Ctx) -> usize {
             .payload
             .downcast::<AmMsg>()
             .expect("non-AM message in inbox");
+        let hid = am.handler;
+        // Open the handler frame before charging reception so the frame's
+        // duration covers the full per-message cost (receive overhead plus
+        // handler body) — the trace reconciles against Bucket::Net this way.
+        ctx.handler_start(hid);
         ctx.charge(Bucket::Net, p.recv_charge());
         ctx.with_stats(|s| s.handlers_run += 1);
-        let h = lookup(&st, am.handler);
+        let h = lookup(&st, hid);
         h(ctx, *am);
+        ctx.handler_end(hid);
         ran += 1;
     }
     ran

@@ -47,6 +47,18 @@ pub struct NetProfile {
     pub poll_on_send: bool,
 }
 
+#[cfg(feature = "serde")]
+serde::impl_serialize!(NetProfile {
+    name,
+    send_overhead,
+    recv_overhead,
+    wire_latency,
+    lock_overhead,
+    bulk_setup,
+    per_byte_millins,
+    poll_on_send,
+});
+
 impl NetProfile {
     /// SP Active Messages as used by Split-C: single-threaded endpoint.
     pub fn sp_am_splitc() -> Self {
@@ -89,7 +101,10 @@ impl NetProfile {
 
     /// Null-message one-way cost as seen end-to-end (charges + wire).
     pub fn one_way_null(&self) -> Time {
-        self.send_overhead + self.lock_overhead + self.wire_latency + self.recv_overhead
+        self.send_overhead
+            + self.lock_overhead
+            + self.wire_latency
+            + self.recv_overhead
             + self.lock_overhead
     }
 

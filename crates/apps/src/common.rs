@@ -87,8 +87,7 @@ impl AppBreakdown {
     /// Per-unit scaling (e.g. per edge, per pair) of each component, in µs.
     pub fn per_unit_us(&self, units: u64) -> [f64; 5] {
         let u = units.max(1) as f64;
-        self.components()
-            .map(|c| mpmd_sim::to_us(c) / u)
+        self.components().map(|c| mpmd_sim::to_us(c) / u)
     }
 }
 

@@ -175,7 +175,9 @@ fn phase(ctx: &Ctx, n: &Node, version: Em3dVersion, read_h: bool) {
             // parfor-prefetch all unique remote neighbors.
             let ptrs: Vec<CxPtr> = (0..g.procs)
                 .flat_map(|owner_p| {
-                    plan.needed_by_owner[owner_p].iter().map(move |&id| (owner_p, id))
+                    plan.needed_by_owner[owner_p]
+                        .iter()
+                        .map(move |&id| (owner_p, id))
                 })
                 .map(|(owner_p, id)| CxPtr {
                     node: owner_p,

@@ -71,7 +71,7 @@ impl Graph {
         let mut rng = SmallRng::seed_from_u64(p.seed);
         let mut e_adj = vec![Vec::with_capacity(p.degree); e_count];
         let mut h_adj = vec![Vec::new(); h_count];
-        for e in 0..e_count {
+        for (e, adj) in e_adj.iter_mut().enumerate() {
             let my_proc = e / (e_count / p.procs);
             let mut chosen: Vec<usize> = Vec::with_capacity(p.degree);
             while chosen.len() < p.degree {
@@ -92,7 +92,7 @@ impl Graph {
             }
             for h in chosen {
                 let w = 0.01 + rng.gen_range(0.0..0.5);
-                e_adj[e].push((h, w));
+                adj.push((h, w));
                 h_adj[h].push((e, w));
             }
         }
@@ -250,10 +250,7 @@ mod tests {
         for frac in [0.0, 0.3, 1.0] {
             let g = Graph::generate(&params(frac));
             let got = g.measured_remote_frac();
-            assert!(
-                (got - frac).abs() < 0.1,
-                "requested {frac}, measured {got}"
-            );
+            assert!((got - frac).abs() < 0.1, "requested {frac}, measured {got}");
         }
     }
 

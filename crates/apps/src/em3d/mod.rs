@@ -107,21 +107,36 @@ mod tests {
     #[test]
     fn ccxx_base_matches_reference() {
         let p = small_params(0.5);
-        let run = run_ccxx(&p, Em3dVersion::Base, CcxxConfig::tham(), CostModel::default());
+        let run = run_ccxx(
+            &p,
+            Em3dVersion::Base,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        );
         assert_matches_reference(&p, &run.output);
     }
 
     #[test]
     fn ccxx_ghost_matches_reference() {
         let p = small_params(0.5);
-        let run = run_ccxx(&p, Em3dVersion::Ghost, CcxxConfig::tham(), CostModel::default());
+        let run = run_ccxx(
+            &p,
+            Em3dVersion::Ghost,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        );
         assert_matches_reference(&p, &run.output);
     }
 
     #[test]
     fn ccxx_bulk_matches_reference() {
         let p = small_params(0.5);
-        let run = run_ccxx(&p, Em3dVersion::Bulk, CcxxConfig::tham(), CostModel::default());
+        let run = run_ccxx(
+            &p,
+            Em3dVersion::Bulk,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        );
         assert_matches_reference(&p, &run.output);
     }
 
@@ -154,9 +169,14 @@ mod tests {
     fn ccxx_is_slower_than_splitc_at_full_remote() {
         let p = small_params(1.0);
         let sc = run_splitc(&p, Em3dVersion::Base).breakdown.elapsed;
-        let cc = run_ccxx(&p, Em3dVersion::Base, CcxxConfig::tham(), CostModel::default())
-            .breakdown
-            .elapsed;
+        let cc = run_ccxx(
+            &p,
+            Em3dVersion::Base,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        )
+        .breakdown
+        .elapsed;
         let ratio = cc as f64 / sc as f64;
         assert!(
             (1.3..4.0).contains(&ratio),

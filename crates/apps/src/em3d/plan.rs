@@ -30,7 +30,8 @@ fn needed_lists(g: &Graph, proc: usize, read_h: bool) -> Vec<Vec<usize>> {
     let per = g.per_proc();
     let mut lists = vec![Vec::new(); g.procs];
     let mut seen = std::collections::HashSet::new();
-    let (adj, owner_of): (&Vec<Vec<(usize, f64)>>, fn(&Graph, usize) -> usize) = if read_h {
+    type OwnerFn = fn(&Graph, usize) -> usize;
+    let (adj, owner_of): (&Vec<Vec<(usize, f64)>>, OwnerFn) = if read_h {
         (&g.e_adj, Graph::h_owner)
     } else {
         (&g.h_adj, Graph::e_owner)
@@ -52,8 +53,8 @@ pub fn phase_plan(g: &Graph, proc: usize, read_h: bool) -> PhasePlan {
     let needed_by_owner = needed_lists(g, proc, read_h);
     let mut ghost_index = HashMap::new();
     let mut next = 0usize;
-    for owner in 0..g.procs {
-        for &id in &needed_by_owner[owner] {
+    for owner_list in &needed_by_owner {
+        for &id in owner_list {
             ghost_index.insert(id, next);
             next += 1;
         }

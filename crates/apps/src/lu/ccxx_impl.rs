@@ -135,9 +135,7 @@ fn body(ctx: &Ctx, p: &LuParams, config: CcxxConfig) -> Option<AppRun<LuOutput>>
                     let mut c = cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec());
                     block_mul_sub(&mut c, &fetched[&(i, k)], &fetched[&(k, j)], b);
                     charge_flops(ctx, update_flops(b as u64));
-                    cx::with_local(ctx, blocks_reg, |s| {
-                        s[off..off + b * b].copy_from_slice(&c)
-                    });
+                    cx::with_local(ctx, blocks_reg, |s| s[off..off + b * b].copy_from_slice(&c));
                 }
             }
         }

@@ -146,9 +146,7 @@ fn body(ctx: &Ctx, p: &LuParams) -> Option<AppRun<LuOutput>> {
                     let mut c = sc::with_local(ctx, blocks_reg, |s| s[off..off + b * b].to_vec());
                     block_mul_sub(&mut c, &fetched[&(i, k)], &fetched[&(k, j)], b);
                     charge_flops(ctx, update_flops(b as u64));
-                    sc::with_local(ctx, blocks_reg, |s| {
-                        s[off..off + b * b].copy_from_slice(&c)
-                    });
+                    sc::with_local(ctx, blocks_reg, |s| s[off..off + b * b].copy_from_slice(&c));
                 }
             }
         }

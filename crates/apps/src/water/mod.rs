@@ -71,7 +71,11 @@ mod tests {
         for (i, (a, b)) in got.pos.iter().zip(&want.pos).enumerate() {
             assert!(close(*a, *b), "pos[{i}]: {a} vs {b}");
         }
-        assert!(close(got.energy, energy), "energy {} vs {energy}", got.energy);
+        assert!(
+            close(got.energy, energy),
+            "energy {} vs {energy}",
+            got.energy
+        );
     }
 
     #[test]
@@ -91,14 +95,24 @@ mod tests {
     #[test]
     fn ccxx_atomic_matches_reference() {
         let p = params(16);
-        let run = run_ccxx(&p, WaterVersion::Atomic, CcxxConfig::tham(), CostModel::default());
+        let run = run_ccxx(
+            &p,
+            WaterVersion::Atomic,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        );
         assert_matches_reference(&p, &run.output);
     }
 
     #[test]
     fn ccxx_prefetch_matches_reference() {
         let p = params(16);
-        let run = run_ccxx(&p, WaterVersion::Prefetch, CcxxConfig::tham(), CostModel::default());
+        let run = run_ccxx(
+            &p,
+            WaterVersion::Prefetch,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        );
         assert_matches_reference(&p, &run.output);
     }
 
@@ -120,7 +134,10 @@ mod tests {
         // N — at 32 molecules each remote molecule appears in only a few of
         // this node's half-shells).
         let p = params(32);
-        let atomic = run_splitc(&p, WaterVersion::Atomic).breakdown.counts.msgs_sent;
+        let atomic = run_splitc(&p, WaterVersion::Atomic)
+            .breakdown
+            .counts
+            .msgs_sent;
         let prefetch = run_splitc(&p, WaterVersion::Prefetch)
             .breakdown
             .counts
@@ -135,9 +152,14 @@ mod tests {
     fn ccxx_is_slower_than_splitc() {
         let p = params(32);
         let sc = run_splitc(&p, WaterVersion::Atomic).breakdown.elapsed;
-        let cc = run_ccxx(&p, WaterVersion::Atomic, CcxxConfig::tham(), CostModel::default())
-            .breakdown
-            .elapsed;
+        let cc = run_ccxx(
+            &p,
+            WaterVersion::Atomic,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        )
+        .breakdown
+        .elapsed;
         let ratio = cc as f64 / sc as f64;
         assert!(
             ratio > 1.2,

@@ -119,7 +119,11 @@ pub fn reference_step(p: &WaterParams, s: &mut WaterState) -> f64 {
     let mut energy = 0.0;
     for i in 0..n {
         for j in half_shell(i, n) {
-            let (f, u) = pair_force(&s.pos[3 * i..3 * i + 3], &s.pos[3 * j..3 * j + 3], p.box_size);
+            let (f, u) = pair_force(
+                &s.pos[3 * i..3 * i + 3],
+                &s.pos[3 * j..3 * j + 3],
+                p.box_size,
+            );
             energy += u;
             for k in 0..3 {
                 force[3 * i + k] += f[k];
@@ -127,8 +131,8 @@ pub fn reference_step(p: &WaterParams, s: &mut WaterState) -> f64 {
             }
         }
     }
-    for k in 0..3 * n {
-        s.vel[k] += force[k] * DT;
+    for (v, f) in s.vel.iter_mut().zip(&force) {
+        *v += f * DT;
     }
     energy
 }

@@ -39,7 +39,10 @@ fn body(ctx: &Ctx, p: &WaterParams, version: WaterVersion) -> Option<AppRun<Wate
     sc::init(ctx);
     let n = p.n_mol;
     let me = ctx.node();
-    assert!(n.is_multiple_of(p.procs), "molecules must divide evenly over procs");
+    assert!(
+        n.is_multiple_of(p.procs),
+        "molecules must divide evenly over procs"
+    );
     let n_local = n / p.procs;
     let owner = |j: usize| j / n_local;
     let loc = |j: usize| j % n_local;

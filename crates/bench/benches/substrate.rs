@@ -16,9 +16,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             Sim::new(1).run(|ctx| {
                 let hs: Vec<_> = (0..100)
-                    .map(|i| {
-                        ctx.spawn("w", move |c| c.charge(Bucket::Cpu, i))
-                    })
+                    .map(|i| ctx.spawn("w", move |c| c.charge(Bucket::Cpu, i)))
                     .collect();
                 for h in hs {
                     ctx.join(h);

@@ -2,19 +2,19 @@
 //! caching, persistent buffers, return-buffer passing, and polling-based vs
 //! interrupt-driven reception.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin ablation [iters]`
+//! Usage: `cargo run --release -p mpmd-bench --bin ablation [iters] [--json <path>]`
 
 use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
-use mpmd_bench::fmt::{render_table, us};
+use mpmd_bench::fmt::{render_table, take_json_flag, us, write_json};
 use mpmd_bench::micro::run_table4_with;
 use mpmd_ccxx::CcxxConfig;
 use mpmd_sim::CostModel;
+use serde::Serialize as _;
 
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let (args, json_path) = take_json_flag(std::env::args().skip(1));
+    let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let mut json = serde_json::Map::new();
 
     let configs: Vec<(&str, CcxxConfig)> = vec![
         ("ThAM (all optimizations)", CcxxConfig::tham()),
@@ -39,8 +39,13 @@ fn main() {
 
     eprintln!("running micro-benchmark ablations ({iters} iterations)...");
     let mut rows = Vec::new();
+    let mut micro_json = serde_json::Map::new();
     for (name, cfg) in &configs {
         let t4 = run_table4_with(cfg.clone(), CostModel::default(), iters);
+        micro_json.insert(
+            name.to_string(),
+            serde_json::Value::Array(t4.iter().map(|r| r.to_json()).collect()),
+        );
         let get = |n: &str| t4.iter().find(|r| r.name == n).unwrap().cc.total_us;
         rows.push(vec![
             name.to_string(),
@@ -55,7 +60,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["configuration", "0W Simple", "0W Threaded", "BulkWrite", "BulkRead", "Prefetch/elt"],
+            &[
+                "configuration",
+                "0W Simple",
+                "0W Threaded",
+                "BulkWrite",
+                "BulkRead",
+                "Prefetch/elt"
+            ],
             &rows
         )
     );
@@ -70,8 +82,13 @@ fn main() {
         seed: 42,
     };
     let mut rows = Vec::new();
+    let mut em3d_json = serde_json::Map::new();
     for (name, cfg) in &configs {
         let run = em3d::run_ccxx(&p, Em3dVersion::Bulk, cfg.clone(), CostModel::default());
+        em3d_json.insert(
+            name.to_string(),
+            mpmd_sim::to_secs(run.breakdown.elapsed).to_value(),
+        );
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", mpmd_sim::to_secs(run.breakdown.elapsed)),
@@ -86,9 +103,26 @@ fn main() {
     eprintln!("running OAM comparison...");
     let oam = mpmd_bench::micro::measure_oam(iters);
     let mut rows = Vec::new();
+    let mut oam_json = serde_json::Map::new();
     for (name, v) in oam {
+        oam_json.insert(name.to_string(), v.to_value());
         rows.push(vec![name.to_string(), us(Some(v))]);
     }
     println!("Optimistic Active Messages (null RMI total, µs)");
     println!("{}", render_table(&["dispatch", "total"], &rows));
+
+    if let Some(path) = &json_path {
+        json.insert("table".to_string(), "ablation".to_value());
+        json.insert("iters".to_string(), iters.to_value());
+        json.insert("micro".to_string(), serde_json::Value::Object(micro_json));
+        json.insert(
+            "em3d_bulk_secs".to_string(),
+            serde_json::Value::Object(em3d_json),
+        );
+        json.insert(
+            "oam_total_us".to_string(),
+            serde_json::Value::Object(oam_json),
+        );
+        write_json(path, &serde_json::Value::Object(json));
+    }
 }

@@ -11,10 +11,11 @@
 
 use mpmd_apps::em3d::Em3dVersion;
 use mpmd_bench::experiments::{run_fig5, run_fig6_lu, Scale};
-use mpmd_bench::fmt::render_table;
+use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
 use mpmd_sim::to_us;
 
 fn main() {
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     let scale = Scale::from_args();
     eprintln!("running discussion-claims analysis ({scale:?} scale)...");
     let cells = run_fig5(scale, &[1.0]);
@@ -42,9 +43,13 @@ fn main() {
         };
         check("sync share of gap", v.label(), sync_share, paper);
 
-        let mgmt_share =
-            cc.breakdown.thread_mgmt as f64 / cc.breakdown.busy_total() as f64 * 100.0;
-        check("thread mgmt share of cc++ cost", v.label(), mgmt_share, "10-15%");
+        let mgmt_share = cc.breakdown.thread_mgmt as f64 / cc.breakdown.busy_total() as f64 * 100.0;
+        check(
+            "thread mgmt share of cc++ cost",
+            v.label(),
+            mgmt_share,
+            "10-15%",
+        );
 
         let c = &cc.breakdown.counts;
         let switch_cost = c.context_switches as f64 * 6.0;
@@ -59,16 +64,27 @@ fn main() {
 
         let contention_less =
             (1.0 - c.lock_contended as f64 / c.lock_acquisitions.max(1) as f64) * 100.0;
-        check("contention-less lock acquisitions", v.label(), contention_less, "~95%");
+        check(
+            "contention-less lock acquisitions",
+            v.label(),
+            contention_less,
+            "~95%",
+        );
     }
 
     {
-        let gap = lu_cc.breakdown.elapsed.saturating_sub(lu_sc.breakdown.elapsed) as f64;
+        let gap = lu_cc
+            .breakdown
+            .elapsed
+            .saturating_sub(lu_sc.breakdown.elapsed) as f64;
         let sync_share = lu_cc.breakdown.thread_sync as f64 / gap.max(1.0) * 100.0;
         check("sync share of gap", "cc-lu", sync_share, "32%");
         // "about 20% of the gap" from extra data copying: approximate the
         // copy cost as the runtime-component difference.
-        let copy_share = (lu_cc.breakdown.runtime.saturating_sub(lu_sc.breakdown.runtime)) as f64
+        let copy_share = (lu_cc
+            .breakdown
+            .runtime
+            .saturating_sub(lu_sc.breakdown.runtime)) as f64
             / gap.max(1.0)
             * 100.0;
         check("extra copying share of gap", "cc-lu", copy_share, "~20%");
@@ -86,7 +102,10 @@ fn main() {
     rows.push(vec![
         "method lookup cost (stub caching)".into(),
         "all".into(),
-        format!("{:.1} µs", to_us(mpmd_ccxx::CcxxCosts::default().stub_lookup)),
+        format!(
+            "{:.1} µs",
+            to_us(mpmd_ccxx::CcxxCosts::default().stub_lookup)
+        ),
         "~3 µs".into(),
     ]);
 
@@ -95,4 +114,26 @@ fn main() {
         "{}",
         render_table(&["claim", "application", "measured", "paper"], &rows)
     );
+
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("table".to_string(), "claims".to_value());
+        m.insert(
+            "claims".to_string(),
+            serde_json::Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        let mut c = serde_json::Map::new();
+                        c.insert("claim".to_string(), r[0].to_value());
+                        c.insert("application".to_string(), r[1].to_value());
+                        c.insert("measured".to_string(), r[2].to_value());
+                        c.insert("paper".to_string(), r[3].to_value());
+                        serde_json::Value::Object(c)
+                    })
+                    .collect(),
+            ),
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
 }

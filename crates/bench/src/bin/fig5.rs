@@ -2,12 +2,13 @@
 //! 40%, 70% and 100% remote edges, three versions, both languages,
 //! normalized against Split-C.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin fig5 [--quick]`
+//! Usage: `cargo run --release -p mpmd-bench --bin fig5 [--quick] [--json <path>]`
 
 use mpmd_bench::experiments::{bar_pair, breakdown_row, run_fig5, Scale, BREAKDOWN_HEADERS};
-use mpmd_bench::fmt::render_table;
+use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
 
 fn main() {
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     let scale = Scale::from_args();
     eprintln!("running Figure 5 EM3D sweeps ({scale:?} scale)...");
     let fracs = [0.1, 0.4, 0.7, 1.0];
@@ -27,11 +28,37 @@ fn main() {
             normal,
         ));
     }
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("figure".to_string(), "fig5".to_value());
+        m.insert(
+            "cells".to_string(),
+            serde_json::Value::Array(
+                cells
+                    .iter()
+                    .map(|(v, f, sc, cc)| {
+                        let mut c = serde_json::Map::new();
+                        c.insert("version".to_string(), v.label().to_value());
+                        c.insert("remote_frac".to_string(), f.to_value());
+                        c.insert("splitc".to_string(), sc.to_json());
+                        c.insert("ccxx".to_string(), cc.to_json());
+                        serde_json::Value::Object(c)
+                    })
+                    .collect(),
+            ),
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
+
     println!("Figure 5 — EM3D execution breakdown (normalized against Split-C)");
     println!("{}", render_table(&BREAKDOWN_HEADERS, &rows));
     println!("{}", mpmd_bench::fmt::bar_legend());
     for (v, f, sc, cc) in &cells {
-        println!("{}", bar_pair(&format!("{} {:.0}%", v.label(), f * 100.0), sc, cc, 30));
+        println!(
+            "{}",
+            bar_pair(&format!("{} {:.0}%", v.label(), f * 100.0), sc, cc, 30)
+        );
     }
     println!();
 
@@ -50,9 +77,18 @@ fn main() {
         a.breakdown.elapsed as f64 / b.breakdown.elapsed as f64
     };
     println!("shapes at 100% remote edges (paper values in parentheses):");
-    println!("  cc++/split-c em3d-base : {:.2}  (~2.0)", r(base_cc, base_sc));
-    println!("  cc++/split-c em3d-ghost: {:.2}  (~2.5)", r(ghost_cc, ghost_sc));
-    println!("  cc++/split-c em3d-bulk : {:.2}  (~1.1)", r(bulk_cc, bulk_sc));
+    println!(
+        "  cc++/split-c em3d-base : {:.2}  (~2.0)",
+        r(base_cc, base_sc)
+    );
+    println!(
+        "  cc++/split-c em3d-ghost: {:.2}  (~2.5)",
+        r(ghost_cc, ghost_sc)
+    );
+    println!(
+        "  cc++/split-c em3d-bulk : {:.2}  (~1.1)",
+        r(bulk_cc, bulk_sc)
+    );
     println!(
         "  ghost reduces base by    {:.0}% / {:.0}%  (87-89%)",
         (1.0 - 1.0 / r(base_sc, ghost_sc)) * 100.0,

@@ -5,13 +5,20 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin fig6 [--quick]`
 
 use mpmd_apps::water::WaterVersion;
-use mpmd_bench::experiments::{bar_pair, breakdown_row, run_fig6_lu, run_fig6_water, Scale, BREAKDOWN_HEADERS};
-use mpmd_bench::fmt::render_table;
+use mpmd_bench::experiments::{
+    bar_pair, breakdown_row, run_fig6_lu, run_fig6_water, Scale, BREAKDOWN_HEADERS,
+};
+use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
 
 fn main() {
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     let scale = Scale::from_args();
     eprintln!("running Figure 6 Water sweeps ({scale:?} scale)...");
-    let sizes: &[usize] = if scale == Scale::Paper { &[64, 512] } else { &[16, 32] };
+    let sizes: &[usize] = if scale == Scale::Paper {
+        &[64, 512]
+    } else {
+        &[16, 32]
+    };
     let water = run_fig6_water(scale, sizes);
     eprintln!("running Figure 6 LU ({scale:?} scale)...");
     let (lu_sc, lu_cc) = run_fig6_lu(scale);
@@ -19,14 +26,49 @@ fn main() {
     let mut rows = Vec::new();
     for (v, n, sc, cc) in &water {
         let normal = mpmd_sim::to_secs(sc.breakdown.elapsed);
-        rows.push(breakdown_row(&format!("split-c {} {n}", v.label()), sc, normal));
-        rows.push(breakdown_row(&format!("cc++    {} {n}", v.label()), cc, normal));
+        rows.push(breakdown_row(
+            &format!("split-c {} {n}", v.label()),
+            sc,
+            normal,
+        ));
+        rows.push(breakdown_row(
+            &format!("cc++    {} {n}", v.label()),
+            cc,
+            normal,
+        ));
     }
     {
         let normal = mpmd_sim::to_secs(lu_sc.breakdown.elapsed);
         rows.push(breakdown_row("split-c sc-lu", &lu_sc, normal));
         rows.push(breakdown_row("cc++    cc-lu", &lu_cc, normal));
     }
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("figure".to_string(), "fig6".to_value());
+        m.insert(
+            "water".to_string(),
+            serde_json::Value::Array(
+                water
+                    .iter()
+                    .map(|(v, n, sc, cc)| {
+                        let mut c = serde_json::Map::new();
+                        c.insert("version".to_string(), v.label().to_value());
+                        c.insert("molecules".to_string(), n.to_value());
+                        c.insert("splitc".to_string(), sc.to_json());
+                        c.insert("ccxx".to_string(), cc.to_json());
+                        serde_json::Value::Object(c)
+                    })
+                    .collect(),
+            ),
+        );
+        let mut lu = serde_json::Map::new();
+        lu.insert("splitc".to_string(), lu_sc.to_json());
+        lu.insert("ccxx".to_string(), lu_cc.to_json());
+        m.insert("lu".to_string(), serde_json::Value::Object(lu));
+        write_json(path, &serde_json::Value::Object(m));
+    }
+
     println!("Figure 6 — Water and LU execution breakdown (normalized against Split-C)");
     println!("{}", render_table(&BREAKDOWN_HEADERS, &rows));
     println!("{}", mpmd_bench::fmt::bar_legend());
@@ -46,7 +88,10 @@ fn main() {
             (WaterVersion::Prefetch, 512) => "3.5",
             _ => "-",
         };
-        println!("  cc++/split-c {} {n}: {ratio:.2}  (paper {paper})", v.label());
+        println!(
+            "  cc++/split-c {} {n}: {ratio:.2}  (paper {paper})",
+            v.label()
+        );
     }
     let lu_ratio = lu_cc.breakdown.elapsed as f64 / lu_sc.breakdown.elapsed as f64;
     println!("  cc-lu/sc-lu: {lu_ratio:.2}  (paper 3.6)");

@@ -9,7 +9,7 @@
 use mpmd_apps::em3d::Em3dVersion;
 use mpmd_apps::water::WaterVersion;
 use mpmd_bench::experiments::{run_fig5, run_fig6_lu, run_fig6_water, Cell, Scale};
-use mpmd_bench::fmt::render_table;
+use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
 use mpmd_sim::size_bucket_limit;
 
 fn hist_cells(c: &Cell) -> Vec<String> {
@@ -31,6 +31,7 @@ fn hist_cells(c: &Cell) -> Vec<String> {
 }
 
 fn main() {
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     let scale = Scale::from_args();
     eprintln!("profiling messages across the applications ({scale:?} scale)...");
 
@@ -50,23 +51,41 @@ fn main() {
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
 
     let mut rows = Vec::new();
+    let mut cells: Vec<Cell> = Vec::new();
     for (v, f, sc, cc) in run_fig5(scale, &[1.0]) {
         let _ = (v, f);
         rows.push(hist_cells(&sc));
         rows.push(hist_cells(&cc));
+        cells.push(sc);
+        cells.push(cc);
     }
     let wsize = if scale == Scale::Paper { 64 } else { 16 };
     for (v, n, sc, cc) in run_fig6_water(scale, &[wsize]) {
         let _ = (v, n);
         rows.push(hist_cells(&sc));
         rows.push(hist_cells(&cc));
+        cells.push(sc);
+        cells.push(cc);
     }
     let (lu_sc, lu_cc) = run_fig6_lu(scale);
     rows.push(hist_cells(&lu_sc));
     rows.push(hist_cells(&lu_cc));
+    cells.push(lu_sc);
+    cells.push(lu_cc);
 
     println!("Message and thread-operation profile per application run");
     println!("{}", render_table(&headers_ref, &rows));
     println!("Columns ≤64B.. are the sent-message wire-size histogram.");
     let _ = (Em3dVersion::Base, WaterVersion::Atomic);
+
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("table".to_string(), "msgprofile".to_value());
+        m.insert(
+            "runs".to_string(),
+            serde_json::Value::Array(cells.iter().map(Cell::to_json).collect()),
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
 }

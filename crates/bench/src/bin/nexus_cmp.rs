@@ -4,9 +4,10 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin nexus_cmp [--quick]`
 
 use mpmd_bench::experiments::{run_nexus_cmp, Scale};
-use mpmd_bench::fmt::{render_table, secs};
+use mpmd_bench::fmt::{render_table, secs, take_json_flag, write_json};
 
 fn main() {
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     let scale = Scale::from_args();
     eprintln!("running CC++/ThAM vs CC++/Nexus comparison ({scale:?} scale)...");
     let cmps = run_nexus_cmp(scale);
@@ -29,4 +30,26 @@ fn main() {
     let min = cmps.iter().map(|c| c.ratio()).fold(f64::MAX, f64::min);
     let max = cmps.iter().map(|c| c.ratio()).fold(0.0f64, f64::max);
     println!("speedup range: {min:.1}x – {max:.1}x (paper: 5x – 35x)");
+
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("table".to_string(), "nexus_cmp".to_value());
+        m.insert(
+            "comparisons".to_string(),
+            serde_json::Value::Array(
+                cmps.iter()
+                    .map(|c| {
+                        let mut o = serde_json::Map::new();
+                        o.insert("application".to_string(), c.name.to_value());
+                        o.insert("tham_secs".to_string(), c.tham_secs.to_value());
+                        o.insert("nexus_secs".to_string(), c.nexus_secs.to_value());
+                        o.insert("speedup".to_string(), c.ratio().to_value());
+                        serde_json::Value::Object(o)
+                    })
+                    .collect(),
+            ),
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
 }

@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p mpmd-bench --bin scaling`
 
-use mpmd_bench::fmt::render_table;
+use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CcxxConfig, CxPtr};
 use mpmd_sim::{to_us, Sim};
@@ -34,7 +34,11 @@ fn splitc_exchange(len: usize) -> f64 {
             if q != ctx.node() {
                 sc::bulk_store(
                     &ctx,
-                    GlobalPtr { node: q, region, offset: len * ctx.node() },
+                    GlobalPtr {
+                        node: q,
+                        region,
+                        offset: len * ctx.node(),
+                    },
                     &vals,
                 );
             }
@@ -75,7 +79,11 @@ fn exchange_once(ctx: &mpmd_sim::Ctx, region: u32, len: usize) {
     for q in 0..PROCS {
         if q != ctx.node() {
             let vals = vec![1.5f64; len];
-            let dst = CxPtr { node: q, region, offset: len * ctx.node() };
+            let dst = CxPtr {
+                node: q,
+                region,
+                offset: len * ctx.node(),
+            };
             bodies.push(Box::new(move |cctx| {
                 // Flat arrays, like em3d-bulk: the penalty measured here is
                 // copying, not per-element serialization.
@@ -88,9 +96,11 @@ fn exchange_once(ctx: &mpmd_sim::Ctx, region: u32, len: usize) {
 }
 
 fn main() {
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     println!("Bulk-exchange gap vs per-peer transfer size ({PROCS} nodes, flat arrays,\nwith an EM3D phase of computation per exchange)");
     println!();
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     let mut crossover: Option<usize> = None;
     // EM3D at the paper's scale moves ~100 doubles per peer per phase.
     let base_doubles = 100usize;
@@ -102,6 +112,16 @@ fn main() {
         if crossover.is_none() && ratio >= 2.0 {
             crossover = Some(mult);
         }
+        {
+            use serde::Serialize as _;
+            let mut o = serde_json::Map::new();
+            o.insert("scale".to_string(), mult.to_value());
+            o.insert("bytes_per_peer".to_string(), (len * 8).to_value());
+            o.insert("splitc_us".to_string(), scv.to_value());
+            o.insert("ccxx_us".to_string(), ccv.to_value());
+            o.insert("gap".to_string(), ratio.to_value());
+            json_rows.push(serde_json::Value::Object(o));
+        }
         rows.push(vec![
             format!("{mult}x"),
             format!("{}", len * 8),
@@ -110,10 +130,31 @@ fn main() {
             format!("{ratio:.2}"),
         ]);
     }
+
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("table".to_string(), "scaling".to_value());
+        m.insert("rows".to_string(), serde_json::Value::Array(json_rows));
+        m.insert(
+            "crossover_scale".to_string(),
+            match crossover {
+                Some(c) => c.to_value(),
+                None => serde_json::Value::Null,
+            },
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
     println!(
         "{}",
         render_table(
-            &["problem scale", "bytes/peer", "split-c µs", "cc++ µs", "gap"],
+            &[
+                "problem scale",
+                "bytes/peer",
+                "split-c µs",
+                "cc++ µs",
+                "gap"
+            ],
             &rows
         )
     );

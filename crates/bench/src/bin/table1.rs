@@ -4,9 +4,9 @@
 //! numbers and the analogous line counts of this repository's crates, with
 //! the same grouping (messaging substrate vs runtime vs support library).
 //!
-//! Usage: `cargo run -p mpmd-bench --bin table1`
+//! Usage: `cargo run -p mpmd-bench --bin table1 [--json <path>]`
 
-use mpmd_bench::fmt::render_table;
+use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
 use std::path::{Path, PathBuf};
 
 fn count_rust_lines(dir: &Path) -> usize {
@@ -42,16 +42,26 @@ fn main() {
     println!("Paper (C++/headers lines):");
     let paper = vec![
         vec!["Nexus v3.0".into(), "39226".into(), "6552".into()],
-        vec!["CC++ runtime (w/Nexus)".into(), "1936".into(), "1366".into()],
+        vec![
+            "CC++ runtime (w/Nexus)".into(),
+            "1936".into(),
+            "1366".into(),
+        ],
         vec!["ThAM".into(), "1155".into(), "726".into()],
         vec!["CC++ runtime (w/ThAM)".into(), "2682".into(), "1346".into()],
     ];
-    println!("{}", render_table(&["component", ".C lines", ".H lines"], &paper));
+    println!(
+        "{}",
+        render_table(&["component", ".C lines", ".H lines"], &paper)
+    );
 
     let root = workspace_root();
     println!("This reproduction (Rust lines per crate, same grouping):");
     let groups: &[(&str, &str)] = &[
-        ("simulated multicomputer (stands in for the SP)", "crates/sim"),
+        (
+            "simulated multicomputer (stands in for the SP)",
+            "crates/sim",
+        ),
         ("threads package", "crates/threads"),
         ("Active Messages layer", "crates/am"),
         ("Split-C runtime", "crates/splitc"),
@@ -69,6 +79,26 @@ fn main() {
     }
     rows.push(vec!["total".to_string(), total.to_string()]);
     println!("{}", render_table(&["component", ".rs lines"], &rows));
+
+    let (_, json_path) = take_json_flag(std::env::args().skip(1));
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("table".to_string(), "table1".to_value());
+        let mut repro = serde_json::Map::new();
+        for (name, rel) in groups {
+            repro.insert(
+                name.to_string(),
+                count_rust_lines(&root.join(rel)).to_value(),
+            );
+        }
+        repro.insert("total".to_string(), total.to_value());
+        m.insert(
+            "repro_rust_lines".to_string(),
+            serde_json::Value::Object(repro),
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
     println!(
         "The paper's point stands in the reproduction: the lean runtime\n\
          (ccxx, {} lines) is an order of magnitude smaller than a portable\n\

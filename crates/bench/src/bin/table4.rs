@@ -1,16 +1,14 @@
 //! Regenerate Table 4: micro-benchmark results for CC++/ThAM vs Split-C,
 //! with the paper's values alongside.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin table4 [iters]`
+//! Usage: `cargo run --release -p mpmd-bench --bin table4 [iters] [--json <path>]`
 
-use mpmd_bench::fmt::{cnt, render_table, us};
+use mpmd_bench::fmt::{cnt, render_table, take_json_flag, us, write_json};
 use mpmd_bench::micro::{measure_mpl_rtt, run_table4};
 
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let (args, json_path) = take_json_flag(std::env::args().skip(1));
+    let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200);
     eprintln!("running Table 4 micro-benchmarks ({iters} iterations each)...");
     let rows = run_table4(iters);
 
@@ -59,6 +57,19 @@ fn main() {
     println!("Table 4 — micro-benchmark results (all times in µs; per element for Prefetch)");
     println!("{}", render_table(&headers, &table));
     let mpl = measure_mpl_rtt();
+
+    if let Some(path) = &json_path {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("table".to_string(), "table4".to_value());
+        m.insert("iters".to_string(), iters.to_value());
+        m.insert("mpl_rtt_us".to_string(), mpl.to_value());
+        m.insert(
+            "rows".to_string(),
+            serde_json::Value::Array(rows.iter().map(|r| r.to_json()).collect()),
+        );
+        write_json(path, &serde_json::Value::Object(m));
+    }
     println!("IBM MPL null round trip: {mpl:.0} µs (paper: 88 µs)");
     let simple = &rows[0];
     println!(

@@ -25,6 +25,26 @@ impl Cell {
     pub fn total_secs(&self) -> f64 {
         mpmd_sim::to_secs(self.breakdown.elapsed)
     }
+
+    /// JSON form for the binaries' `--json` output: elapsed time, the five
+    /// cost components keyed by [`mpmd_sim::Bucket::label`], and the raw
+    /// counters.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde::Serialize as _;
+        let b = &self.breakdown;
+        let mut comp = serde_json::Map::new();
+        for (bk, v) in mpmd_sim::Bucket::ALL.iter().zip(b.components()) {
+            comp.insert(bk.label().to_string(), v.to_value());
+        }
+        let mut m = serde_json::Map::new();
+        m.insert("lang".to_string(), self.lang.label().to_value());
+        m.insert("label".to_string(), self.label.to_value());
+        m.insert("units".to_string(), self.units.to_value());
+        m.insert("elapsed_ns".to_string(), b.elapsed.to_value());
+        m.insert("components_ns".to_string(), serde_json::Value::Object(comp));
+        m.insert("counts".to_string(), b.counts.to_value());
+        serde_json::Value::Object(m)
+    }
 }
 
 /// Scale of an experiment run.

@@ -1,4 +1,46 @@
-//! Plain-text table formatting for the experiment binaries.
+//! Plain-text table formatting for the experiment binaries, plus the shared
+//! `--json <path>` machine-readable output flag.
+
+use std::path::{Path, PathBuf};
+
+/// Split a `--json <path>` flag off a raw argument list (everything after
+/// the program name), returning the remaining positional arguments and the
+/// requested output path. Every experiment binary accepts this flag and
+/// writes its results as JSON next to the human-readable table.
+pub fn take_json_flag(args: impl Iterator<Item = String>) -> (Vec<String>, Option<PathBuf>) {
+    let mut rest = Vec::new();
+    let mut json = None;
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let Some(p) = args.next() else {
+                eprintln!("error: --json requires a path argument");
+                std::process::exit(2);
+            };
+            json = Some(PathBuf::from(p));
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            json = Some(PathBuf::from(p));
+        } else {
+            rest.push(a);
+        }
+    }
+    (rest, json)
+}
+
+/// Write a JSON value to `path` (creating parent directories), with a
+/// trailing newline. Used by the experiment binaries for `--json` output.
+pub fn write_json(path: &Path, value: &serde_json::Value) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        }
+    }
+    let mut text = serde_json::to_string_pretty(value).expect("JSON serialization failed");
+    text.push('\n');
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
 
 /// Render a fixed-width table with a header row.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

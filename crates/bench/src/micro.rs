@@ -29,6 +29,37 @@ pub struct Measured {
     pub creates: f64,
     pub syncs: f64,
     pub runtime_us: f64,
+    /// Charged time per cost bucket across both nodes, in µs per unit,
+    /// indexed by [`Bucket::index`] (the `--json` per-bucket totals).
+    pub bucket_us: [f64; mpmd_sim::NUM_BUCKETS],
+}
+
+serde::impl_serialize!(Measured {
+    total_us,
+    am_us,
+    threads_us,
+    yields,
+    creates,
+    syncs,
+    runtime_us,
+    bucket_us,
+});
+
+impl Measured {
+    /// JSON form with the per-bucket totals keyed by [`Bucket::label`].
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde::Serialize as _;
+        let mut v = serde_json::to_value(self);
+        if let serde_json::Value::Object(map) = &mut v {
+            map.remove("bucket_us");
+            let mut buckets = serde_json::Map::new();
+            for b in Bucket::ALL {
+                buckets.insert(b.label().to_string(), self.bucket_us[b.index()].to_value());
+            }
+            map.insert("bucket_us".to_string(), serde_json::Value::Object(buckets));
+        }
+        v
+    }
 }
 
 fn reduce(start: &Snapshot, end: &Snapshot, units: f64) -> Measured {
@@ -38,6 +69,10 @@ fn reduce(start: &Snapshot, end: &Snapshot, units: f64) -> Measured {
     let threads_us =
         (to_us(t.bucket(Bucket::ThreadMgmt)) + to_us(t.bucket(Bucket::ThreadSync))) / units;
     let runtime_us = to_us(t.bucket(Bucket::Runtime)) / units;
+    let mut bucket_us = [0.0; mpmd_sim::NUM_BUCKETS];
+    for b in Bucket::ALL {
+        bucket_us[b.index()] = to_us(t.bucket(b)) / units;
+    }
     Measured {
         total_us,
         am_us: total_us - threads_us - runtime_us,
@@ -46,6 +81,7 @@ fn reduce(start: &Snapshot, end: &Snapshot, units: f64) -> Measured {
         creates: t.thread_creates as f64 / units,
         syncs: t.sync_ops as f64 / units,
         runtime_us,
+        bucket_us,
     }
 }
 
@@ -169,6 +205,34 @@ pub struct Table4Row {
     pub paper_sc: Option<(f64, f64, f64)>,
 }
 
+impl Table4Row {
+    /// JSON form for `--json` output: measured values plus the paper's
+    /// reference numbers.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde::Serialize as _;
+        let mut m = serde_json::Map::new();
+        m.insert("name".to_string(), self.name.to_value());
+        m.insert("cc".to_string(), self.cc.to_json());
+        m.insert(
+            "sc".to_string(),
+            match &self.sc {
+                Some(sc) => sc.to_json(),
+                None => serde_json::Value::Null,
+            },
+        );
+        let (t, a, th, rt) = self.paper_cc;
+        m.insert("paper_cc_us".to_string(), [t, a, th, rt].to_value());
+        m.insert(
+            "paper_sc_us".to_string(),
+            match self.paper_sc {
+                Some((t, a, rt)) => [t, a, rt].to_value(),
+                None => serde_json::Value::Null,
+            },
+        );
+        serde_json::Value::Object(m)
+    }
+}
+
 /// Run the complete micro-benchmark suite with the given iteration count.
 pub fn run_table4(iters: usize) -> Vec<Table4Row> {
     run_table4_with(CcxxConfig::tham(), CostModel::default(), iters)
@@ -178,8 +242,7 @@ pub fn run_table4(iters: usize) -> Vec<Table4Row> {
 /// by the ablation harness).
 pub fn run_table4_with(cfg: CcxxConfig, cost: CostModel, iters: usize) -> Vec<Table4Row> {
     let w = 4; // warm-up iterations
-    let cc =
-        |op: CcxxOp, units: f64| measure_ccxx(cfg.clone(), cost.clone(), w, iters, units, op);
+    let cc = |op: CcxxOp, units: f64| measure_ccxx(cfg.clone(), cost.clone(), w, iters, units, op);
     let scm = |op: ScOp, units: f64| measure_splitc(w, iters, units, op);
 
     let mut rows = Vec::new();
@@ -392,7 +455,10 @@ pub fn measure_oam(iters: usize) -> Vec<(&'static str, f64)> {
         v
     }
     vec![
-        ("threaded (always spawns)", measure(iters, true, CallMode::Threaded)),
+        (
+            "threaded (always spawns)",
+            measure(iters, true, CallMode::Threaded),
+        ),
         (
             "optimistic, non-blocking method (runs on the stack)",
             measure(iters, false, CallMode::Optimistic),

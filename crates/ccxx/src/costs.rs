@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn gp_access_runtime_sums_to_16us() {
         let c = CcxxCosts::default();
-        assert_eq!(c.gp_issue + c.gp_complete + c.gp_serve + c.gp_reply, us(16.0));
+        assert_eq!(
+            c.gp_issue + c.gp_complete + c.gp_serve + c.gp_reply,
+            us(16.0)
+        );
     }
 
     #[test]

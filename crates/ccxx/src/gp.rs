@@ -158,7 +158,11 @@ pub fn gp_read3(ctx: &Ctx, p: CxPtr) -> [f64; 3] {
     sv.read(ctx);
     ctx.charge(Bucket::Runtime, c.gp_complete);
     let w = cell.words();
-    [f64::from_bits(w[0]), f64::from_bits(w[1]), f64::from_bits(w[2])]
+    [
+        f64::from_bits(w[0]),
+        f64::from_bits(w[1]),
+        f64::from_bits(w[2]),
+    ]
 }
 
 /// Issue a non-blocking read through a global pointer; wait on the returned
@@ -208,7 +212,12 @@ fn serve_access(_ctx: &Ctx, st: &CcxxState, args: [u64; 4]) -> [u64; 4] {
         OP_READ => [region.read()[off].to_bits(), 0, 0, 0],
         OP_READ3 => {
             let r = region.read();
-            [r[off].to_bits(), r[off + 1].to_bits(), r[off + 2].to_bits(), 0]
+            [
+                r[off].to_bits(),
+                r[off + 1].to_bits(),
+                r[off + 2].to_bits(),
+                0,
+            ]
         }
         OP_WRITE => {
             region.write()[off] = f64::from_bits(args[3]);

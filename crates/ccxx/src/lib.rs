@@ -49,8 +49,10 @@ pub use gp::{gp_read, gp_read3, gp_read_async, gp_write, GpHandle};
 pub use marshal::{FlatF64s, Marshal, MarshalBuf, UnmarshalBuf};
 pub use par::{par, parfor, prefetch};
 pub use pobj::{create_object, destroy_object, register_obj_method, rmi_obj, CxObjPtr};
-pub use rmi::{register_method, register_method_full, rmi, rmi_program, CallMode, RmiArgs,
-    RmiRet, DEFAULT_PROGRAM};
+pub use rmi::{
+    register_method, register_method_full, rmi, rmi_program, CallMode, RmiArgs, RmiRet,
+    DEFAULT_PROGRAM,
+};
 pub use runtime::{
     alloc_region, atomic_add, atomic_add3, barrier, bulk_get, bulk_get_flat, bulk_put,
     bulk_put_flat, charge_cpu, finalize, init, pack_addr, poll, spin_until, unpack_addr,
@@ -159,7 +161,12 @@ mod tests {
                 let warm = ctx.now() - t1;
                 // Cold invocation ships the name (bulk) and pays resolution
                 // + R-buffer work; warm is the 67 µs Table-4 row.
-                assert!(cold > warm, "cold {} µs vs warm {} µs", to_us(cold), to_us(warm));
+                assert!(
+                    cold > warm,
+                    "cold {} µs vs warm {} µs",
+                    to_us(cold),
+                    to_us(warm)
+                );
                 assert!(
                     (to_us(warm) - 67.0).abs() < 67.0 * 0.15,
                     "warm 0-Word Simple = {} µs (paper: 67)",
@@ -197,7 +204,11 @@ mod tests {
             barrier(&ctx);
             if ctx.node() == 0 {
                 // warm-up (no stub cache involved, but syncs the nodes)
-                let p = CxPtr { node: 1, region, offset: 0 };
+                let p = CxPtr {
+                    node: 1,
+                    region,
+                    offset: 0,
+                };
                 gp_read(&ctx, p);
                 let t0 = ctx.now();
                 let v = gp_read(&ctx, p);
@@ -286,7 +297,10 @@ mod tests {
                 let t0 = ctx.now();
                 let vals = prefetch(&ctx, &ptrs);
                 let per_elt = to_us(ctx.now() - t0) / 20.0;
-                assert!(vals.iter().enumerate().all(|(i, &v)| v == (1000 + i) as f64));
+                assert!(vals
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &v)| v == (1000 + i) as f64));
                 // Table 4: 35.4 µs/element — far below a blocking read's 92.
                 assert!(
                     per_elt < 55.0,
@@ -515,7 +529,11 @@ mod tests {
                 let region = alloc_region(&ctx, 20, 1.0);
                 barrier(&ctx);
                 if ctx.node() == 0 {
-                    let p = CxPtr { node: 1, region, offset: 0 };
+                    let p = CxPtr {
+                        node: 1,
+                        region,
+                        offset: 0,
+                    };
                     bulk_get(&ctx, p, 20); // warm
                     let t0 = ctx.now();
                     bulk_get(&ctx, p, 20);

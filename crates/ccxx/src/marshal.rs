@@ -117,6 +117,7 @@ impl MarshalBuf {
 
     /// Serialize one argument, charging its marshalling cost.
     pub fn push<T: Marshal>(&mut self, ctx: &Ctx, value: &T) -> &mut Self {
+        let _sp = ctx.span("rmi.marshal");
         let st = CcxxState::get(ctx);
         let before = self.bytes.len();
         value.write(&mut self.bytes);
@@ -170,6 +171,7 @@ impl<'a> UnmarshalBuf<'a> {
 
     /// Extract the next argument, charging its unmarshalling cost.
     pub fn next<T: Marshal>(&mut self, ctx: &Ctx) -> T {
+        let _sp = ctx.span("rmi.unmarshal");
         let st = CcxxState::get(ctx);
         let before = self.input.len();
         let v = T::read(&mut self.input);

@@ -12,10 +12,7 @@ use std::sync::Arc;
 /// Execute `bodies` concurrently (the `par` block); returns when all have
 /// completed. Each body costs a thread create.
 pub fn par(ctx: &Ctx, bodies: Vec<Box<dyn FnOnce(Ctx) + Send>>) {
-    let handles: Vec<Thread> = bodies
-        .into_iter()
-        .map(|b| spawn(ctx, "par", b))
-        .collect();
+    let handles: Vec<Thread> = bodies.into_iter().map(|b| spawn(ctx, "par", b)).collect();
     for h in handles {
         h.join(ctx);
     }

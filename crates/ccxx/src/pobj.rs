@@ -14,7 +14,9 @@
 //! type, keeping CC++ global pointers opaque.
 
 use crate::marshal::MarshalBuf;
-use crate::rmi::{register_method_full, rmi_with_object, CallMode, RmiArgs, RmiRet, DEFAULT_PROGRAM};
+use crate::rmi::{
+    register_method_full, rmi_with_object, CallMode, RmiArgs, RmiRet, DEFAULT_PROGRAM,
+};
 use mpmd_sim::Ctx;
 use parking_lot::RwLock;
 use std::any::Any;
@@ -108,8 +110,12 @@ fn fetch_object<T: Send + Sync + 'static>(ctx: &Ctx, obj: u64) -> Arc<T> {
     let rec = objects
         .get(&obj)
         .unwrap_or_else(|| panic!("no processor object {obj} on node {}", ctx.node()));
-    Arc::downcast::<T>(Arc::clone(&rec.value))
-        .unwrap_or_else(|_| panic!("processor object {obj} is not a {}", std::any::type_name::<T>()))
+    Arc::downcast::<T>(Arc::clone(&rec.value)).unwrap_or_else(|_| {
+        panic!(
+            "processor object {obj} is not a {}",
+            std::any::type_name::<T>()
+        )
+    })
 }
 
 /// Register a method of processor-object type `T` on this node. All
@@ -121,11 +127,20 @@ where
     F: Fn(&Ctx, &T, RmiArgs) -> RmiRet + Send + Sync + 'static,
 {
     let name = typed_name_of(std::any::type_name::<T>(), method);
-    register_method_full(ctx, DEFAULT_PROGRAM, &name, may_block, move |ctx, mut args| {
-        let obj_id = args.obj.take().expect("object method invoked without an object id");
-        let obj = fetch_object::<T>(ctx, obj_id);
-        f(ctx, &obj, args)
-    });
+    register_method_full(
+        ctx,
+        DEFAULT_PROGRAM,
+        &name,
+        may_block,
+        move |ctx, mut args| {
+            let obj_id = args
+                .obj
+                .take()
+                .expect("object method invoked without an object id");
+            let obj = fetch_object::<T>(ctx, obj_id);
+            f(ctx, &obj, args)
+        },
+    );
 }
 
 /// Invoke `method` on the processor object behind `p`
@@ -159,7 +174,12 @@ mod tests {
     fn object_lifecycle() {
         Sim::new(1).run(|ctx| {
             init(&ctx, CcxxConfig::tham());
-            let p = create_object(&ctx, Counter { hits: AtomicU64::new(0) });
+            let p = create_object(
+                &ctx,
+                Counter {
+                    hits: AtomicU64::new(0),
+                },
+            );
             assert_eq!(p.node, 0);
             destroy_object(&ctx, p);
             finalize(&ctx);
@@ -198,8 +218,18 @@ mod tests {
             // Node 1 hosts two counters and a scaler.
             let reg = crate::alloc_region(&ctx, 3, 0.0);
             if ctx.node() == 1 {
-                let a = create_object(&ctx, Counter { hits: AtomicU64::new(0) });
-                let b = create_object(&ctx, Counter { hits: AtomicU64::new(100) });
+                let a = create_object(
+                    &ctx,
+                    Counter {
+                        hits: AtomicU64::new(0),
+                    },
+                );
+                let b = create_object(
+                    &ctx,
+                    Counter {
+                        hits: AtomicU64::new(100),
+                    },
+                );
                 let s = create_object(&ctx, Scaler { factor: 7 });
                 crate::with_local(&ctx, reg, |v| {
                     v[0] = a.obj as f64;
@@ -210,15 +240,43 @@ mod tests {
             barrier(&ctx);
             if ctx.node() == 0 {
                 let id = |i: usize| {
-                    crate::gp_read(&ctx, crate::CxPtr { node: 1, region: reg, offset: i }) as u64
+                    crate::gp_read(
+                        &ctx,
+                        crate::CxPtr {
+                            node: 1,
+                            region: reg,
+                            offset: i,
+                        },
+                    ) as u64
                 };
-                let a = CxObjPtr { node: 1, obj: id(0) };
-                let b = CxObjPtr { node: 1, obj: id(1) };
-                let s = CxObjPtr { node: 1, obj: id(2) };
-                assert_eq!(rmi_obj(&ctx, a, "apply", &[5], None, CallMode::Blocking).words[0], 5);
-                assert_eq!(rmi_obj(&ctx, a, "apply", &[5], None, CallMode::Blocking).words[0], 10);
-                assert_eq!(rmi_obj(&ctx, b, "apply", &[1], None, CallMode::Optimistic).words[0], 101);
-                assert_eq!(rmi_obj(&ctx, s, "apply", &[6], None, CallMode::Threaded).words[0], 42);
+                let a = CxObjPtr {
+                    node: 1,
+                    obj: id(0),
+                };
+                let b = CxObjPtr {
+                    node: 1,
+                    obj: id(1),
+                };
+                let s = CxObjPtr {
+                    node: 1,
+                    obj: id(2),
+                };
+                assert_eq!(
+                    rmi_obj(&ctx, a, "apply", &[5], None, CallMode::Blocking).words[0],
+                    5
+                );
+                assert_eq!(
+                    rmi_obj(&ctx, a, "apply", &[5], None, CallMode::Blocking).words[0],
+                    10
+                );
+                assert_eq!(
+                    rmi_obj(&ctx, b, "apply", &[1], None, CallMode::Optimistic).words[0],
+                    101
+                );
+                assert_eq!(
+                    rmi_obj(&ctx, s, "apply", &[6], None, CallMode::Threaded).words[0],
+                    42
+                );
             }
             finalize(&ctx);
         });
@@ -233,15 +291,26 @@ mod tests {
             });
             let reg = crate::alloc_region(&ctx, 1, 0.0);
             if ctx.node() == 1 {
-                let p = create_object(&ctx, Counter { hits: AtomicU64::new(9) });
+                let p = create_object(
+                    &ctx,
+                    Counter {
+                        hits: AtomicU64::new(9),
+                    },
+                );
                 crate::with_local(&ctx, reg, |v| v[0] = p.obj as f64);
             }
             barrier(&ctx);
             if ctx.node() == 0 {
                 let p = CxObjPtr {
                     node: 1,
-                    obj: crate::gp_read(&ctx, crate::CxPtr { node: 1, region: reg, offset: 0 })
-                        as u64,
+                    obj: crate::gp_read(
+                        &ctx,
+                        crate::CxPtr {
+                            node: 1,
+                            region: reg,
+                            offset: 0,
+                        },
+                    ) as u64,
                 };
                 let t0 = ctx.now();
                 rmi_obj(&ctx, p, "get", &[], None, CallMode::Blocking);

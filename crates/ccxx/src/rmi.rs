@@ -181,9 +181,11 @@ pub fn register_method_full(
 /// defers (no thread operations are charged — this is the Simple path).
 pub(crate) fn spin_wait(ctx: &Ctx, pred: impl FnMut() -> bool) {
     let st = CcxxState::get(ctx);
-    st.spinners.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+    st.spinners
+        .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     am::wait_until(ctx, pred);
-    st.spinners.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    st.spinners
+        .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
 }
 
 /// Invoke `method` on node `dst` and wait for its reply.
@@ -215,7 +217,16 @@ pub(crate) fn rmi_with_object(
     payload: Option<crate::marshal::MarshalBuf>,
     mode: CallMode,
 ) -> RmiRet {
-    rmi_inner(ctx, dst, DEFAULT_PROGRAM, method, Some(obj), words, payload, mode)
+    rmi_inner(
+        ctx,
+        dst,
+        DEFAULT_PROGRAM,
+        method,
+        Some(obj),
+        words,
+        payload,
+        mode,
+    )
 }
 
 /// [`rmi`] against a method of an explicit program image on the target node.
@@ -246,6 +257,11 @@ fn rmi_inner(
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
+    // "rmi.marshal" covers the initiator-side request construction: issue
+    // overhead, stub-cache lookup, blocking plumbing and wire-image assembly.
+    // (Argument serialization proper is charged in `MarshalBuf::push`, which
+    // opens its own "rmi.marshal" frames at the call sites.)
+    let sp_marshal = ctx.span_start("rmi.marshal");
     ctx.charge(Bucket::Runtime, c.send_issue);
 
     // Stub-cache lookup (charged lock + 3 µs lookup). A miss — or caching
@@ -290,8 +306,10 @@ fn rmi_inner(
         reply,
         obj,
     };
+    ctx.span_end(sp_marshal);
 
     {
+        let _sp_send = ctx.span("rmi.send");
         drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
         let wire_extra = payload_bytes.as_ref().map_or(0, |b| b.len()) + name_bytes;
         if wire_extra > 0 {
@@ -322,6 +340,7 @@ fn rmi_inner(
         }
     }
 
+    let sp_unmarshal = ctx.span_start("rmi.unmarshal");
     let data = cell.take_data();
     if let Some(d) = &data {
         // "Bulk reads cost more than bulk writes in CC++ because the return
@@ -331,6 +350,7 @@ fn rmi_inner(
             ctx.charge(Bucket::Runtime, c.extra_copy_charge(d.len()));
         }
     }
+    ctx.span_end(sp_unmarshal);
     RmiRet {
         words: cell.words(),
         data,
@@ -349,6 +369,7 @@ fn run_and_reply(
     let cfg = st.cfg();
     let c = &cfg.costs;
     let atomic = matches!(req.mode, CallMode::Atomic);
+    let sp_exec = ctx.span_start("rmi.execute");
     let ret = if atomic {
         ctx.charge(Bucket::Runtime, c.atomic_lookup);
         let _obj = st.method_lock.lock(ctx);
@@ -372,7 +393,9 @@ fn run_and_reply(
             },
         )
     };
+    ctx.span_end(sp_exec);
     // Send the reply.
+    let _sp_reply = ctx.span("rmi.reply");
     drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
     ctx.charge(Bucket::Runtime, c.reply_issue);
     let reply_msg = CxReply {
@@ -392,6 +415,10 @@ pub(crate) fn register_rmi_handlers(ctx: &Ctx) {
         let st = CcxxState::get(ctx);
         let cfg = st.cfg();
         let c = cfg.costs.clone();
+        // "rmi.dispatch" covers receive-side request processing up to the
+        // run decision: stub resolution, R-buffer management, mode checks.
+        // The method body itself is "rmi.execute" (in `run_and_reply`).
+        let sp_dispatch = ctx.span_start("rmi.dispatch");
         if let Some(ic) = cfg.interrupt_cost {
             // Interrupt-driven reception: the software interrupt and its
             // kernel propagation cost, per message.
@@ -425,8 +452,8 @@ pub(crate) fn register_rmi_handlers(ctx: &Ctx) {
                             ctx.node()
                         )
                     });
-                let cache_hash = name_hash(n)
-                    ^ req.obj.unwrap_or(0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let cache_hash =
+                    name_hash(n) ^ req.obj.unwrap_or(0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 (a, Some((*prog, cache_hash, a)))
             }
         };
@@ -468,11 +495,13 @@ pub(crate) fn register_rmi_handlers(ctx: &Ctx) {
         };
         if spawns {
             ctx.charge(Bucket::Runtime, c.threaded_dispatch);
+            ctx.span_end(sp_dispatch);
             let st2 = Arc::clone(&st);
             mpmd_threads::spawn(ctx, "rmi-method", move |cctx| {
                 run_and_reply(&cctx, &st2, stub, req, cache_update);
             });
         } else {
+            ctx.span_end(sp_dispatch);
             run_and_reply(ctx, &st, stub, req, cache_update);
         }
     });

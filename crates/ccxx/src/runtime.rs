@@ -109,6 +109,9 @@ fn start_polling_thread(ctx: &Ctx, interrupts: bool) {
                 cctx.yield_now();
                 continue;
             }
+            // "ccxx.poll" covers one polling-thread wake-up with work: the
+            // charged context switch plus the handlers the poll runs.
+            let _sp = cctx.span("ccxx.poll");
             if !interrupts {
                 mpmd_threads::charge_context_switch(&cctx);
             }

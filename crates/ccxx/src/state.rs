@@ -29,6 +29,7 @@ impl CxPtr {
     /// Element-offset arithmetic (the front-end handles this on the opaque
     /// representation).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, elems: usize) -> CxPtr {
         CxPtr {
             offset: self.offset + elems,

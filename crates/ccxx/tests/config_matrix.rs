@@ -13,9 +13,18 @@ fn configs() -> Vec<(&'static str, CcxxConfig)> {
     vec![
         ("tham", CcxxConfig::tham()),
         ("no-stub-cache", CcxxConfig::tham().without_stub_caching()),
-        ("no-pbuffers", CcxxConfig::tham().without_persistent_buffers()),
-        ("ret-buffer", CcxxConfig::tham().with_return_buffer_passing()),
-        ("interrupts", CcxxConfig::tham().with_interrupts(mpmd_sim::us(30.0))),
+        (
+            "no-pbuffers",
+            CcxxConfig::tham().without_persistent_buffers(),
+        ),
+        (
+            "ret-buffer",
+            CcxxConfig::tham().with_return_buffer_passing(),
+        ),
+        (
+            "interrupts",
+            CcxxConfig::tham().with_interrupts(mpmd_sim::us(30.0)),
+        ),
     ]
 }
 
@@ -85,7 +94,11 @@ fn gp_and_bulk_paths_work_under_interrupt_reception() {
         let region = cx::alloc_region(&ctx, 20, ctx.node() as f64);
         cx::barrier(&ctx);
         if ctx.node() == 0 {
-            let p = CxPtr { node: 1, region, offset: 0 };
+            let p = CxPtr {
+                node: 1,
+                region,
+                offset: 0,
+            };
             assert_eq!(cx::gp_read(&ctx, p), 1.0);
             cx::gp_write(&ctx, p, 3.25);
             assert_eq!(cx::gp_read3(&ctx, p), [3.25, 1.0, 1.0]);
@@ -110,7 +123,11 @@ fn prefetch_and_parfor_work_without_stub_caching() {
         cx::barrier(&ctx);
         if ctx.node() == 0 {
             let ptrs: Vec<CxPtr> = (0..10)
-                .map(|i| CxPtr { node: 1, region, offset: i })
+                .map(|i| CxPtr {
+                    node: 1,
+                    region,
+                    offset: i,
+                })
                 .collect();
             let got = cx::prefetch(&ctx, &ptrs);
             assert!(got.iter().enumerate().all(|(i, &v)| v == (10 + i) as f64));
@@ -136,7 +153,11 @@ fn mixed_traffic_under_heavyweight_threads() {
                 for i in 0..4 {
                     cx::atomic_add(
                         &ctx,
-                        CxPtr { node: 0, region, offset: i },
+                        CxPtr {
+                            node: 0,
+                            region,
+                            offset: i,
+                        },
                         ctx.node() as f64,
                     );
                 }

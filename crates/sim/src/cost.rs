@@ -13,7 +13,7 @@
 //! * `0-Word Simple`: 10 sync ops            -> 10 x 0.4           =  4 µs
 //! * `0-Word`:       1 switch + 15 sync ops  -> 6 + 15 x 0.4       = 12 µs
 //! * `0-Word Threaded`: 2 switches + 1 create + 10 sync
-//!                                           -> 12 + 5 + 4         = 21 µs
+//!   -> 12 + 5 + 4 = 21 µs
 
 use crate::time::{us, Time};
 

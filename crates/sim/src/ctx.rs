@@ -8,6 +8,7 @@ use crate::report::Snapshot;
 use crate::stats::{Bucket, Stats};
 use crate::task::TaskId;
 use crate::time::Time;
+use crate::trace::{SpanId, TraceEvent};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -73,6 +74,9 @@ impl Ctx {
         let n = &mut k.nodes[self.node];
         n.clock += ns;
         n.stats.bucket_ns[bucket.index()] += ns;
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::Charge { bucket, ns });
+        }
     }
 
     /// Mutate this node's instrumentation counters.
@@ -134,7 +138,9 @@ impl Ctx {
             let mut k = self.inner.kernel.lock();
             let rec = &mut k.tasks[self.task.idx()];
             rec.state = TaskState::Parked;
-            Arc::clone(&rec.cell)
+            let cell = Arc::clone(&rec.cell);
+            k.emit(self.node, self.task, TraceEvent::Park);
+            cell
         };
         cell.yield_to_engine();
     }
@@ -172,6 +178,7 @@ impl Ctx {
             rec.state = TaskState::InboxWait;
             let cell = Arc::clone(&rec.cell);
             k.nodes[self.node].inbox_waiters.push(self.task);
+            k.emit(self.node, self.task, TraceEvent::Park);
             cell
         };
         cell.yield_to_engine();
@@ -250,7 +257,9 @@ impl Ctx {
             k.post_wake(self.task, at);
             let rec = &mut k.tasks[self.task.idx()];
             rec.state = TaskState::Parked;
-            Arc::clone(&rec.cell)
+            let cell = Arc::clone(&rec.cell);
+            k.emit(self.node, self.task, TraceEvent::Park);
+            cell
         };
         cell.yield_to_engine();
     }
@@ -266,7 +275,9 @@ impl Ctx {
             k.tasks[t.idx()].joiners.push(self.task);
             let rec = &mut k.tasks[self.task.idx()];
             rec.state = TaskState::Parked;
-            Arc::clone(&rec.cell)
+            let cell = Arc::clone(&rec.cell);
+            k.emit(self.node, self.task, TraceEvent::Park);
+            cell
         };
         cell.yield_to_engine();
     }
@@ -307,11 +318,121 @@ impl Ctx {
         crate::engine::snapshot(&self.inner)
     }
 
-    /// Debug print with node/time prefix when tracing is enabled.
-    pub fn trace(&self, msg: &str) {
-        let k = self.inner.kernel.lock();
-        if k.trace {
-            eprintln!("[sim] t={} node {} {:?}: {}", k.nodes[self.node].clock, self.node, self.task, msg);
+    /// Whether a tracer is installed (so callers can skip building event
+    /// payloads when tracing is off).
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.kernel.lock().tracer.is_some()
+    }
+
+    /// Open a named span frame on this task. Returns the sentinel
+    /// `SpanId(0)` when tracing is off (then [`Ctx::span_end`] is a no-op).
+    ///
+    /// Frames must strictly nest per task: ending any frame other than the
+    /// innermost open one panics.
+    pub fn span_start(&self, name: &str) -> SpanId {
+        let mut k = self.inner.kernel.lock();
+        let Some(tr) = k.tracer.as_mut() else {
+            return SpanId(0);
+        };
+        let id = tr.alloc_span();
+        k.emit(
+            self.node,
+            self.task,
+            TraceEvent::SpanStart {
+                id,
+                name: name.to_string(),
+            },
+        );
+        id
+    }
+
+    /// Close a span frame opened by [`Ctx::span_start`].
+    pub fn span_end(&self, id: SpanId) {
+        if !id.is_active() {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::SpanEnd { id });
+        }
+    }
+
+    /// RAII form of [`Ctx::span_start`] / [`Ctx::span_end`]: the frame closes
+    /// when the guard drops.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            ctx: self,
+            id: self.span_start(name),
+        }
+    }
+
+    /// Record the start of an Active Message handler (opens a frame named
+    /// `am.handler[<id>]`). Emitted by the messaging layer *before* the
+    /// receive overhead is charged, so the frame covers the handler's full
+    /// cost.
+    pub fn handler_start(&self, handler: u32) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::HandlerStart { handler });
+        }
+    }
+
+    /// Close the handler frame opened by [`Ctx::handler_start`].
+    pub fn handler_end(&self, handler: u32) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::HandlerEnd { handler });
+        }
+    }
+
+    /// Record entry into a global barrier (point event).
+    pub fn barrier_enter(&self, epoch: u64) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::BarrierEnter { epoch });
+        }
+    }
+
+    /// Record release from a global barrier (point event).
+    pub fn barrier_exit(&self, epoch: u64) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::BarrierExit { epoch });
+        }
+    }
+
+    /// Debug marker: recorded as a [`TraceEvent::Mark`] (and printed to
+    /// stderr when the stderr sink is enabled). No-op when tracing is off.
+    pub fn trace(&self, msg: &str) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(
+                self.node,
+                self.task,
+                TraceEvent::Mark {
+                    text: msg.to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// RAII guard returned by [`Ctx::span`]; ends the frame on drop.
+pub struct SpanGuard<'a> {
+    ctx: &'a Ctx,
+    id: SpanId,
+}
+
+impl SpanGuard<'_> {
+    /// The underlying span id (sentinel when tracing is off).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.span_end(self.id);
     }
 }

@@ -13,6 +13,7 @@ use crate::ctx::Ctx;
 use crate::kernel::{Kernel, TaskState};
 use crate::report::{Report, Snapshot};
 use crate::task::{HandoffCell, TaskId, TaskPool};
+use crate::trace::{TraceConfig, TraceEvent};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -37,7 +38,7 @@ pub(crate) struct SimInner {
 pub struct Sim {
     nodes: usize,
     cost: CostModel,
-    trace: bool,
+    trace: Option<TraceConfig>,
 }
 
 impl Sim {
@@ -48,7 +49,7 @@ impl Sim {
         Sim {
             nodes,
             cost: CostModel::default(),
-            trace: false,
+            trace: None,
         }
     }
 
@@ -58,9 +59,30 @@ impl Sim {
         self
     }
 
+    /// Enable structured event tracing. The collected
+    /// [`TraceLog`](crate::TraceLog) is returned on
+    /// [`Report::trace`](crate::Report::trace) after the run.
+    ///
+    /// ```
+    /// use mpmd_sim::{Sim, TraceConfig};
+    ///
+    /// let report = Sim::new(2).tracing(TraceConfig::new()).run(|ctx| {
+    ///     let _s = ctx.span("work");
+    /// });
+    /// assert!(report.trace.is_some());
+    /// ```
+    pub fn tracing(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
     /// Emit a line per scheduling event to stderr (debugging aid).
+    ///
+    /// Deprecated shim: equivalent to
+    /// `tracing(TraceConfig::stderr_only())`. Prefer [`Sim::tracing`], which
+    /// also collects the structured event log.
     pub fn trace(mut self, on: bool) -> Self {
-        self.trace = on;
+        self.trace = on.then(TraceConfig::stderr_only);
         self
     }
 
@@ -92,10 +114,11 @@ impl Sim {
             spawn_task(&inner, node, "main".to_string(), move |ctx| f(ctx));
         }
         run_engine(&inner);
-        let k = inner.kernel.lock();
+        let mut k = inner.kernel.lock();
         Report {
             clocks: k.nodes.iter().map(|n| n.clock).collect(),
             stats: k.nodes.iter().map(|n| n.stats.clone()).collect(),
+            trace: k.tracer.take().map(|t| t.finish()),
         }
     }
 }
@@ -107,7 +130,10 @@ where
     F: FnOnce(Ctx) + Send + 'static,
 {
     let cell = HandoffCell::new();
-    let id = inner.kernel.lock().register_task(node, name, Arc::clone(&cell));
+    let id = inner
+        .kernel
+        .lock()
+        .register_task(node, name, Arc::clone(&cell));
     let ctx = Ctx::new(Arc::clone(inner), node, id);
     let inner2 = Arc::clone(inner);
     let body = Box::new(move || {
@@ -187,9 +213,13 @@ fn decide(k: &mut Kernel) -> Decision {
         }
         match cand {
             Some((node, _)) => {
-                let tid = k.nodes[node].ready.pop_front().expect("ready queue emptied");
+                let tid = k.nodes[node]
+                    .ready
+                    .pop_front()
+                    .expect("ready queue emptied");
                 debug_assert_eq!(k.tasks[tid.idx()].state, TaskState::Runnable);
                 k.tasks[tid.idx()].state = TaskState::Running;
+                k.emit(node, tid, TraceEvent::TaskSwitch);
                 let cell = Arc::clone(&k.tasks[tid.idx()].cell);
                 return Decision::Run(tid, cell);
             }

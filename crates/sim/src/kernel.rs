@@ -9,6 +9,7 @@ use crate::event::{Event, EventKind, Msg};
 use crate::stats::Stats;
 use crate::task::{HandoffCell, TaskId};
 use crate::time::Time;
+use crate::trace::{TraceConfig, TraceEvent, TraceRecord, Tracer, NO_TASK};
 use std::any::{Any, TypeId};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -75,11 +76,11 @@ pub(crate) struct Kernel {
     pub(crate) live: usize,
     /// Captured panic payload from a task body, re-raised by the engine.
     pub(crate) panic: Option<Box<dyn Any + Send>>,
-    pub(crate) trace: bool,
+    pub(crate) tracer: Option<Tracer>,
 }
 
 impl Kernel {
-    pub(crate) fn new(nodes: usize, trace: bool) -> Self {
+    pub(crate) fn new(nodes: usize, trace: Option<TraceConfig>) -> Self {
         Kernel {
             nodes: (0..nodes).map(|_| NodeState::new()).collect(),
             tasks: Vec::new(),
@@ -87,7 +88,20 @@ impl Kernel {
             seq: 0,
             live: 0,
             panic: None,
-            trace,
+            tracer: trace.map(|cfg| Tracer::new(nodes, cfg)),
+        }
+    }
+
+    /// Emit a trace record stamped with `node`'s current clock. No-op when
+    /// tracing is off.
+    pub(crate) fn emit(&mut self, node: usize, task: TaskId, event: TraceEvent) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(TraceRecord {
+                time: self.nodes[node].clock,
+                node,
+                task,
+                event,
+            });
         }
     }
 
@@ -109,9 +123,8 @@ impl Kernel {
         });
         self.live += 1;
         self.nodes[node].ready.push_back(id);
-        if self.trace {
-            eprintln!("[sim] t={} spawn {:?} on node {}", self.nodes[node].clock, id, node);
-        }
+        let name = self.tasks[id.idx()].name.clone();
+        self.emit(node, id, TraceEvent::TaskSpawn { name });
         id
     }
 
@@ -126,10 +139,15 @@ impl Kernel {
         self.nodes[src].stats.bytes_sent += msg.wire_bytes as u64;
         self.nodes[src].stats.msg_size_hist[crate::stats::size_bucket(msg.wire_bytes)] += 1;
         let seq = self.next_seq();
-        if self.trace {
-            eprintln!("[sim] t={} node {} -> node {} ({} B) arrives t={}",
-                self.nodes[src].clock, src, dst, msg.wire_bytes, at);
-        }
+        self.emit(
+            src,
+            NO_TASK,
+            TraceEvent::MsgSend {
+                dst,
+                wire_bytes: msg.wire_bytes,
+                arrives: at,
+            },
+        );
         self.events.push(Event {
             time: at,
             seq,
@@ -157,13 +175,13 @@ impl Kernel {
     pub(crate) fn apply_event(&mut self, ev: Event) {
         match ev.kind {
             EventKind::Deliver { node, msg } => {
-                if self.trace {
-                    eprintln!("[sim] t={} deliver to node {}", ev.time, node);
-                }
+                let (src, wire_bytes) = (msg.src, msg.wire_bytes);
                 let n = &mut self.nodes[node];
                 n.stats.msgs_received += 1;
                 n.inbox.push_back(msg);
                 n.clock = n.clock.max(ev.time);
+                self.emit(node, NO_TASK, TraceEvent::MsgDeliver { src, wire_bytes });
+                let n = &mut self.nodes[node];
                 let waiters = std::mem::take(&mut n.inbox_waiters);
                 for t in waiters {
                     if self.tasks[t.idx()].state == TaskState::InboxWait {
@@ -192,6 +210,7 @@ impl Kernel {
         rec.state = TaskState::Runnable;
         let node = rec.node;
         self.nodes[node].ready.push_back(t);
+        self.emit(node, t, TraceEvent::Unpark);
     }
 
     /// Mark a task finished: wake joiners and drop it from the live count.

@@ -32,15 +32,17 @@ mod report;
 mod stats;
 mod task;
 pub mod time;
+pub mod trace;
 
 pub use cost::{CostModel, ThreadCosts};
-pub use ctx::Ctx;
+pub use ctx::{Ctx, SpanGuard};
 pub use engine::Sim;
 pub use event::Msg;
 pub use report::{Report, Snapshot};
 pub use stats::{size_bucket, size_bucket_limit, Bucket, Stats, NUM_BUCKETS};
 pub use task::TaskId;
 pub use time::{ms, secs, to_secs, to_us, us, Time};
+pub use trace::{NodeTrace, Span, SpanId, TraceConfig, TraceEvent, TraceLog, TraceRecord};
 
 #[cfg(test)]
 mod tests {

@@ -2,6 +2,7 @@
 
 use crate::stats::{Bucket, Stats};
 use crate::time::{to_us, Time};
+use crate::trace::TraceLog;
 
 /// A point-in-time capture of every node's clock and stats, used to measure
 /// a region of a simulation (e.g. excluding warm-up iterations that populate
@@ -29,6 +30,7 @@ impl Snapshot {
                 .zip(&later.stats)
                 .map(|(a, b)| b.since(a))
                 .collect(),
+            trace: None,
         }
     }
 }
@@ -41,6 +43,11 @@ pub struct Report {
     pub clocks: Vec<Time>,
     /// Per-node instrumentation.
     pub stats: Vec<Stats>,
+    /// Structured event log, present when the run used
+    /// [`Sim::tracing`](crate::Sim::tracing). Snapshot-interval reports
+    /// ([`Snapshot::until`]) carry `None`; the full-run log stays on the
+    /// final report.
+    pub trace: Option<TraceLog>,
 }
 
 impl Report {
@@ -80,10 +87,15 @@ impl Report {
     /// charged messaging-layer CPU overheads ([`Bucket::Net`]) and idle time
     /// spent waiting on the wire.
     pub fn net_component(&self) -> Time {
-        let other: Time = [Bucket::Cpu, Bucket::ThreadMgmt, Bucket::ThreadSync, Bucket::Runtime]
-            .iter()
-            .map(|&b| self.bucket_total(b))
-            .sum();
+        let other: Time = [
+            Bucket::Cpu,
+            Bucket::ThreadMgmt,
+            Bucket::ThreadSync,
+            Bucket::Runtime,
+        ]
+        .iter()
+        .map(|&b| self.bucket_total(b))
+        .sum();
         self.busy_total().saturating_sub(other)
     }
 
@@ -106,13 +118,52 @@ impl Report {
     }
 }
 
+#[cfg(feature = "serde")]
+impl serde::Serialize for Report {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("clocks_ns".to_string(), self.clocks.to_value());
+        map.insert("stats".to_string(), self.stats.to_value());
+        map.insert("elapsed_ns".to_string(), self.elapsed().to_value());
+        map.insert("busy_total_ns".to_string(), self.busy_total().to_value());
+        map.insert(
+            "net_component_ns".to_string(),
+            self.net_component().to_value(),
+        );
+        let mut buckets = serde::Map::new();
+        for b in Bucket::ALL {
+            buckets.insert(b.label().to_string(), self.bucket_total(b).to_value());
+        }
+        map.insert(
+            "bucket_totals_ns".to_string(),
+            serde::Value::Object(buckets),
+        );
+        serde::Value::Object(map)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl Report {
+    /// Machine-readable form of the report: per-node clocks and stats plus
+    /// the derived totals (elapsed, per-bucket sums, net residual). The
+    /// event trace, if any, is exported separately
+    /// ([`TraceLog::to_chrome_trace`] / [`TraceLog::to_jsonl`]).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn mk(clocks: Vec<Time>) -> Report {
         let stats = vec![Stats::default(); clocks.len()];
-        Report { clocks, stats }
+        Report {
+            clocks,
+            stats,
+            trace: None,
+        }
     }
 
     #[test]
@@ -127,8 +178,10 @@ mod tests {
             clocks: vec![100, 200],
             stats: vec![Stats::default(), Stats::default()],
         };
-        let mut s1 = Stats::default();
-        s1.msgs_sent = 7;
+        let s1 = Stats {
+            msgs_sent: 7,
+            ..Default::default()
+        };
         let b = Snapshot {
             clocks: vec![150, 260],
             stats: vec![s1, Stats::default()],
@@ -148,6 +201,7 @@ mod tests {
         let r = Report {
             clocks: vec![100],
             stats: vec![st],
+            trace: None,
         };
         // residual = 100 - (30 + 20) = 50 (includes the 10 charged + 40 idle)
         assert_eq!(r.net_component(), 50);

@@ -104,6 +104,24 @@ pub struct Stats {
     pub msg_size_hist: [u64; 8],
 }
 
+#[cfg(feature = "serde")]
+serde::impl_serialize!(Stats {
+    bucket_ns,
+    thread_creates,
+    context_switches,
+    sync_ops,
+    lock_acquisitions,
+    lock_contended,
+    msgs_sent,
+    msgs_received,
+    bytes_sent,
+    short_msgs,
+    bulk_msgs,
+    polls,
+    handlers_run,
+    msg_size_hist,
+});
+
 /// Histogram bucket index for a wire size.
 pub fn size_bucket(bytes: usize) -> usize {
     let mut limit = 64usize;
@@ -167,8 +185,8 @@ impl Stats {
             a.checked_sub(b).expect("stats counter went backwards")
         }
         let mut bucket_ns = [0; NUM_BUCKETS];
-        for i in 0..NUM_BUCKETS {
-            bucket_ns[i] = sub(self.bucket_ns[i], earlier.bucket_ns[i]);
+        for (i, b) in bucket_ns.iter_mut().enumerate() {
+            *b = sub(self.bucket_ns[i], earlier.bucket_ns[i]);
         }
         Stats {
             bucket_ns,
@@ -186,8 +204,8 @@ impl Stats {
             handlers_run: sub(self.handlers_run, earlier.handlers_run),
             msg_size_hist: {
                 let mut h = [0u64; 8];
-                for i in 0..8 {
-                    h[i] = sub(self.msg_size_hist[i], earlier.msg_size_hist[i]);
+                for (i, b) in h.iter_mut().enumerate() {
+                    *b = sub(self.msg_size_hist[i], earlier.msg_size_hist[i]);
                 }
                 h
             },
@@ -226,8 +244,10 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let mut early = Stats::default();
-        early.sync_ops = 4;
+        let mut early = Stats {
+            sync_ops: 4,
+            ..Default::default()
+        };
         early.bucket_ns[Bucket::ThreadSync.index()] = 1_600;
         let mut late = early.clone();
         late.sync_ops = 14;
@@ -240,8 +260,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "counter went backwards")]
     fn since_panics_on_regression() {
-        let mut early = Stats::default();
-        early.sync_ops = 4;
+        let early = Stats {
+            sync_ops: 4,
+            ..Default::default()
+        };
         let late = Stats::default();
         let _ = late.since(&early);
     }

@@ -10,8 +10,8 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 enum Action {
     Charge(u64),
-    SendNext(u64),  // send to (node+1)%n with given delay
-    RecvOne,        // block for one message
+    SendNext(u64), // send to (node+1)%n with given delay
+    RecvOne,       // block for one message
     SpawnCharge(u64),
     Yield,
     Sleep(u64),

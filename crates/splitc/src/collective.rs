@@ -40,10 +40,10 @@ pub fn barrier(ctx: &Ctx) {
 pub fn alloc_region(ctx: &Ctx, len: usize, fill: f64) -> u32 {
     let st = ScState::get(ctx);
     let id = st.next_region.fetch_add(1, Ordering::AcqRel) as u32;
-    let prev = st
-        .regions
-        .write()
-        .insert(id, std::sync::Arc::new(parking_lot::RwLock::new(vec![fill; len])));
+    let prev = st.regions.write().insert(
+        id,
+        std::sync::Arc::new(parking_lot::RwLock::new(vec![fill; len])),
+    );
     assert!(prev.is_none(), "region id {id} reused");
     id
 }
@@ -54,7 +54,8 @@ pub fn all_spread_alloc(ctx: &Ctx, per_node: usize, fill: f64) -> SpreadArray {
     let id = alloc_region(ctx, per_node, fill);
     let max = reduce(ctx, ReduceOp::MaxU64, id as u64);
     assert_eq!(
-        max, id as u64,
+        max,
+        id as u64,
         "collective allocation out of lockstep (node {} got region {id}, max {max})",
         ctx.node()
     );

@@ -25,6 +25,7 @@ pub struct GlobalPtr {
 impl GlobalPtr {
     /// Pointer arithmetic on the *local* part.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, elems: usize) -> GlobalPtr {
         GlobalPtr {
             offset: self.offset + elems,

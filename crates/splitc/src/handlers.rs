@@ -96,7 +96,14 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
             );
             f64s_to_bytes(&r[off..off + len])
         };
-        am::request_bulk(ctx, m.src, H_REPLY_DATA, [len as u64, 0, 0, 0], data, m.token);
+        am::request_bulk(
+            ctx,
+            m.src,
+            H_REPLY_DATA,
+            [len as u64, 0, 0, 0],
+            data,
+            m.token,
+        );
     });
 
     am::register(ctx, H_BULK_WRITE, |ctx, m| {

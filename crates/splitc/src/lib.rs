@@ -131,8 +131,7 @@ mod tests {
             barrier(&ctx);
             if ctx.node() == 0 {
                 let t0 = ctx.now();
-                let handles: Vec<_> =
-                    (0..20).map(|i| get(&ctx, a.node_chunk(1).add(i))).collect();
+                let handles: Vec<_> = (0..20).map(|i| get(&ctx, a.node_chunk(1).add(i))).collect();
                 sync(&ctx);
                 let per_elt = to_us(ctx.now() - t0) / 20.0;
                 for (i, h) in handles.iter().enumerate() {
@@ -255,10 +254,7 @@ mod tests {
             assert_eq!(reduce_sum_u64(&ctx, ctx.node() as u64 + 1), 10);
             let s = reduce_sum_f64(&ctx, 0.25);
             assert_eq!(s, 1.0);
-            assert_eq!(
-                reduce(&ctx, ReduceOp::MaxU64, ctx.node() as u64 * 7),
-                21
-            );
+            assert_eq!(reduce(&ctx, ReduceOp::MaxU64, ctx.node() as u64 * 7), 21);
         });
     }
 

@@ -40,6 +40,7 @@ pub fn read(ctx: &Ctx, gp: GlobalPtr) -> f64 {
         let v = region.read()[gp.offset];
         return v;
     }
+    let _sp = ctx.span("sc.read");
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
     am::request(
@@ -67,6 +68,7 @@ pub fn write(ctx: &Ctx, gp: GlobalPtr, v: f64) {
         region.write()[gp.offset] = v;
         return;
     }
+    let _sp = ctx.span("sc.write");
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
     am::request(
@@ -95,6 +97,7 @@ pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
         let r = region.read();
         return [r[gp.offset], r[gp.offset + 1], r[gp.offset + 2]];
     }
+    let _sp = ctx.span("sc.read_vec3");
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
     am::request(
@@ -111,7 +114,11 @@ pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
     let w = cell.words();
-    [f64::from_bits(w[0]), f64::from_bits(w[1]), f64::from_bits(w[2])]
+    [
+        f64::from_bits(w[0]),
+        f64::from_bits(w[1]),
+        f64::from_bits(w[2]),
+    ]
 }
 
 /// Atomically add three deltas to three consecutive doubles at `gp`
@@ -129,6 +136,7 @@ pub fn atomic_add3(ctx: &Ctx, gp: GlobalPtr, deltas: [f64; 3]) {
         }
         return;
     }
+    let _sp = ctx.span("sc.atomic_add3");
     ctx.charge(Bucket::Runtime, st.costs.atomic_issue);
     let cell = ReplyCell::new();
     am::request(
@@ -189,6 +197,7 @@ pub fn get_bulk(ctx: &Ctx, gp: GlobalPtr, len: usize) -> BulkGetHandle {
             local: Some(r[gp.offset..gp.offset + len].to_vec()),
         };
     }
+    let _sp = ctx.span("sc.get_bulk");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     st.pending.issue();
     let cell = ReplyCell::new();
@@ -235,6 +244,7 @@ pub fn get(ctx: &Ctx, gp: GlobalPtr) -> GetHandle {
         cell.complete([v.to_bits(), 0, 0, 0]);
         return GetHandle { cell };
     }
+    let _sp = ctx.span("sc.get");
     ctx.charge(Bucket::Runtime, st.costs.split_issue);
     st.pending.issue();
     am::request(
@@ -260,6 +270,7 @@ pub fn put(ctx: &Ctx, gp: GlobalPtr, v: f64) {
         region.write()[gp.offset] = v;
         return;
     }
+    let _sp = ctx.span("sc.put");
     ctx.charge(Bucket::Runtime, st.costs.split_issue);
     st.pending.issue();
     am::request(
@@ -277,6 +288,7 @@ pub fn put(ctx: &Ctx, gp: GlobalPtr, v: f64) {
 /// Wait for all outstanding split-phase operations issued by this node.
 pub fn sync(ctx: &Ctx) {
     let st = ScState::get(ctx);
+    let _sp = ctx.span("sc.sync");
     ctx.charge(Bucket::Runtime, st.costs.sync_call);
     let pending = Arc::clone(&st.pending);
     am::wait_until(ctx, move || pending.is_quiescent());
@@ -292,6 +304,7 @@ pub fn store(ctx: &Ctx, gp: GlobalPtr, v: f64) {
         region.write()[gp.offset] = v;
         return;
     }
+    let _sp = ctx.span("sc.store");
     ctx.charge(Bucket::Runtime, st.costs.split_issue);
     st.stores_sent.fetch_add(1, Ordering::AcqRel);
     am::request(
@@ -312,6 +325,7 @@ pub fn bulk_read(ctx: &Ctx, gp: GlobalPtr, len: usize) -> Vec<f64> {
         let r = region.read();
         return r[gp.offset..gp.offset + len].to_vec();
     }
+    let _sp = ctx.span("sc.bulk_read");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     let cell = ReplyCell::new();
     am::request(
@@ -340,6 +354,7 @@ pub fn bulk_write(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
         w[gp.offset..gp.offset + vals.len()].copy_from_slice(vals);
         return;
     }
+    let _sp = ctx.span("sc.bulk_write");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     let cell = ReplyCell::new();
     am::request_bulk(
@@ -368,6 +383,7 @@ pub fn bulk_store(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
         w[gp.offset..gp.offset + vals.len()].copy_from_slice(vals);
         return;
     }
+    let _sp = ctx.span("sc.bulk_store");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     st.stores_sent.fetch_add(1, Ordering::AcqRel);
     am::request_bulk(
@@ -384,6 +400,7 @@ pub fn bulk_store(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
 /// argument words, waiting for its result (`atomic(foo, 0)`).
 pub fn atomic_rpc(ctx: &Ctx, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4] {
     let st = ScState::get(ctx);
+    let _sp = ctx.span("sc.atomic");
     ctx.charge(Bucket::Runtime, st.costs.atomic_issue);
     if node == ctx.node() {
         // Local atomic: a single-threaded node runs it directly.

@@ -80,7 +80,10 @@ pub fn f64s_to_bytes(v: &[f64]) -> Bytes {
 
 /// Decode wire bytes back into doubles.
 pub fn bytes_to_f64s(b: &Bytes) -> Vec<f64> {
-    assert!(b.len().is_multiple_of(8), "bulk payload not a whole number of f64s");
+    assert!(
+        b.len().is_multiple_of(8),
+        "bulk payload not a whole number of f64s"
+    );
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect()

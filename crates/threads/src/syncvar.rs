@@ -54,7 +54,9 @@ impl<T: Clone> SyncVar<T> {
             if let Some(v) = g.as_ref() {
                 return v.clone();
             }
+            let sp = ctx.span_start("thr.sv_wait");
             g = self.cv.wait(ctx, g);
+            ctx.span_end(sp);
         }
     }
 

@@ -18,7 +18,10 @@ impl Thread {
     /// actually block.
     pub fn join(&self, ctx: &Ctx) {
         if !ctx.is_finished(self.id) {
+            let _sp = ctx.span("thr.join");
             charge_context_switch(ctx);
+            ctx.join(self.id);
+            return;
         }
         ctx.join(self.id);
     }

@@ -28,7 +28,11 @@ fn splitc_exchange(len: usize) -> f64 {
             if q != ctx.node() {
                 splitc::bulk_store(
                     &ctx,
-                    GlobalPtr { node: q, region, offset: len * ctx.node() },
+                    GlobalPtr {
+                        node: q,
+                        region,
+                        offset: len * ctx.node(),
+                    },
                     &vals,
                 );
             }
@@ -70,7 +74,11 @@ fn warm_and_run(ctx: &mpmd_repro::sim::Ctx, region: u32, len: usize) {
     for q in 0..PROCS {
         if q != ctx.node() {
             let vals = vec![ctx.node() as f64; len];
-            let dst = CxPtr { node: q, region, offset: len * ctx.node() };
+            let dst = CxPtr {
+                node: q,
+                region,
+                offset: len * ctx.node(),
+            };
             bodies.push(Box::new(move |cctx| {
                 ccxx::bulk_put(&cctx, dst, &vals);
             }));
@@ -83,7 +91,10 @@ fn warm_and_run(ctx: &mpmd_repro::sim::Ctx, region: u32, len: usize) {
 fn main() {
     println!("All-to-all exchange on {PROCS} nodes: MPMD/SPMD gap vs message size");
     println!();
-    println!("{:>10} {:>12} {:>12} {:>7}", "doubles", "split-c µs", "cc++ µs", "ratio");
+    println!(
+        "{:>10} {:>12} {:>12} {:>7}",
+        "doubles", "split-c µs", "cc++ µs", "ratio"
+    );
     for len in [1, 5, 20, 100, 500, 2000] {
         let sc = splitc_exchange(len);
         let cc = ccxx_exchange(len);

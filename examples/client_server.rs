@@ -60,7 +60,14 @@ fn main() {
             let t0 = ctx.now();
             // Store some records.
             for k in 0..5 {
-                ccxx::rmi(&ctx, 0, "kv_put", &[me * 100 + k, k * k], None, CallMode::Blocking);
+                ccxx::rmi(
+                    &ctx,
+                    0,
+                    "kv_put",
+                    &[me * 100 + k, k * k],
+                    None,
+                    CallMode::Blocking,
+                );
             }
             // Read one back.
             let r = ccxx::rmi(&ctx, 0, "kv_get", &[me * 100 + 3], None, CallMode::Blocking);

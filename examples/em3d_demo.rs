@@ -38,8 +38,16 @@ fn main() {
         assert_eq!(cc.output.e, reference.e, "cc++ {} diverged!", v.label());
         let sc_t = to_secs(sc.breakdown.elapsed);
         let cc_t = to_secs(cc.breakdown.elapsed);
-        println!("{:28} {sc_t:>9.4} {:>9.2}", format!("split-c {}", v.label()), 1.0);
-        println!("{:28} {cc_t:>9.4} {:>9.2}", format!("cc++    {}", v.label()), cc_t / sc_t);
+        println!(
+            "{:28} {sc_t:>9.4} {:>9.2}",
+            format!("split-c {}", v.label()),
+            1.0
+        );
+        println!(
+            "{:28} {cc_t:>9.4} {:>9.2}",
+            format!("cc++    {}", v.label()),
+            cc_t / sc_t
+        );
     }
     println!();
     println!("All six distributed runs computed bit-identical field values");

@@ -26,9 +26,15 @@ fn main() {
     let reference = lu_blocked_reference(&params);
 
     let sc = run_splitc(&params);
-    assert_eq!(sc.output.factored, reference, "sc-lu diverged from reference");
+    assert_eq!(
+        sc.output.factored, reference,
+        "sc-lu diverged from reference"
+    );
     let cc = run_ccxx(&params, CcxxConfig::tham(), CostModel::default());
-    assert_eq!(cc.output.factored, reference, "cc-lu diverged from reference");
+    assert_eq!(
+        cc.output.factored, reference,
+        "cc-lu diverged from reference"
+    );
 
     let err = reconstruction_error(&original, &sc.output.factored, params.n);
     println!("max |L·U - A| = {err:.3e}");
@@ -39,7 +45,10 @@ fn main() {
     println!();
     println!("sc-lu: {sc_t:.4} s  (one-way pivot stores + split-phase block prefetches)");
     println!("cc-lu: {cc_t:.4} s  (stores and prefetches replaced by RMIs)");
-    println!("cc-lu / sc-lu = {:.2}  (paper at 512x512: 3.6)", cc_t / sc_t);
+    println!(
+        "cc-lu / sc-lu = {:.2}  (paper at 512x512: 3.6)",
+        cc_t / sc_t
+    );
     println!();
     println!(
         "messages: sc {} ({} bulk), cc {} ({} bulk)",

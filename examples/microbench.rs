@@ -19,8 +19,16 @@ fn main() {
         let region = ccxx::alloc_region(&ctx, 20, 1.5);
         ccxx::barrier(&ctx);
         if ctx.node() == 0 {
-            let gp_y = CxPtr { node: 1, region, offset: 0 };
-            let gp_a = CxPtr { node: 1, region, offset: 0 };
+            let gp_y = CxPtr {
+                node: 1,
+                region,
+                offset: 0,
+            };
+            let gp_a = CxPtr {
+                node: 1,
+                region,
+                offset: 0,
+            };
 
             let bench = |name: &str, f: &dyn Fn()| {
                 // warm-up populates the stub cache and persistent buffers
@@ -53,7 +61,13 @@ fn main() {
                 ccxx::bulk_get(&ctx, gp_a, 20);
             });
             // parfor (i) lx = *gpY;
-            let ptrs: Vec<CxPtr> = (0..20).map(|i| CxPtr { node: 1, region, offset: i }).collect();
+            let ptrs: Vec<CxPtr> = (0..20)
+                .map(|i| CxPtr {
+                    node: 1,
+                    region,
+                    offset: i,
+                })
+                .collect();
             bench("Prefetch (20 doubles)", &|| {
                 ccxx::prefetch(&ctx, &ptrs);
             });
@@ -75,7 +89,11 @@ fn main() {
         let region = splitc::alloc_region(&ctx, 20, 1.5);
         splitc::barrier(&ctx);
         if ctx.node() == 0 {
-            let gp_y = GlobalPtr { node: 1, region, offset: 0 };
+            let gp_y = GlobalPtr {
+                node: 1,
+                region,
+                offset: 0,
+            };
             let bench = |name: &str, f: &dyn Fn()| {
                 f();
                 let t0 = ctx.now();
@@ -97,7 +115,16 @@ fn main() {
             // for (i) lx := *gpY; sync();
             bench("Prefetch (20 doubles)", &|| {
                 let hs: Vec<_> = (0..20)
-                    .map(|i| splitc::get(&ctx, GlobalPtr { node: 1, region, offset: i }))
+                    .map(|i| {
+                        splitc::get(
+                            &ctx,
+                            GlobalPtr {
+                                node: 1,
+                                region,
+                                offset: i,
+                            },
+                        )
+                    })
                     .collect();
                 splitc::sync(&ctx);
                 let _ = hs;

@@ -25,12 +25,20 @@ fn main() {
             // and resolution happens remotely.
             let t0 = ctx.now();
             let r = ccxx::rmi(&ctx, 1, "hello", &[21], None, CallMode::Blocking);
-            println!("  cold call : {:>6.1} µs -> {}", to_us(ctx.now() - t0), r.words[0]);
+            println!(
+                "  cold call : {:>6.1} µs -> {}",
+                to_us(ctx.now() - t0),
+                r.words[0]
+            );
 
             // Second call hits the method stub cache.
             let t1 = ctx.now();
             let r = ccxx::rmi(&ctx, 1, "hello", &[34], None, CallMode::Blocking);
-            println!("  warm call : {:>6.1} µs -> {}", to_us(ctx.now() - t1), r.words[0]);
+            println!(
+                "  warm call : {:>6.1} µs -> {}",
+                to_us(ctx.now() - t1),
+                r.words[0]
+            );
         }
         ccxx::finalize(&ctx);
     });

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example water_demo`
 
-use mpmd_repro::apps::water::{
-    run_ccxx, run_splitc, water_reference, WaterParams, WaterVersion,
-};
+use mpmd_repro::apps::water::{run_ccxx, run_splitc, water_reference, WaterParams, WaterVersion};
 use mpmd_repro::ccxx::CcxxConfig;
 use mpmd_repro::sim::{to_secs, CostModel};
 
@@ -25,7 +23,10 @@ fn main() {
     let (reference, energy) = water_reference(&params);
     println!("reference potential energy: {energy:.9}");
     println!();
-    println!("{:30} {:>9} {:>7} {:>12}", "version", "seconds", "vs sc", "energy");
+    println!(
+        "{:30} {:>9} {:>7} {:>12}",
+        "version", "seconds", "vs sc", "energy"
+    );
 
     let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
     for v in WaterVersion::ALL {

@@ -24,7 +24,14 @@ fn both_runtimes_coexist_on_one_machine() {
             let r = ccxx::rmi(&ctx, 1, ccxx::M_NULL, &[], None, CallMode::Blocking);
             assert_eq!(r.words, [0; 4]);
             // GP path into the same region.
-            let v = ccxx::gp_read(&ctx, CxPtr { node: 1, region, offset: 0 });
+            let v = ccxx::gp_read(
+                &ctx,
+                CxPtr {
+                    node: 1,
+                    region,
+                    offset: 0,
+                },
+            );
             assert_eq!(v, 1.0);
         }
         ccxx::finalize(&ctx);
@@ -156,7 +163,10 @@ fn nexus_runtime_is_dramatically_slower_end_to_end() {
         out.load(Ordering::Acquire)
     }
     let tham = one_rmi(CcxxConfig::tham(), mpmd_repro::sim::CostModel::default());
-    let nexus = one_rmi(mpmd_repro::nexus::nexus_config(), mpmd_repro::nexus::nexus_sim_cost_model());
+    let nexus = one_rmi(
+        mpmd_repro::nexus::nexus_config(),
+        mpmd_repro::nexus::nexus_sim_cost_model(),
+    );
     assert!(
         nexus > 20 * tham,
         "nexus {} µs vs tham {} µs",
@@ -175,9 +185,25 @@ fn charged_buckets_are_conserved_across_the_stack() {
         let region = ccxx::alloc_region(&ctx, 20, 1.0);
         ccxx::barrier(&ctx);
         if ctx.node() == 0 {
-            ccxx::bulk_get(&ctx, CxPtr { node: 1, region, offset: 0 }, 20);
+            ccxx::bulk_get(
+                &ctx,
+                CxPtr {
+                    node: 1,
+                    region,
+                    offset: 0,
+                },
+                20,
+            );
             ccxx::charge_cpu(&ctx, 5_000);
-            ccxx::gp_write(&ctx, CxPtr { node: 1, region, offset: 3 }, 9.0);
+            ccxx::gp_write(
+                &ctx,
+                CxPtr {
+                    node: 1,
+                    region,
+                    offset: 3,
+                },
+                9.0,
+            );
         }
         ccxx::finalize(&ctx);
     });

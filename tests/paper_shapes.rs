@@ -53,15 +53,30 @@ fn em3d_version_optimizations_benefit_both_languages() {
         assert!(ghost * 2 < base, "ghost should be ≫ faster than base");
         assert!(bulk * 2 < ghost, "bulk should be ≫ faster than ghost");
     }
-    let base = em3d::run_ccxx(&p, Em3dVersion::Base, CcxxConfig::tham(), CostModel::default())
-        .breakdown
-        .elapsed;
-    let ghost = em3d::run_ccxx(&p, Em3dVersion::Ghost, CcxxConfig::tham(), CostModel::default())
-        .breakdown
-        .elapsed;
-    let bulk = em3d::run_ccxx(&p, Em3dVersion::Bulk, CcxxConfig::tham(), CostModel::default())
-        .breakdown
-        .elapsed;
+    let base = em3d::run_ccxx(
+        &p,
+        Em3dVersion::Base,
+        CcxxConfig::tham(),
+        CostModel::default(),
+    )
+    .breakdown
+    .elapsed;
+    let ghost = em3d::run_ccxx(
+        &p,
+        Em3dVersion::Ghost,
+        CcxxConfig::tham(),
+        CostModel::default(),
+    )
+    .breakdown
+    .elapsed;
+    let bulk = em3d::run_ccxx(
+        &p,
+        Em3dVersion::Bulk,
+        CcxxConfig::tham(),
+        CostModel::default(),
+    )
+    .breakdown
+    .elapsed;
     assert!(ghost * 2 < base);
     assert!(bulk * 2 < ghost);
 }
@@ -73,9 +88,14 @@ fn em3d_base_gap_grows_then_stabilizes_with_remote_fraction() {
     let ratio_at = |frac: f64| {
         let p = em3d_params(frac);
         let sc = em3d::run_splitc(&p, Em3dVersion::Base).breakdown.elapsed as f64;
-        let cc = em3d::run_ccxx(&p, Em3dVersion::Base, CcxxConfig::tham(), CostModel::default())
-            .breakdown
-            .elapsed as f64;
+        let cc = em3d::run_ccxx(
+            &p,
+            Em3dVersion::Base,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        )
+        .breakdown
+        .elapsed as f64;
         cc / sc
     };
     let r10 = ratio_at(0.1);
@@ -122,7 +142,10 @@ fn lu_rmi_version_pays_for_blocking_transfers() {
     let sc = lu::run_splitc(&p);
     let cc = lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default());
     let ratio = cc.breakdown.elapsed as f64 / sc.breakdown.elapsed as f64;
-    assert!((1.5..6.0).contains(&ratio), "cc-lu/sc-lu = {ratio:.2} (paper 3.6)");
+    assert!(
+        (1.5..6.0).contains(&ratio),
+        "cc-lu/sc-lu = {ratio:.2} (paper 3.6)"
+    );
     // "The net time in cc-lu is about 2 times higher than in sc-lu."
     let net_ratio = cc.breakdown.net as f64 / sc.breakdown.net.max(1) as f64;
     assert!(net_ratio > 1.4, "net ratio = {net_ratio:.2}");
@@ -132,9 +155,14 @@ fn lu_rmi_version_pays_for_blocking_transfers() {
 fn nexus_speedups_fall_in_the_papers_band() {
     // "CC++/ThAM yields improvements of 5 to 35-fold over CC++/Nexus."
     let p = em3d_params(1.0);
-    let tham = em3d::run_ccxx(&p, Em3dVersion::Ghost, CcxxConfig::tham(), CostModel::default())
-        .breakdown
-        .elapsed as f64;
+    let tham = em3d::run_ccxx(
+        &p,
+        Em3dVersion::Ghost,
+        CcxxConfig::tham(),
+        CostModel::default(),
+    )
+    .breakdown
+    .elapsed as f64;
     let nex = em3d::run_ccxx(
         &p,
         Em3dVersion::Ghost,
@@ -161,7 +189,15 @@ fn splitc_beats_ccxx_everywhere_but_never_by_an_order_of_magnitude() {
             .breakdown
             .elapsed as f64;
         let ratio = cc / sc;
-        assert!(ratio >= 1.0, "{}: split-c should win ({ratio:.2})", v.label());
-        assert!(ratio < 8.0, "{}: gap should be small ({ratio:.2})", v.label());
+        assert!(
+            ratio >= 1.0,
+            "{}: split-c should win ({ratio:.2})",
+            v.label()
+        );
+        assert!(
+            ratio < 8.0,
+            "{}: gap should be small ({ratio:.2})",
+            v.label()
+        );
     }
 }

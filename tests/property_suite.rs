@@ -23,7 +23,8 @@ proptest! {
     ) {
         let ints2 = ints.clone();
         let doubles2 = doubles.clone();
-        let seen: Arc<Mutex<Option<(Vec<u32>, Vec<f64>, bool)>>> = Arc::new(Mutex::new(None));
+        type Payload = (Vec<u32>, Vec<f64>, bool);
+        let seen: Arc<Mutex<Option<Payload>>> = Arc::new(Mutex::new(None));
         let seen2 = Arc::clone(&seen);
         Sim::new(2).run(move |ctx| {
             ccxx::init(&ctx, CcxxConfig::tham());

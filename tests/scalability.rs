@@ -23,7 +23,12 @@ fn em3d_runs_on_two_and_eight_processors() {
         let want = em3d::em3d_reference(&p);
         for v in Em3dVersion::ALL {
             let sc = em3d::run_splitc(&p, v);
-            assert_eq!(sc.output.e, want.e, "split-c {} on {procs} procs", v.label());
+            assert_eq!(
+                sc.output.e,
+                want.e,
+                "split-c {} on {procs} procs",
+                v.label()
+            );
             let cc = em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
             assert_eq!(cc.output.e, want.e, "cc++ {} on {procs} procs", v.label());
         }

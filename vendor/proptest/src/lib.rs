@@ -1,0 +1,522 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro with `#![proptest_config]`, `Strategy` with
+//! `prop_map`/`prop_filter`/`boxed`, `any::<T>()`, `Just`, `prop_oneof!`,
+//! `proptest::collection::vec`, tuple strategies, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from the real crate, chosen for an offline deterministic
+//! environment:
+//!
+//! * case generation is **deterministic**: the RNG is seeded from the test
+//!   function's name, so every run explores the same inputs (the simulator
+//!   under test is itself deterministic, so reproducibility beats novelty);
+//! * there is **no shrinking** — failures report the full generated inputs
+//!   instead.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Per-`proptest!`-block configuration (`cases` only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error produced by `prop_assert!`-style macros (message text).
+pub type TestCaseError = String;
+
+/// Deterministic RNG driving case generation (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Seed derived from a test name (FNV-1a), so each test gets a distinct
+    /// but stable input stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe strategy used by [`BoxedStrategy`] and `prop_oneof!`.
+trait DynStrategy<T> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_filter`]: rejection-sampling wrapper.
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 candidates", self.reason);
+    }
+}
+
+/// Uniform choice between type-erased alternatives (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for the full value space of `T`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix raw bit patterns (hitting NaN/inf/subnormals) with moderate
+        // finite values so filtered strategies converge quickly.
+        if rng.next_u64() & 3 == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            (rng.unit_f64() - 0.5) * 2e6
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $i:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Debug, Strategy, TestRng};
+
+    /// Uniform choice from a fixed list of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone + Debug>(Vec<T>);
+
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.0.len() as u64) as usize;
+            self.0[i].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert!({}) failed",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed: {:?} != {:?}",
+                a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_eq! failed: {:?} != {:?}: {}",
+                a, b, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(::std::format!(
+                "prop_assert_ne! failed: both {:?}",
+                a
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The test-defining macro. Each contained function runs `config.cases`
+/// deterministic cases; `prop_assert*` failures abort with the generated
+/// inputs in the panic message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(::std::stringify!($name));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let mut desc = ::std::string::String::new();
+                $(desc.push_str(&::std::format!(
+                    "  {} = {:?}\n", ::std::stringify!($arg), &$arg
+                ));)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = result {
+                    ::std::panic!(
+                        "proptest case {}/{} of {} failed: {}\ninputs:\n{}",
+                        case + 1, cfg.cases, ::std::stringify!($name), e, desc
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -4i32..4, f in 0.25f64..=0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn map_filter_compose(
+            v in prop::collection::vec(
+                any::<f64>().prop_filter("finite", |x| x.is_finite()), 1..8),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+            prop_assert!(v.len() < 8, "len {}", v.len());
+            prop_assert_eq!(flag, flag);
+        }
+
+        #[test]
+        fn oneof_and_just(k in prop_oneof![Just(1u64), 5u64..9, Just(99u64)]) {
+            prop_assert!(k == 1 || (5..9).contains(&k) || k == 99);
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::{Strategy, TestRng};
+        let s = 1u64..1_000_000;
+        let mut r1 = TestRng::for_test("abc");
+        let mut r2 = TestRng::for_test("abc");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! Instead of the real crate's visitor-based data model (which needs the
+//! `serde_derive` proc macro, unavailable offline), this shim follows the
+//! `miniserde` design: one concrete JSON-shaped [`Value`] tree, a
+//! [`Serialize`] trait mapping types into it, a [`Deserialize`] trait mapping
+//! back out, and declarative [`impl_serialize!`] / [`impl_deserialize!`]
+//! macros standing in for `#[derive(Serialize, Deserialize)]` on plain
+//! structs. Object keys use a `BTreeMap`, so serialized output is
+//! deterministic — a property the simulator's determinism tests rely on.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Map type used for JSON objects (ordered, so output is deterministic).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number. Integers keep full 64-bit precision (virtual-time
+/// nanoseconds overflow an `f64` mantissa past 2^53).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::I64(n) => Some(n),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U64(n) => Some(n as f64),
+            Number::I64(n) => Some(n as f64),
+            Number::F64(n) => Some(n),
+        }
+    }
+}
+
+/// The JSON data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get<I: Index>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+}
+
+/// Lookup key for [`Value::get`]: a string (object key) or usize (array
+/// position), mirroring `serde_json`'s sealed `Index` trait.
+pub trait Index {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl Index for str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|m| m.get(self))
+    }
+}
+
+impl Index for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<T: Index + ?Sized> Index for &T {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        (**self).index_into(v)
+    }
+}
+
+impl<I: Index> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization failure (path + message).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can map themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error("expected bool".into()))
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error(concat!("expected ", stringify!($t)).into()))
+            }
+        }
+    )+};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error(concat!("expected ", stringify!($t)).into()))
+            }
+        }
+    )+};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error("expected f64".into()))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error("expected string".into()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error("expected array".into()))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error("expected array".into()))?;
+        if items.len() != N {
+            return Err(Error(format!("expected array of length {N}")));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+/// Implements [`Serialize`] for a struct, in lieu of `#[derive(Serialize)]`:
+///
+/// ```ignore
+/// serde::impl_serialize!(Stats { bucket_ns, polls, handlers_run });
+/// ```
+#[macro_export]
+macro_rules! impl_serialize {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let mut map = $crate::Map::new();
+                $(map.insert(
+                    ::std::stringify!($field).to_string(),
+                    $crate::Serialize::to_value(&self.$field),
+                );)+
+                $crate::Value::Object(map)
+            }
+        }
+    };
+}
+
+/// Implements [`Deserialize`] for a struct, in lieu of
+/// `#[derive(Deserialize)]`. Every listed field must be present in the
+/// object.
+#[macro_export]
+macro_rules! impl_deserialize {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                let map = v
+                    .as_object()
+                    .ok_or_else(|| $crate::Error("expected object".into()))?;
+                ::std::result::Result::Ok(Self {
+                    $($field: $crate::Deserialize::from_value(
+                        map.get(::std::stringify!($field)).ok_or_else(|| {
+                            $crate::Error(::std::format!(
+                                "missing field '{}'",
+                                ::std::stringify!($field)
+                            ))
+                        })?,
+                    )?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Point {
+        x: u64,
+        y: f64,
+        label: String,
+    }
+
+    impl_serialize!(Point { x, y, label });
+    impl_deserialize!(Point { x, y, label });
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point {
+            x: u64::MAX - 7,
+            y: -2.5,
+            label: "origin".into(),
+        };
+        let v = p.to_value();
+        assert_eq!(v["x"].as_u64(), Some(u64::MAX - 7));
+        assert_eq!(Point::from_value(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn index_and_get() {
+        let v = Value::Array(vec![Value::Bool(true), Value::Null]);
+        assert_eq!(v[0].as_bool(), Some(true));
+        assert!(v[1].is_null());
+        assert!(v.get(5).is_none());
+        assert!(v["nope"].is_null());
+    }
+
+    #[test]
+    fn arrays_and_options() {
+        let a = [1u64, 2, 3];
+        let v = a.to_value();
+        let back: [u64; 3] = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+}
