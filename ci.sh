@@ -30,4 +30,15 @@ assert "bucket_us" in d["rows"][0]["cc"], "per-bucket totals missing"
 EOF
 echo "results/table4.json OK"
 
+echo "==> fig5 parallel-runner determinism smoke"
+# The parallel experiment runner must produce byte-identical output for any
+# worker count; diff a -j $(nproc) run against -j 1 (quick scale).
+cargo build --release -p mpmd-bench
+./target/release/fig5 --quick -j 1 --json /tmp/ci_fig5_j1.json >/tmp/ci_fig5_j1.out
+./target/release/fig5 --quick -j "$(nproc)" --json /tmp/ci_fig5_jn.json >/tmp/ci_fig5_jn.out
+cmp /tmp/ci_fig5_j1.json /tmp/ci_fig5_jn.json
+cmp /tmp/ci_fig5_j1.out /tmp/ci_fig5_jn.out
+rm -f /tmp/ci_fig5_j1.json /tmp/ci_fig5_jn.json /tmp/ci_fig5_j1.out /tmp/ci_fig5_jn.out
+echo "fig5 -j1 vs -j$(nproc) identical"
+
 echo "==> all checks passed"

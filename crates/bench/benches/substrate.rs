@@ -46,6 +46,57 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The three substrate hot paths this repo optimizes: the scheduler's
+/// min-clock decision (exercised across many nodes), the task-to-task
+/// baton handoff, and timed-event application.
+fn bench_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+    // Scheduler decision with a wide node set: every yield forces a
+    // min-clock choice among 64 runnable nodes (the indexed-heap path).
+    g.bench_function("sched_decide_64_nodes", |b| {
+        b.iter(|| {
+            Sim::new(64).run(|ctx| {
+                for i in 0..20 {
+                    // Stagger clocks so the min keeps moving between nodes.
+                    ctx.charge(Bucket::Cpu, 100 + ((ctx.node() as u64 + i) % 7) * 10);
+                    ctx.yield_now();
+                }
+            })
+        })
+    });
+    // Pure baton handoff: two tasks on one node alternating via yield —
+    // each iteration of the pair is one OS-level switch each way.
+    g.bench_function("task_switch_ping", |b| {
+        b.iter(|| {
+            Sim::new(1).run(|ctx| {
+                let h = ctx.spawn("peer", |c| {
+                    for _ in 0..100 {
+                        c.charge(Bucket::Cpu, 10);
+                        c.yield_now();
+                    }
+                });
+                for _ in 0..100 {
+                    ctx.charge(Bucket::Cpu, 10);
+                    ctx.yield_now();
+                }
+                ctx.join(h);
+            })
+        })
+    });
+    // Timed-event application: sleeps post wake events through the event
+    // heap; each must be applied before the clock may advance past it.
+    g.bench_function("event_apply_1000_sleeps", |b| {
+        b.iter(|| {
+            Sim::new(2).run(|ctx| {
+                for _ in 0..500 {
+                    ctx.sleep(1_000);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
 fn bench_runtimes(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtimes");
     g.sample_size(20);
@@ -100,5 +151,5 @@ fn bench_runtimes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_runtimes);
+criterion_group!(benches, bench_engine, bench_hot_paths, bench_runtimes);
 criterion_main!(benches);

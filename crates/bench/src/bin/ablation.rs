@@ -2,17 +2,19 @@
 //! caching, persistent buffers, return-buffer passing, and polling-based vs
 //! interrupt-driven reception.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin ablation [iters] [--json <path>]`
+//! Usage: `cargo run --release -p mpmd-bench --bin ablation [iters] [-j N] [--json <path>]`
 
 use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
 use mpmd_bench::fmt::{render_table, take_json_flag, us, write_json};
 use mpmd_bench::micro::run_table4_with;
+use mpmd_bench::runner::{map_jobs, take_jobs_flag};
 use mpmd_ccxx::CcxxConfig;
 use mpmd_sim::CostModel;
 use serde::Serialize as _;
 
 fn main() {
     let (args, json_path) = take_json_flag(std::env::args().skip(1));
+    let (args, jobs) = take_jobs_flag(args.into_iter());
     let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
     let mut json = serde_json::Map::new();
 
@@ -40,8 +42,10 @@ fn main() {
     eprintln!("running micro-benchmark ablations ({iters} iterations)...");
     let mut rows = Vec::new();
     let mut micro_json = serde_json::Map::new();
-    for (name, cfg) in &configs {
-        let t4 = run_table4_with(cfg.clone(), CostModel::default(), iters);
+    let t4s = map_jobs(configs.clone(), jobs, |(name, cfg)| {
+        (name, run_table4_with(cfg, CostModel::default(), iters))
+    });
+    for (name, t4) in &t4s {
         micro_json.insert(
             name.to_string(),
             serde_json::Value::Array(t4.iter().map(|r| r.to_json()).collect()),
@@ -83,8 +87,14 @@ fn main() {
     };
     let mut rows = Vec::new();
     let mut em3d_json = serde_json::Map::new();
-    for (name, cfg) in &configs {
-        let run = em3d::run_ccxx(&p, Em3dVersion::Bulk, cfg.clone(), CostModel::default());
+    let p2 = p.clone();
+    let em3d_runs = map_jobs(configs.clone(), jobs, move |(name, cfg)| {
+        (
+            name,
+            em3d::run_ccxx(&p2, Em3dVersion::Bulk, cfg, CostModel::default()),
+        )
+    });
+    for (name, run) in &em3d_runs {
         em3d_json.insert(
             name.to_string(),
             mpmd_sim::to_secs(run.breakdown.elapsed).to_value(),

@@ -18,8 +18,9 @@ fn main() {
     let (_, json_path) = take_json_flag(std::env::args().skip(1));
     let scale = Scale::from_args();
     eprintln!("running discussion-claims analysis ({scale:?} scale)...");
-    let cells = run_fig5(scale, &[1.0]);
-    let (lu_sc, lu_cc) = run_fig6_lu(scale);
+    let jobs = mpmd_bench::runner::default_jobs();
+    let cells = run_fig5(scale, &[1.0], jobs);
+    let (lu_sc, lu_cc) = run_fig6_lu(scale, jobs);
 
     let mut rows = Vec::new();
     let mut check = |name: &str, app: &str, got: f64, paper: &str| {

@@ -2,16 +2,18 @@
 //! blocked LU (512×512, 16×16 blocks) breakdowns, normalized against
 //! Split-C.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin fig6 [--quick]`
+//! Usage: `cargo run --release -p mpmd-bench --bin fig6 [--quick] [-j N] [--json <path>]`
 
 use mpmd_apps::water::WaterVersion;
 use mpmd_bench::experiments::{
     bar_pair, breakdown_row, run_fig6_lu, run_fig6_water, Scale, BREAKDOWN_HEADERS,
 };
 use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::runner::take_jobs_flag;
 
 fn main() {
-    let (_, json_path) = take_json_flag(std::env::args().skip(1));
+    let (rest, json_path) = take_json_flag(std::env::args().skip(1));
+    let (_, jobs) = take_jobs_flag(rest.into_iter());
     let scale = Scale::from_args();
     eprintln!("running Figure 6 Water sweeps ({scale:?} scale)...");
     let sizes: &[usize] = if scale == Scale::Paper {
@@ -19,9 +21,9 @@ fn main() {
     } else {
         &[16, 32]
     };
-    let water = run_fig6_water(scale, sizes);
+    let water = run_fig6_water(scale, sizes, jobs);
     eprintln!("running Figure 6 LU ({scale:?} scale)...");
-    let (lu_sc, lu_cc) = run_fig6_lu(scale);
+    let (lu_sc, lu_cc) = run_fig6_lu(scale, jobs);
 
     let mut rows = Vec::new();
     for (v, n, sc, cc) in &water {

@@ -52,7 +52,8 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut cells: Vec<Cell> = Vec::new();
-    for (v, f, sc, cc) in run_fig5(scale, &[1.0]) {
+    let jobs = mpmd_bench::runner::default_jobs();
+    for (v, f, sc, cc) in run_fig5(scale, &[1.0], jobs) {
         let _ = (v, f);
         rows.push(hist_cells(&sc));
         rows.push(hist_cells(&cc));
@@ -60,14 +61,14 @@ fn main() {
         cells.push(cc);
     }
     let wsize = if scale == Scale::Paper { 64 } else { 16 };
-    for (v, n, sc, cc) in run_fig6_water(scale, &[wsize]) {
+    for (v, n, sc, cc) in run_fig6_water(scale, &[wsize], jobs) {
         let _ = (v, n);
         rows.push(hist_cells(&sc));
         rows.push(hist_cells(&cc));
         cells.push(sc);
         cells.push(cc);
     }
-    let (lu_sc, lu_cc) = run_fig6_lu(scale);
+    let (lu_sc, lu_cc) = run_fig6_lu(scale, jobs);
     rows.push(hist_cells(&lu_sc));
     rows.push(hist_cells(&lu_cc));
     cells.push(lu_sc);

@@ -1,16 +1,18 @@
 //! Regenerate the §6 "Comparison with CC++/Nexus": the same applications
 //! under the lean ThAM runtime vs the Nexus v3.0 (TCP/IP) baseline.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin nexus_cmp [--quick]`
+//! Usage: `cargo run --release -p mpmd-bench --bin nexus_cmp [--quick] [-j N] [--json <path>]`
 
 use mpmd_bench::experiments::{run_nexus_cmp, Scale};
 use mpmd_bench::fmt::{render_table, secs, take_json_flag, write_json};
+use mpmd_bench::runner::take_jobs_flag;
 
 fn main() {
-    let (_, json_path) = take_json_flag(std::env::args().skip(1));
+    let (rest, json_path) = take_json_flag(std::env::args().skip(1));
+    let (_, jobs) = take_jobs_flag(rest.into_iter());
     let scale = Scale::from_args();
     eprintln!("running CC++/ThAM vs CC++/Nexus comparison ({scale:?} scale)...");
-    let cmps = run_nexus_cmp(scale);
+    let cmps = run_nexus_cmp(scale, jobs);
     let rows: Vec<Vec<String>> = cmps
         .iter()
         .map(|c| {

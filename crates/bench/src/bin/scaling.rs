@@ -5,9 +5,10 @@
 //! exchange and reports where the MPMD copying penalty becomes significant,
 //! locating that crossover.
 //!
-//! Usage: `cargo run --release -p mpmd-bench --bin scaling`
+//! Usage: `cargo run --release -p mpmd-bench --bin scaling [-j N] [--json <path>]`
 
 use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::runner::{run_jobs, take_jobs_flag, Unit};
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CcxxConfig, CxPtr};
 use mpmd_sim::{to_us, Sim};
@@ -96,7 +97,8 @@ fn exchange_once(ctx: &mpmd_sim::Ctx, region: u32, len: usize) {
 }
 
 fn main() {
-    let (_, json_path) = take_json_flag(std::env::args().skip(1));
+    let (rest, json_path) = take_json_flag(std::env::args().skip(1));
+    let (_, jobs) = take_jobs_flag(rest.into_iter());
     println!("Bulk-exchange gap vs per-peer transfer size ({PROCS} nodes, flat arrays,\nwith an EM3D phase of computation per exchange)");
     println!();
     let mut rows = Vec::new();
@@ -104,10 +106,19 @@ fn main() {
     let mut crossover: Option<usize> = None;
     // EM3D at the paper's scale moves ~100 doubles per peer per phase.
     let base_doubles = 100usize;
-    for mult in [1usize, 4, 16, 64, 200, 800] {
+    let mults = [1usize, 4, 16, 64, 200, 800];
+    // Each (size, language) exchange is one independent simulation.
+    let mut units: Vec<Unit<f64>> = Vec::new();
+    for &mult in &mults {
         let len = base_doubles * mult;
-        let scv = splitc_exchange(len);
-        let ccv = ccxx_exchange(len);
+        units.push(Box::new(move || splitc_exchange(len)));
+        units.push(Box::new(move || ccxx_exchange(len)));
+    }
+    let mut measured = run_jobs(units, jobs).into_iter();
+    for mult in mults {
+        let len = base_doubles * mult;
+        let scv = measured.next().expect("missing split-c run");
+        let ccv = measured.next().expect("missing cc++ run");
         let ratio = ccv / scv;
         if crossover.is_none() && ratio >= 2.0 {
             crossover = Some(mult);

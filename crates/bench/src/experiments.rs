@@ -3,6 +3,7 @@
 //! are thin wrappers over these so that integration tests can assert the
 //! paper's shapes directly.
 
+use crate::runner::{run_jobs, Unit};
 use mpmd_apps::common::{AppBreakdown, Lang};
 use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
 use mpmd_apps::lu::{self, LuParams};
@@ -81,34 +82,49 @@ fn em3d_params(scale: Scale, remote_frac: f64) -> Em3dParams {
 }
 
 /// Figure 5: EM3D per-edge breakdowns for each version × remote fraction ×
-/// language, Split-C and CC++/ThAM.
-pub fn run_fig5(scale: Scale, fracs: &[f64]) -> Vec<(Em3dVersion, f64, Cell, Cell)> {
-    let mut out = Vec::new();
+/// language, Split-C and CC++/ThAM. Each (version, fraction, language)
+/// simulation is an independent work unit fanned across `jobs` threads; the
+/// result order is fixed by the config list, so output is identical for any
+/// `jobs`.
+pub fn run_fig5(scale: Scale, fracs: &[f64], jobs: usize) -> Vec<(Em3dVersion, f64, Cell, Cell)> {
+    let mut configs = Vec::new();
     for &v in &Em3dVersion::ALL {
         for &f in fracs {
-            let p = em3d_params(scale, f);
-            let units = (Graphish::edges(&p) * p.steps) as u64;
-            let sc = em3d::run_splitc(&p, v);
-            let cc = em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
-            out.push((
-                v,
-                f,
-                Cell {
-                    lang: Lang::SplitC,
-                    label: v.label().to_string(),
-                    breakdown: sc.breakdown,
-                    units,
-                },
-                Cell {
-                    lang: Lang::Ccxx,
-                    label: v.label().to_string(),
-                    breakdown: cc.breakdown,
-                    units,
-                },
-            ));
+            configs.push((v, f));
         }
     }
-    out
+    let units: Vec<Unit<Cell>> = configs
+        .iter()
+        .flat_map(|&(v, f)| {
+            let p = em3d_params(scale, f);
+            let units = (Graphish::edges(&p) * p.steps) as u64;
+            let p2 = p.clone();
+            [
+                Box::new(move || Cell {
+                    lang: Lang::SplitC,
+                    label: v.label().to_string(),
+                    breakdown: em3d::run_splitc(&p, v).breakdown,
+                    units,
+                }) as Unit<Cell>,
+                Box::new(move || Cell {
+                    lang: Lang::Ccxx,
+                    label: v.label().to_string(),
+                    breakdown: em3d::run_ccxx(&p2, v, CcxxConfig::tham(), CostModel::default())
+                        .breakdown,
+                    units,
+                }) as Unit<Cell>,
+            ]
+        })
+        .collect();
+    let mut cells = run_jobs(units, jobs).into_iter();
+    configs
+        .into_iter()
+        .map(|(v, f)| {
+            let sc = cells.next().expect("missing split-c cell");
+            let cc = cells.next().expect("missing cc++ cell");
+            (v, f, sc, cc)
+        })
+        .collect()
 }
 
 /// Helper: edge count of an EM3D parameter set without building the graph.
@@ -144,55 +160,76 @@ fn lu_params(scale: Scale) -> LuParams {
     }
 }
 
-/// Figure 6, Water half: (version, molecules, Split-C, CC++) cells.
-pub fn run_fig6_water(scale: Scale, sizes: &[usize]) -> Vec<(WaterVersion, usize, Cell, Cell)> {
-    let mut out = Vec::new();
+/// Figure 6, Water half: (version, molecules, Split-C, CC++) cells, fanned
+/// across `jobs` threads in deterministic config order.
+pub fn run_fig6_water(
+    scale: Scale,
+    sizes: &[usize],
+    jobs: usize,
+) -> Vec<(WaterVersion, usize, Cell, Cell)> {
+    let mut configs = Vec::new();
     for &v in &WaterVersion::ALL {
         for &n in sizes {
-            let p = water_params(scale, n);
-            let units = (p.n_mol * (p.n_mol - 1) / 2 * p.steps) as u64;
-            let sc = water::run_splitc(&p, v);
-            let cc = water::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
-            out.push((
-                v,
-                n,
-                Cell {
-                    lang: Lang::SplitC,
-                    label: v.label().to_string(),
-                    breakdown: sc.breakdown,
-                    units,
-                },
-                Cell {
-                    lang: Lang::Ccxx,
-                    label: v.label().to_string(),
-                    breakdown: cc.breakdown,
-                    units,
-                },
-            ));
+            configs.push((v, n));
         }
     }
-    out
+    let units: Vec<Unit<Cell>> = configs
+        .iter()
+        .flat_map(|&(v, n)| {
+            let p = water_params(scale, n);
+            let units = (p.n_mol * (p.n_mol - 1) / 2 * p.steps) as u64;
+            let p2 = p.clone();
+            [
+                Box::new(move || Cell {
+                    lang: Lang::SplitC,
+                    label: v.label().to_string(),
+                    breakdown: water::run_splitc(&p, v).breakdown,
+                    units,
+                }) as Unit<Cell>,
+                Box::new(move || Cell {
+                    lang: Lang::Ccxx,
+                    label: v.label().to_string(),
+                    breakdown: water::run_ccxx(&p2, v, CcxxConfig::tham(), CostModel::default())
+                        .breakdown,
+                    units,
+                }) as Unit<Cell>,
+            ]
+        })
+        .collect();
+    let mut cells = run_jobs(units, jobs).into_iter();
+    configs
+        .into_iter()
+        .map(|(v, n)| {
+            let sc = cells.next().expect("missing split-c cell");
+            let cc = cells.next().expect("missing cc++ cell");
+            (v, n, sc, cc)
+        })
+        .collect()
 }
 
-/// Figure 6, LU half.
-pub fn run_fig6_lu(scale: Scale) -> (Cell, Cell) {
+/// Figure 6, LU half. The two language runs execute concurrently when
+/// `jobs > 1`.
+pub fn run_fig6_lu(scale: Scale, jobs: usize) -> (Cell, Cell) {
     let p = lu_params(scale);
-    let sc = lu::run_splitc(&p);
-    let cc = lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default());
-    (
-        Cell {
+    let p2 = p.clone();
+    let units: Vec<Unit<Cell>> = vec![
+        Box::new(move || Cell {
             lang: Lang::SplitC,
             label: "sc-lu".to_string(),
-            breakdown: sc.breakdown,
+            breakdown: lu::run_splitc(&p).breakdown,
             units: 1,
-        },
-        Cell {
+        }),
+        Box::new(move || Cell {
             lang: Lang::Ccxx,
             label: "cc-lu".to_string(),
-            breakdown: cc.breakdown,
+            breakdown: lu::run_ccxx(&p2, CcxxConfig::tham(), CostModel::default()).breakdown,
             units: 1,
-        },
-    )
+        }),
+    ];
+    let mut cells = run_jobs(units, jobs).into_iter();
+    let sc = cells.next().expect("missing split-c cell");
+    let cc = cells.next().expect("missing cc++ cell");
+    (sc, cc)
 }
 
 /// CC++/Nexus vs CC++/ThAM ratios per application (the paper's §6
@@ -209,43 +246,73 @@ impl NexusComparison {
     }
 }
 
-/// Run every application under ThAM and under the Nexus baseline.
-pub fn run_nexus_cmp(scale: Scale) -> Vec<NexusComparison> {
-    let mut out = Vec::new();
+/// Run every application under ThAM and under the Nexus baseline. Each
+/// (application, runtime) pair is an independent work unit; results are
+/// reassembled in the fixed application order.
+pub fn run_nexus_cmp(scale: Scale, jobs: usize) -> Vec<NexusComparison> {
+    let mut names = Vec::new();
+    let mut units: Vec<Unit<u64>> = Vec::new();
 
     for v in Em3dVersion::ALL {
         let p = em3d_params(scale, 1.0);
-        let tham = em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
-        let nex = em3d::run_ccxx(&p, v, nexus_config(), nexus_sim_cost_model());
-        out.push(NexusComparison {
-            name: format!("{} (100% remote)", v.label()),
-            tham_secs: mpmd_sim::to_secs(tham.breakdown.elapsed),
-            nexus_secs: mpmd_sim::to_secs(nex.breakdown.elapsed),
-        });
+        names.push(format!("{} (100% remote)", v.label()));
+        let p2 = p.clone();
+        units.push(Box::new(move || {
+            em3d::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default())
+                .breakdown
+                .elapsed
+        }));
+        units.push(Box::new(move || {
+            em3d::run_ccxx(&p2, v, nexus_config(), nexus_sim_cost_model())
+                .breakdown
+                .elapsed
+        }));
     }
 
     let wsize = if scale == Scale::Paper { 64 } else { 16 };
     for v in WaterVersion::ALL {
         let p = water_params(scale, wsize);
-        let tham = water::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default());
-        let nex = water::run_ccxx(&p, v, nexus_config(), nexus_sim_cost_model());
-        out.push(NexusComparison {
-            name: format!("{} ({} molecules)", v.label(), p.n_mol),
-            tham_secs: mpmd_sim::to_secs(tham.breakdown.elapsed),
-            nexus_secs: mpmd_sim::to_secs(nex.breakdown.elapsed),
-        });
+        names.push(format!("{} ({} molecules)", v.label(), p.n_mol));
+        let p2 = p.clone();
+        units.push(Box::new(move || {
+            water::run_ccxx(&p, v, CcxxConfig::tham(), CostModel::default())
+                .breakdown
+                .elapsed
+        }));
+        units.push(Box::new(move || {
+            water::run_ccxx(&p2, v, nexus_config(), nexus_sim_cost_model())
+                .breakdown
+                .elapsed
+        }));
     }
 
     let p = lu_params(scale);
-    let tham = lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default());
-    let nex = lu::run_ccxx(&p, nexus_config(), nexus_sim_cost_model());
-    out.push(NexusComparison {
-        name: format!("cc-lu ({}x{})", p.n, p.n),
-        tham_secs: mpmd_sim::to_secs(tham.breakdown.elapsed),
-        nexus_secs: mpmd_sim::to_secs(nex.breakdown.elapsed),
-    });
+    names.push(format!("cc-lu ({}x{})", p.n, p.n));
+    let p2 = p.clone();
+    units.push(Box::new(move || {
+        lu::run_ccxx(&p, CcxxConfig::tham(), CostModel::default())
+            .breakdown
+            .elapsed
+    }));
+    units.push(Box::new(move || {
+        lu::run_ccxx(&p2, nexus_config(), nexus_sim_cost_model())
+            .breakdown
+            .elapsed
+    }));
 
-    out
+    let mut elapsed = run_jobs(units, jobs).into_iter();
+    names
+        .into_iter()
+        .map(|name| {
+            let tham = elapsed.next().expect("missing tham run");
+            let nex = elapsed.next().expect("missing nexus run");
+            NexusComparison {
+                name,
+                tham_secs: mpmd_sim::to_secs(tham),
+                nexus_secs: mpmd_sim::to_secs(nex),
+            }
+        })
+        .collect()
 }
 
 /// Render one breakdown cell as a table row (seconds + component shares).

@@ -1,0 +1,76 @@
+//! Determinism of the experiment binaries under the parallel runner.
+//!
+//! The virtual-time result of every simulation is a deterministic function
+//! of its inputs, and `bench::runner` reassembles results in config order —
+//! so the `--json` output (and stdout tables) of every binary must be
+//! byte-identical between `-j 1` and `-j 8`, and across repeated runs.
+//! These tests drive the actual release of each binary through
+//! `CARGO_BIN_EXE_*`, the same artifacts CI ships.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Run `bin` with `args` plus `--json <tmp>`; return (stdout, json bytes).
+fn run_with_json(bin: &str, args: &[&str], tag: &str) -> (Vec<u8>, Vec<u8>) {
+    let json_path: PathBuf = std::env::temp_dir().join(format!("mpmd_det_{tag}.json"));
+    let _ = std::fs::remove_file(&json_path);
+    let out = Command::new(bin)
+        .args(args)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read(&json_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", json_path.display()));
+    let _ = std::fs::remove_file(&json_path);
+    (out.stdout, json)
+}
+
+fn assert_jobs_invariant(bin: &str, base_args: &[&str], tag: &str) {
+    let mut j1 = base_args.to_vec();
+    j1.extend(["-j", "1"]);
+    let mut j8 = base_args.to_vec();
+    j8.extend(["-j", "8"]);
+    let (out_a, json_a) = run_with_json(bin, &j1, &format!("{tag}_j1"));
+    let (out_b, json_b) = run_with_json(bin, &j8, &format!("{tag}_j8"));
+    assert_eq!(json_a, json_b, "{tag}: JSON differs between -j 1 and -j 8");
+    assert_eq!(out_a, out_b, "{tag}: stdout differs between -j 1 and -j 8");
+    // Repeat the parallel run: byte-stable across invocations too.
+    let (out_c, json_c) = run_with_json(bin, &j8, &format!("{tag}_j8_again"));
+    assert_eq!(
+        json_b, json_c,
+        "{tag}: JSON differs across repeated -j 8 runs"
+    );
+    assert_eq!(out_b, out_c, "{tag}: stdout differs across repeated runs");
+}
+
+#[test]
+fn fig5_is_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_fig5"), &["--quick"], "fig5");
+}
+
+#[test]
+fn fig6_is_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_fig6"), &["--quick"], "fig6");
+}
+
+#[test]
+fn nexus_cmp_is_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_nexus_cmp"), &["--quick"], "nexus_cmp");
+}
+
+#[test]
+fn scaling_is_jobs_invariant() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_scaling"), &[], "scaling");
+}
+
+#[test]
+fn ablation_is_jobs_invariant() {
+    // A small iteration count keeps this a smoke-scale run.
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_ablation"), &["10"], "ablation");
+}

@@ -1,12 +1,12 @@
 //! Task-side API: everything a simulated task can do.
 
 use crate::cost::CostModel;
-use crate::engine::{spawn_task, SimInner};
+use crate::engine::{spawn_task, switch_from_task, SimInner};
 use crate::event::Msg;
 use crate::kernel::TaskState;
 use crate::report::Snapshot;
 use crate::stats::{Bucket, Stats};
-use crate::task::TaskId;
+use crate::task::{HandoffCell, TaskId};
 use crate::time::Time;
 use crate::trace::{SpanId, TraceEvent};
 use std::any::Any;
@@ -19,6 +19,9 @@ pub struct Ctx {
     inner: Arc<SimInner>,
     node: usize,
     task: TaskId,
+    /// This task's own handoff cell, cached here so blocking points don't
+    /// re-fetch (and re-clone) it from the task table on every switch.
+    cell: Arc<HandoffCell>,
 }
 
 impl Clone for Ctx {
@@ -27,13 +30,24 @@ impl Clone for Ctx {
             inner: Arc::clone(&self.inner),
             node: self.node,
             task: self.task,
+            cell: Arc::clone(&self.cell),
         }
     }
 }
 
 impl Ctx {
-    pub(crate) fn new(inner: Arc<SimInner>, node: usize, task: TaskId) -> Self {
-        Ctx { inner, node, task }
+    pub(crate) fn new(
+        inner: Arc<SimInner>,
+        node: usize,
+        task: TaskId,
+        cell: Arc<HandoffCell>,
+    ) -> Self {
+        Ctx {
+            inner,
+            node,
+            task,
+            cell,
+        }
     }
 
     /// This task's node index.
@@ -74,6 +88,9 @@ impl Ctx {
         let n = &mut k.nodes[self.node];
         n.clock += ns;
         n.stats.bucket_ns[bucket.index()] += ns;
+        // Other tasks may sit in this node's ready queue keyed by the old
+        // clock; re-index (no-op when the queue is empty, the common case).
+        k.touch_node(self.node);
         if k.tracer.is_some() {
             k.emit(self.node, self.task, TraceEvent::Charge { bucket, ns });
         }
@@ -103,46 +120,35 @@ impl Ctx {
         spawn_task(&self.inner, node, name.to_string(), f)
     }
 
-    /// Reschedule this task behind any other runnable work, giving the engine
-    /// a chance to apply due network events and run other tasks. Free of
-    /// modeled cost (the threads package charges context switches).
+    /// Reschedule this task behind any other runnable work, giving the
+    /// scheduler a chance to apply due network events and run other tasks.
+    /// Free of modeled cost (the threads package charges context switches).
     ///
     /// Includes a fast path: if no event and no other task could possibly run
-    /// before this node's clock, the handoff is skipped entirely.
+    /// before this node's clock, the reschedule is skipped entirely.
     pub fn yield_now(&self) {
-        let cell = {
-            let mut k = self.inner.kernel.lock();
-            let my_clock = k.nodes[self.node].clock;
-            let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
-            let local_ready = !k.nodes[self.node].ready.is_empty();
-            let earlier_node = k
-                .nodes
-                .iter()
-                .enumerate()
-                .any(|(i, n)| i != self.node && !n.ready.is_empty() && n.clock < my_clock);
-            if !event_due && !local_ready && !earlier_node {
-                return;
-            }
-            let rec = &mut k.tasks[self.task.idx()];
-            rec.state = TaskState::Runnable;
-            let cell = Arc::clone(&rec.cell);
-            k.nodes[self.node].ready.push_back(self.task);
-            cell
-        };
-        cell.yield_to_engine();
+        let mut k = self.inner.kernel.lock();
+        let my_clock = k.nodes[self.node].clock;
+        let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
+        let local_ready = !k.nodes[self.node].ready.is_empty();
+        // Our own node can't have a live heap entry (ready is empty when
+        // local_ready is false), so any strictly-earlier entry is another
+        // node with runnable work.
+        let earlier_node = !local_ready && k.peek_min_runnable().is_some_and(|(_, c)| c < my_clock);
+        if !event_due && !local_ready && !earlier_node {
+            return;
+        }
+        k.tasks[self.task.idx()].state = TaskState::Runnable;
+        k.enqueue_ready_back(self.node, self.task);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
     /// Park this task until [`Ctx::unpark`] (or a timer) wakes it.
     pub fn park(&self) {
-        let cell = {
-            let mut k = self.inner.kernel.lock();
-            let rec = &mut k.tasks[self.task.idx()];
-            rec.state = TaskState::Parked;
-            let cell = Arc::clone(&rec.cell);
-            k.emit(self.node, self.task, TraceEvent::Park);
-            cell
-        };
-        cell.yield_to_engine();
+        let mut k = self.inner.kernel.lock();
+        k.tasks[self.task.idx()].state = TaskState::Parked;
+        k.emit(self.node, self.task, TraceEvent::Park);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
     /// Make a parked task runnable again. Must target a task on the *same
@@ -169,19 +175,14 @@ impl Ctx {
     /// beneath both Split-C's spin-polling (which costs nothing in thread
     /// operations) and the CC++ polling thread.
     pub fn park_for_inbox(&self) {
-        let cell = {
-            let mut k = self.inner.kernel.lock();
-            if !k.nodes[self.node].inbox.is_empty() {
-                return;
-            }
-            let rec = &mut k.tasks[self.task.idx()];
-            rec.state = TaskState::InboxWait;
-            let cell = Arc::clone(&rec.cell);
-            k.nodes[self.node].inbox_waiters.push(self.task);
-            k.emit(self.node, self.task, TraceEvent::Park);
-            cell
-        };
-        cell.yield_to_engine();
+        let mut k = self.inner.kernel.lock();
+        if !k.nodes[self.node].inbox.is_empty() {
+            return;
+        }
+        k.tasks[self.task.idx()].state = TaskState::InboxWait;
+        k.nodes[self.node].inbox_waiters.push(self.task);
+        k.emit(self.node, self.task, TraceEvent::Park);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
     /// A *poll point*: make all network events due at or before this node's
@@ -195,25 +196,18 @@ impl Ctx {
     /// node's clock (and could still produce one), and resumes at the front
     /// of its node's run queue.
     pub fn poll_point(&self) {
-        let cell = {
-            let mut k = self.inner.kernel.lock();
-            let my_clock = k.nodes[self.node].clock;
-            let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
-            let earlier_node = k
-                .nodes
-                .iter()
-                .enumerate()
-                .any(|(i, n)| i != self.node && !n.ready.is_empty() && n.clock < my_clock);
-            if !event_due && !earlier_node {
-                return;
-            }
-            let rec = &mut k.tasks[self.task.idx()];
-            rec.state = TaskState::Runnable;
-            let cell = Arc::clone(&rec.cell);
-            k.nodes[self.node].ready.push_front(self.task);
-            cell
-        };
-        cell.yield_to_engine();
+        let mut k = self.inner.kernel.lock();
+        let my_clock = k.nodes[self.node].clock;
+        let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
+        // Any live heap entry for our own node carries our clock, never an
+        // earlier one, so a strictly-earlier minimum is always another node.
+        let earlier_node = k.peek_min_runnable().is_some_and(|(_, c)| c < my_clock);
+        if !event_due && !earlier_node {
+            return;
+        }
+        k.tasks[self.task.idx()].state = TaskState::Runnable;
+        k.enqueue_ready_front(self.node, self.task);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
     /// Take the oldest delivered message, if any.
@@ -251,35 +245,25 @@ impl Ctx {
     /// Park for `ns` of virtual time (a timer; models e.g. interrupt
     /// delivery delay in the ablation experiments).
     pub fn sleep(&self, ns: Time) {
-        let cell = {
-            let mut k = self.inner.kernel.lock();
-            let at = k.nodes[self.node].clock + ns;
-            k.post_wake(self.task, at);
-            let rec = &mut k.tasks[self.task.idx()];
-            rec.state = TaskState::Parked;
-            let cell = Arc::clone(&rec.cell);
-            k.emit(self.node, self.task, TraceEvent::Park);
-            cell
-        };
-        cell.yield_to_engine();
+        let mut k = self.inner.kernel.lock();
+        let at = k.nodes[self.node].clock + ns;
+        k.post_wake(self.task, at);
+        k.tasks[self.task.idx()].state = TaskState::Parked;
+        k.emit(self.node, self.task, TraceEvent::Park);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
     /// Block until task `t` finishes. No modeled cost (the threads package
     /// wraps this with its accounting).
     pub fn join(&self, t: TaskId) {
-        let cell = {
-            let mut k = self.inner.kernel.lock();
-            if k.tasks[t.idx()].state == TaskState::Finished {
-                return;
-            }
-            k.tasks[t.idx()].joiners.push(self.task);
-            let rec = &mut k.tasks[self.task.idx()];
-            rec.state = TaskState::Parked;
-            let cell = Arc::clone(&rec.cell);
-            k.emit(self.node, self.task, TraceEvent::Park);
-            cell
-        };
-        cell.yield_to_engine();
+        let mut k = self.inner.kernel.lock();
+        if k.tasks[t.idx()].state == TaskState::Finished {
+            return;
+        }
+        k.tasks[t.idx()].joiners.push(self.task);
+        k.tasks[self.task.idx()].state = TaskState::Parked;
+        k.emit(self.node, self.task, TraceEvent::Park);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
     /// Whether task `t` has finished.

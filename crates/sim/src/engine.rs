@@ -1,18 +1,26 @@
-//! The simulator front door ([`Sim`]) and the engine scheduling loop.
+//! The simulator front door ([`Sim`]) and the scheduling loop.
 //!
-//! Scheduling invariant: the engine always advances the node with the
+//! Scheduling invariant: the simulation always advances the node with the
 //! smallest virtual clock among nodes that have runnable work, and applies
 //! every pending network event whose timestamp is `<=` that clock first.
-//! Together with the rule that tasks yield to the engine before observing
+//! Together with the rule that tasks yield to the scheduler before observing
 //! their inbox (see `Ctx::poll_point`), this makes message visibility at poll
 //! points exact and the whole simulation a deterministic function of its
 //! inputs.
+//!
+//! The *decision* function ([`decide`]) is pure kernel-state manipulation and
+//! runs on whichever OS thread holds the baton. A task reaching a blocking
+//! point decides the successor itself and resumes it directly
+//! ([`switch_from_task`]) — the engine thread merely bootstraps the run and
+//! then sleeps on the [`EngineGate`] until termination, deadlock, or a panic
+//! needs handling. This halves the OS wakeups per simulated context switch
+//! relative to routing every switch through the engine thread.
 
 use crate::cost::CostModel;
 use crate::ctx::Ctx;
 use crate::kernel::{Kernel, TaskState};
 use crate::report::{Report, Snapshot};
-use crate::task::{HandoffCell, TaskId, TaskPool};
+use crate::task::{EngineGate, Handoff, HandoffCell, TaskId, TaskPool};
 use crate::trace::{TraceConfig, TraceEvent};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -20,6 +28,7 @@ use std::sync::Arc;
 pub(crate) struct SimInner {
     pub(crate) kernel: Mutex<Kernel>,
     pub(crate) pool: Arc<TaskPool>,
+    pub(crate) gate: Arc<EngineGate>,
     pub(crate) cost: CostModel,
     pub(crate) num_nodes: usize,
 }
@@ -105,6 +114,7 @@ impl Sim {
         let inner = Arc::new(SimInner {
             kernel: Mutex::new(Kernel::new(self.nodes, self.trace)),
             pool: TaskPool::new(),
+            gate: EngineGate::new(),
             cost: self.cost,
             num_nodes: self.nodes,
         });
@@ -114,11 +124,16 @@ impl Sim {
             spawn_task(&inner, node, "main".to_string(), move |ctx| f(ctx));
         }
         run_engine(&inner);
+        // Teardown: move the per-node state out of the kernel instead of
+        // cloning each Stats block — the kernel is done after this.
         let mut k = inner.kernel.lock();
+        let trace = k.tracer.take().map(|t| t.finish());
+        let nodes = std::mem::take(&mut k.nodes);
+        drop(k);
         Report {
-            clocks: k.nodes.iter().map(|n| n.clock).collect(),
-            stats: k.nodes.iter().map(|n| n.stats.clone()).collect(),
-            trace: k.tracer.take().map(|t| t.finish()),
+            clocks: nodes.iter().map(|n| n.clock).collect(),
+            stats: nodes.into_iter().map(|n| n.stats).collect(),
+            trace,
         }
     }
 }
@@ -134,7 +149,7 @@ where
         .kernel
         .lock()
         .register_task(node, name, Arc::clone(&cell));
-    let ctx = Ctx::new(Arc::clone(inner), node, id);
+    let ctx = Ctx::new(Arc::clone(inner), node, id, Arc::clone(&cell));
     let inner2 = Arc::clone(inner);
     let body = Box::new(move || {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
@@ -145,62 +160,107 @@ where
                 k.panic = Some(p);
             }
         }
+        // This task held the baton; pick who gets it next. A captured panic
+        // goes to the engine for prompt propagation, otherwise it goes
+        // directly to the next runnable task (one OS wakeup, no engine round
+        // trip). The worker loop performs the actual wakeup after marking
+        // this OS thread idle, so the successor can reuse it for spawns.
+        if k.panic.is_some() {
+            return Handoff::WakeGate;
+        }
+        match decide(&mut k) {
+            Decision::Run(_, next) => Handoff::Resume(next),
+            Decision::Idle => Handoff::WakeGate,
+        }
     });
-    inner.pool.dispatch(crate::task::Job { cell, body });
+    inner.pool.dispatch(crate::task::Job {
+        cell,
+        body,
+        gate: Arc::clone(&inner.gate),
+    });
     id
 }
 
 enum Decision {
     Run(TaskId, Arc<HandoffCell>),
-    Done,
-    Deadlock(String),
+    /// No runnable task: the run is complete if `live == 0`, deadlocked
+    /// otherwise. The engine materializes the diagnosis.
+    Idle,
 }
 
 pub(crate) fn run_engine(inner: &Arc<SimInner>) {
     loop {
         let decision = {
             let mut k = inner.kernel.lock();
+            if let Some(p) = k.panic.take() {
+                drop(k);
+                std::panic::resume_unwind(p);
+            }
             decide(&mut k)
         };
         match decision {
-            Decision::Run(tid, cell) => {
-                cell.run_task();
-                // The task yielded, parked, or finished; check for captured
-                // panics before scheduling anything else.
-                let panic = {
-                    let mut k = inner.kernel.lock();
-                    let p = k.panic.take();
-                    if p.is_none() && k.tasks[tid.idx()].state == TaskState::Running {
-                        // The body returned without going through finish_task
-                        // (only possible if the finish bookkeeping itself
-                        // failed) — treat as fatal.
-                        panic!("task {tid:?} ended abnormally");
-                    }
-                    p
-                };
-                if let Some(p) = panic {
-                    std::panic::resume_unwind(p);
-                }
+            Decision::Run(_, cell) => {
+                // Hand the baton to the task; it (and its successors) will
+                // hand off among themselves and wake us only for
+                // termination, deadlock, or panic propagation.
+                cell.resume_task();
+                inner.gate.sleep();
             }
-            Decision::Done => return,
-            Decision::Deadlock(dump) => {
+            Decision::Idle => {
+                let k = inner.kernel.lock();
+                if k.live == 0 {
+                    return;
+                }
+                let dump = k.dump_live();
+                drop(k);
                 panic!("simulated system deadlocked:\n{dump}");
             }
         }
     }
 }
 
+/// Give up the baton at a task blocking point whose kernel bookkeeping is
+/// already done: decide the successor on *this* OS thread and resume it
+/// directly. Fast path: if the caller itself is the best choice, no OS-level
+/// handoff happens at all. Returns once the calling task is resumed.
+pub(crate) fn switch_from_task(
+    inner: &Arc<SimInner>,
+    mut k: parking_lot::MutexGuard<'_, Kernel>,
+    me: TaskId,
+    my_cell: &HandoffCell,
+) {
+    if k.panic.is_none() {
+        match decide(&mut k) {
+            Decision::Run(next, _) if next == me => {
+                // decide() already marked us Running; keep going without
+                // touching the handoff cell.
+                return;
+            }
+            Decision::Run(_, next) => {
+                my_cell.begin_yield();
+                drop(k);
+                next.resume_task();
+                my_cell.wait_for_turn();
+                return;
+            }
+            Decision::Idle => {}
+        }
+    }
+    // Nothing runnable (deadlock diagnosis) or a panic is pending: the
+    // engine sorts it out. On the deadlock path we are never resumed; the
+    // worker thread is detached at pool teardown.
+    my_cell.begin_yield();
+    drop(k);
+    inner.gate.wake();
+    my_cell.wait_for_turn();
+}
+
 /// Core scheduling choice: apply due events, then pick the min-clock runnable
-/// node's front task.
+/// node's front task. Event application and the pick both happen under the
+/// one kernel lock acquisition of the caller.
 fn decide(k: &mut Kernel) -> Decision {
     loop {
-        let cand = k
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| !n.ready.is_empty())
-            .min_by_key(|(i, n)| (n.clock, *i))
-            .map(|(i, n)| (i, n.clock));
+        let cand = k.peek_min_runnable();
         let due = match (cand, k.events.peek()) {
             (Some((_, c)), Some(e)) => e.time <= c,
             (None, Some(_)) => true,
@@ -217,19 +277,14 @@ fn decide(k: &mut Kernel) -> Decision {
                     .ready
                     .pop_front()
                     .expect("ready queue emptied");
+                k.touch_node(node);
                 debug_assert_eq!(k.tasks[tid.idx()].state, TaskState::Runnable);
                 k.tasks[tid.idx()].state = TaskState::Running;
                 k.emit(node, tid, TraceEvent::TaskSwitch);
                 let cell = Arc::clone(&k.tasks[tid.idx()].cell);
                 return Decision::Run(tid, cell);
             }
-            None => {
-                return if k.live == 0 {
-                    Decision::Done
-                } else {
-                    Decision::Deadlock(k.dump_live())
-                };
-            }
+            None => return Decision::Idle,
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::task::{HandoffCell, TaskId};
 use crate::time::Time;
 use crate::trace::{TraceConfig, TraceEvent, TraceRecord, Tracer, NO_TASK};
 use std::any::{Any, TypeId};
+use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -52,6 +53,9 @@ pub(crate) struct NodeState {
     pub(crate) stats: Stats,
     /// Per-node typed singletons (runtime state for the layered crates).
     pub(crate) data: HashMap<TypeId, Arc<dyn Any + Send + Sync>>,
+    /// Generation of this node's newest `run_heap` entry; older entries are
+    /// stale and discarded lazily (see [`Kernel::touch_node`]).
+    pub(crate) heap_gen: u64,
 }
 
 impl NodeState {
@@ -63,6 +67,7 @@ impl NodeState {
             inbox_waiters: Vec::new(),
             stats: Stats::default(),
             data: HashMap::new(),
+            heap_gen: 0,
         }
     }
 }
@@ -71,6 +76,12 @@ pub(crate) struct Kernel {
     pub(crate) nodes: Vec<NodeState>,
     pub(crate) tasks: Vec<TaskRec>,
     pub(crate) events: BinaryHeap<Event>,
+    /// Min-heap over *runnable* nodes keyed by `(clock, node, generation)`.
+    /// Entries are invalidated lazily: an entry is live only if its
+    /// generation matches the node's `heap_gen` and the node still has ready
+    /// work. This turns the per-decision "min-clock runnable node" choice
+    /// from an O(N)-nodes scan into O(log N).
+    pub(crate) run_heap: BinaryHeap<Reverse<(Time, usize, u64)>>,
     pub(crate) seq: u64,
     /// Unfinished task count.
     pub(crate) live: usize,
@@ -85,11 +96,56 @@ impl Kernel {
             nodes: (0..nodes).map(|_| NodeState::new()).collect(),
             tasks: Vec::new(),
             events: BinaryHeap::new(),
+            run_heap: BinaryHeap::new(),
             seq: 0,
             live: 0,
             panic: None,
             tracer: trace.map(|cfg| Tracer::new(nodes, cfg)),
         }
+    }
+
+    /// Re-index node `i` in the runnable-node heap. Must be called after any
+    /// mutation of the node's clock or ready queue; pushes a fresh entry
+    /// (invalidating all older ones via the generation counter) when the
+    /// node has runnable work, and is a cheap no-op when it does not.
+    #[inline]
+    pub(crate) fn touch_node(&mut self, i: usize) {
+        let n = &mut self.nodes[i];
+        if !n.ready.is_empty() {
+            n.heap_gen += 1;
+            self.run_heap.push(Reverse((n.clock, i, n.heap_gen)));
+        }
+    }
+
+    /// The min-clock node with runnable work (ties broken by node index),
+    /// pruning stale heap entries on the way. The live entry is left on the
+    /// heap; it is invalidated by the `touch_node` that accompanies the
+    /// eventual ready-queue pop.
+    pub(crate) fn peek_min_runnable(&mut self) -> Option<(usize, Time)> {
+        while let Some(&Reverse((clock, i, gen))) = self.run_heap.peek() {
+            let n = &self.nodes[i];
+            if gen == n.heap_gen && !n.ready.is_empty() {
+                debug_assert_eq!(clock, n.clock, "stale clock survived touch_node");
+                return Some((i, clock));
+            }
+            self.run_heap.pop();
+        }
+        None
+    }
+
+    /// Append `t` to `node`'s ready queue and re-index the node.
+    #[inline]
+    pub(crate) fn enqueue_ready_back(&mut self, node: usize, t: TaskId) {
+        self.nodes[node].ready.push_back(t);
+        self.touch_node(node);
+    }
+
+    /// Prepend `t` to `node`'s ready queue (poll points resume at the front)
+    /// and re-index the node.
+    #[inline]
+    pub(crate) fn enqueue_ready_front(&mut self, node: usize, t: TaskId) {
+        self.nodes[node].ready.push_front(t);
+        self.touch_node(node);
     }
 
     /// Emit a trace record stamped with `node`'s current clock. No-op when
@@ -122,9 +178,13 @@ impl Kernel {
             joiners: Vec::new(),
         });
         self.live += 1;
-        self.nodes[node].ready.push_back(id);
-        let name = self.tasks[id.idx()].name.clone();
-        self.emit(node, id, TraceEvent::TaskSpawn { name });
+        self.enqueue_ready_back(node, id);
+        // Trace payloads are only built when a tracer is installed — the
+        // name clone here is pure waste otherwise.
+        if self.tracer.is_some() {
+            let name = self.tasks[id.idx()].name.clone();
+            self.emit(node, id, TraceEvent::TaskSpawn { name });
+        }
         id
     }
 
@@ -180,6 +240,9 @@ impl Kernel {
                 n.stats.msgs_received += 1;
                 n.inbox.push_back(msg);
                 n.clock = n.clock.max(ev.time);
+                // The clock may have moved under tasks already in the ready
+                // queue; re-key the node before (possibly) waking waiters.
+                self.touch_node(node);
                 self.emit(node, NO_TASK, TraceEvent::MsgDeliver { src, wire_bytes });
                 let n = &mut self.nodes[node];
                 let waiters = std::mem::take(&mut n.inbox_waiters);
@@ -209,7 +272,7 @@ impl Kernel {
         );
         rec.state = TaskState::Runnable;
         let node = rec.node;
-        self.nodes[node].ready.push_back(t);
+        self.enqueue_ready_back(node, t);
         self.emit(node, t, TraceEvent::Unpark);
     }
 

@@ -5,10 +5,17 @@
 //! deep inside an inner loop parks the task until the reply arrives). We get
 //! real stacks by running every task body on an OS thread, but we keep the
 //! simulation deterministic with a strict handoff protocol: at any instant
-//! exactly one of {engine, one task} is executing. The engine resumes a task
-//! via its [`HandoffCell`]; the task gives control back at every scheduling
-//! point. OS threads are pooled and reused across tasks, so spawning a
-//! simulated thread does not pay OS-thread creation after warm-up.
+//! exactly one of {engine, one task} is executing. OS threads are pooled and
+//! reused across tasks, so spawning a simulated thread does not pay OS-thread
+//! creation after warm-up.
+//!
+//! Scheduling decisions run on whichever OS thread holds the baton. A task
+//! reaching a blocking point picks the next task itself (under the kernel
+//! lock) and resumes it directly via its [`HandoffCell`] — one OS wakeup per
+//! simulated context switch instead of a round trip through the engine
+//! thread. The engine thread only bootstraps the run and parks on the
+//! [`EngineGate`] until a task wakes it for termination, deadlock diagnosis,
+//! or panic propagation.
 
 use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -49,51 +56,90 @@ impl HandoffCell {
         })
     }
 
-    /// Engine side: hand the baton to the task and block until it comes back.
-    pub(crate) fn run_task(&self) {
+    /// Hand the baton to the task parked on this cell. Does not block; called
+    /// by the engine (bootstrap) or by another task handing off directly.
+    pub(crate) fn resume_task(&self) {
         let mut t = self.turn.lock();
-        debug_assert_eq!(*t, Turn::Engine, "engine resumed a running task");
+        debug_assert_eq!(*t, Turn::Engine, "resumed a running task");
         *t = Turn::Task;
         self.cv.notify_all();
-        while *t == Turn::Task {
-            self.cv.wait(&mut t);
-        }
     }
 
-    /// Task side: wait for the engine to hand us the baton.
+    /// Task side: mark the baton as having left this task. Must happen
+    /// *before* resuming the successor, so a handoff chain that circles back
+    /// can legally resume us before we reach [`HandoffCell::wait_for_turn`]
+    /// (the wakeup is latched in `turn`, not lost).
+    pub(crate) fn begin_yield(&self) {
+        let mut t = self.turn.lock();
+        debug_assert_eq!(*t, Turn::Task);
+        *t = Turn::Engine;
+    }
+
+    /// Task side: block until someone hands us the baton.
     pub(crate) fn wait_for_turn(&self) {
         let mut t = self.turn.lock();
         while *t == Turn::Engine {
             self.cv.wait(&mut t);
         }
     }
+}
 
-    /// Task side: give the baton back and block until resumed again.
-    pub(crate) fn yield_to_engine(&self) {
-        let mut t = self.turn.lock();
-        debug_assert_eq!(*t, Turn::Task);
-        *t = Turn::Engine;
+/// Where the engine thread parks while tasks hand the baton among
+/// themselves. A task wakes the engine only when the simulation cannot
+/// continue on task threads: everything finished, nothing runnable
+/// (deadlock), or a captured panic to propagate.
+pub(crate) struct EngineGate {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl EngineGate {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(EngineGate {
+            woken: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Wake the engine (latched: a wake that races ahead of
+    /// [`EngineGate::sleep`] is not lost).
+    pub(crate) fn wake(&self) {
+        *self.woken.lock() = true;
         self.cv.notify_all();
-        while *t == Turn::Engine {
-            self.cv.wait(&mut t);
+    }
+
+    /// Engine side: block until the next wake, then clear it.
+    pub(crate) fn sleep(&self) {
+        let mut w = self.woken.lock();
+        while !*w {
+            self.cv.wait(&mut w);
         }
+        *w = false;
     }
+}
 
-    /// Task side, final transition: give the baton back without waiting. The
-    /// cell is never used again after this.
-    pub(crate) fn release_to_engine(&self) {
-        let mut t = self.turn.lock();
-        *t = Turn::Engine;
-        self.cv.notify_all();
-    }
+/// Final baton movement of a finished task, returned by the job body and
+/// performed by the worker. The body does all kernel bookkeeping and *picks*
+/// the successor, but the worker performs the actual wakeup after marking
+/// itself idle — so the resumed task can immediately reuse this OS thread
+/// for a fresh spawn instead of creating a new one.
+pub(crate) enum Handoff {
+    /// Hand the baton to this task.
+    Resume(Arc<HandoffCell>),
+    /// Nothing runnable (or a panic to propagate): wake the engine.
+    WakeGate,
 }
 
 /// A unit of work shipped to a pool worker: the task's handoff cell plus its
 /// body. The body performs all kernel bookkeeping itself (including marking
-/// the task finished); the worker only drives the handoff protocol.
+/// the task finished and choosing the hand-off target); the worker only
+/// drives the handoff protocol. `gate` is also the backstop wake target
+/// should the body itself panic through (then nobody else will ever wake the
+/// engine).
 pub(crate) struct Job {
     pub(crate) cell: Arc<HandoffCell>,
-    pub(crate) body: Box<dyn FnOnce() + Send>,
+    pub(crate) body: Box<dyn FnOnce() -> Handoff + Send>,
+    pub(crate) gate: Arc<EngineGate>,
 }
 
 enum WorkerCmd {
@@ -207,11 +253,20 @@ fn worker_loop(slot: Arc<WorkerSlot>) {
             WorkerCmd::Run(job) => {
                 job.cell.wait_for_turn();
                 // The body is responsible for all kernel bookkeeping,
-                // including panic capture; `catch_unwind` here is a backstop
-                // so a worker never dies and strands the engine.
-                let _ = catch_unwind(AssertUnwindSafe(job.body));
-                job.cell.release_to_engine();
+                // including panic capture and picking the hand-off target.
+                // `catch_unwind` is a backstop so a worker never dies holding
+                // the baton; if the body's own bookkeeping panicked through,
+                // wake the engine so the run surfaces as a diagnosable
+                // deadlock instead of a hang. Mark the worker idle *before*
+                // waking anyone: the resumed task runs immediately on a
+                // single-CPU box, and any task it spawns should find this
+                // thread reusable rather than growing the pool.
+                let handoff = catch_unwind(AssertUnwindSafe(job.body));
                 slot.busy.store(false, Ordering::Release);
+                match handoff {
+                    Ok(Handoff::Resume(cell)) => cell.resume_task(),
+                    Ok(Handoff::WakeGate) | Err(_) => job.gate.wake(),
+                }
             }
         }
     }
@@ -226,34 +281,58 @@ mod tests {
     #[test]
     fn handoff_round_trip() {
         let cell = HandoffCell::new();
-        let c2 = Arc::clone(&cell);
+        let gate = EngineGate::new();
+        let (c2, g2) = (Arc::clone(&cell), Arc::clone(&gate));
         let hits = Arc::new(AtomicUsize::new(0));
         let h2 = Arc::clone(&hits);
         let t = thread::spawn(move || {
             c2.wait_for_turn();
             h2.fetch_add(1, Ordering::SeqCst);
-            c2.yield_to_engine();
+            c2.begin_yield();
+            g2.wake();
+            c2.wait_for_turn();
             h2.fetch_add(1, Ordering::SeqCst);
-            c2.release_to_engine();
+            g2.wake();
         });
         assert_eq!(hits.load(Ordering::SeqCst), 0);
-        cell.run_task();
+        cell.resume_task();
+        gate.sleep();
         assert_eq!(hits.load(Ordering::SeqCst), 1);
-        cell.run_task();
+        cell.resume_task();
+        gate.sleep();
         assert_eq!(hits.load(Ordering::SeqCst), 2);
         t.join().unwrap();
     }
 
     #[test]
+    fn handoff_wakeup_is_latched() {
+        // A resume that lands before the task reaches wait_for_turn must not
+        // be lost — this is what lets a handoff chain circle back to a task
+        // that has begun yielding but not yet parked.
+        let cell = HandoffCell::new();
+        cell.resume_task();
+        cell.wait_for_turn(); // returns immediately
+        cell.begin_yield();
+        cell.resume_task();
+        cell.wait_for_turn(); // returns immediately again
+    }
+
+    fn idle_job(cell: &Arc<HandoffCell>, gate: &Arc<EngineGate>) -> Job {
+        Job {
+            cell: Arc::clone(cell),
+            body: Box::new(|| Handoff::WakeGate),
+            gate: Arc::clone(gate),
+        }
+    }
+
+    #[test]
     fn pool_reuses_workers_for_sequential_jobs() {
         let pool = TaskPool::new();
+        let gate = EngineGate::new();
         for _ in 0..16 {
             let cell = HandoffCell::new();
-            pool.dispatch(Job {
-                cell: Arc::clone(&cell),
-                body: Box::new(|| {}),
-            });
-            cell.run_task();
+            pool.dispatch(idle_job(&cell, &gate));
+            cell.resume_task();
             // Give the worker a moment to mark itself idle so the next
             // dispatch can reuse it.
             for _ in 0..1000 {
@@ -278,30 +357,31 @@ mod tests {
     #[test]
     fn pool_handles_concurrent_jobs() {
         let pool = TaskPool::new();
+        let gate = EngineGate::new();
         let mut cells = Vec::new();
         for _ in 0..8 {
             let cell = HandoffCell::new();
-            pool.dispatch(Job {
-                cell: Arc::clone(&cell),
-                body: Box::new(|| {}),
-            });
+            pool.dispatch(idle_job(&cell, &gate));
             cells.push(cell);
         }
         for c in cells {
-            c.run_task();
+            c.resume_task();
         }
         assert_eq!(pool.worker_count(), 8);
     }
 
     #[test]
-    fn worker_panic_does_not_strand_engine() {
+    fn worker_panic_wakes_the_gate() {
         let pool = TaskPool::new();
+        let gate = EngineGate::new();
         let cell = HandoffCell::new();
         pool.dispatch(Job {
             cell: Arc::clone(&cell),
             body: Box::new(|| panic!("task body panicked")),
+            gate: Arc::clone(&gate),
         });
-        // run_task must return even though the body panicked.
-        cell.run_task();
+        cell.resume_task();
+        // The backstop must wake the gate even though the body panicked.
+        gate.sleep();
     }
 }
