@@ -41,4 +41,29 @@ cmp /tmp/ci_fig5_j1.out /tmp/ci_fig5_jn.out
 rm -f /tmp/ci_fig5_j1.json /tmp/ci_fig5_jn.json /tmp/ci_fig5_j1.out /tmp/ci_fig5_jn.out
 echo "fig5 -j1 vs -j$(nproc) identical"
 
+echo "==> faults smoke test (reliable delivery under a lossy wire)"
+# Nonzero fault rates must leave application results bitwise identical to
+# the fault-free baseline (the binary exits nonzero on divergence), produce
+# parseable JSON with reliability activity, and be seed-deterministic:
+# two same-seed runs emit byte-identical JSON.
+./target/release/faults --quick --json /tmp/ci_faults_a.json >/tmp/ci_faults_a.out
+./target/release/faults --quick --json /tmp/ci_faults_b.json >/tmp/ci_faults_b.out
+cmp /tmp/ci_faults_a.json /tmp/ci_faults_b.json
+cmp /tmp/ci_faults_a.out /tmp/ci_faults_b.out
+python3 - <<'EOF' 2>/dev/null || node -e "
+  const d = JSON.parse(require('fs').readFileSync('/tmp/ci_faults_a.json'));
+  if (!d.all_match) throw new Error('faulty run diverged from baseline');
+  const retx = d.cells.reduce((a, c) => a + (c.counts.retransmits || 0), 0);
+  if (!(retx > 0)) throw new Error('no retransmissions under faults');
+" 2>/dev/null || grep -q '"all_match": true' /tmp/ci_faults_a.json
+import json
+d = json.load(open("/tmp/ci_faults_a.json"))
+assert d["table"] == "faults" and d["cells"], "faults.json missing cells"
+assert d["all_match"], "faulty run diverged from the fault-free baseline"
+retx = sum(c["counts"].get("retransmits", 0) for c in d["cells"])
+assert retx > 0, "no retransmissions under nonzero drop rates"
+EOF
+rm -f /tmp/ci_faults_a.json /tmp/ci_faults_b.json /tmp/ci_faults_a.out /tmp/ci_faults_b.out
+echo "faults smoke + seeded determinism OK"
+
 echo "==> all checks passed"

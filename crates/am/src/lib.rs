@@ -16,6 +16,7 @@
 mod barrier;
 mod ops;
 mod profile;
+mod reliable;
 mod reply;
 mod state;
 

@@ -60,12 +60,16 @@ fn send_inner(
         data,
         token,
     };
-    ctx.send_msg(
-        dst,
-        SHORT_WIRE_BYTES + bytes,
-        p.wire_delay(bytes),
-        Box::new(msg),
-    );
+    if ctx.faults_enabled() {
+        crate::reliable::send(ctx, &st, dst, msg, bytes, &p);
+    } else {
+        ctx.send_msg(
+            dst,
+            SHORT_WIRE_BYTES + bytes,
+            p.wire_delay(bytes),
+            Box::new(msg),
+        );
+    }
     if p.poll_on_send {
         poll(ctx);
     }
@@ -83,6 +87,9 @@ pub fn poll(ctx: &Ctx) -> usize {
     ctx.poll_point();
     ctx.with_stats(|s| s.polls += 1);
     let p = st.profile();
+    if ctx.faults_enabled() {
+        return crate::reliable::poll_reliable(ctx, &st, &p);
+    }
     let mut ran = 0;
     while let Some(m) = ctx.try_recv() {
         let am = m

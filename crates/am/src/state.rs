@@ -5,7 +5,7 @@ use crate::AmMsg;
 use mpmd_sim::{Ctx, TaskId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a registered handler. Each runtime owns a disjoint id range
@@ -33,6 +33,15 @@ pub(crate) struct AmState {
     pub(crate) barrier_arrivals: Mutex<HashMap<u64, usize>>,
     pub(crate) barrier_release_gen: AtomicU64,
     pub(crate) barrier_my_gen: AtomicU64,
+    /// Reliable-delivery protocol state (used only with a fault model).
+    pub(crate) rel: Mutex<crate::reliable::RelState>,
+    /// Whether this node's pump daemon has been spawned.
+    pub(crate) pump_started: AtomicBool,
+    /// The pump daemon's task, once spawned. Sends nudge it awake so it
+    /// re-parks against the new packet's retransmit deadline — otherwise a
+    /// pump that parked with an empty retransmit buffer would sleep through
+    /// the drop of a packet sent afterwards.
+    pub(crate) pump: Mutex<Option<TaskId>>,
 }
 
 impl AmState {
@@ -44,6 +53,9 @@ impl AmState {
             barrier_arrivals: Mutex::new(HashMap::new()),
             barrier_release_gen: AtomicU64::new(0),
             barrier_my_gen: AtomicU64::new(0),
+            rel: Mutex::new(crate::reliable::RelState::default()),
+            pump_started: AtomicBool::new(false),
+            pump: Mutex::new(None),
         }
     }
 
@@ -64,13 +76,22 @@ impl AmState {
 /// panics (mixed profiles on one node would make measurements meaningless).
 pub fn init(ctx: &Ctx, profile: NetProfile) {
     let st = AmState::get(ctx);
-    let mut p = st.profile.lock();
-    match &*p {
-        None => *p = Some(profile),
-        Some(existing) => assert_eq!(
-            *existing, profile,
-            "am::init called twice with different profiles"
-        ),
+    {
+        let mut p = st.profile.lock();
+        match &*p {
+            None => *p = Some(profile),
+            Some(existing) => assert_eq!(
+                *existing, profile,
+                "am::init called twice with different profiles"
+            ),
+        }
+    }
+    // A fault model switches the layer into reliable-delivery mode; each
+    // node gets one pump daemon driving retransmits/acks while application
+    // tasks compute or block.
+    if ctx.faults_enabled() && !st.pump_started.swap(true, Ordering::SeqCst) {
+        let t = ctx.spawn_daemon("am-pump", crate::reliable::pump_main);
+        *st.pump.lock() = Some(t);
     }
 }
 

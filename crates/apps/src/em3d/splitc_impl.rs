@@ -23,10 +23,18 @@ struct Node {
 /// Run EM3D under the Split-C runtime and return node 0's measurements plus
 /// the final field values (gathered after the timed region).
 pub fn run_splitc(p: &Em3dParams, version: Em3dVersion) -> AppRun<Em3dValues> {
+    run_splitc_cost(p, version, CostModel::default())
+}
+
+/// [`run_splitc`] with an explicit cost model (e.g. one carrying a fault
+/// model).
+pub fn run_splitc_cost(
+    p: &Em3dParams,
+    version: Em3dVersion,
+    cost: CostModel,
+) -> AppRun<Em3dValues> {
     let p = p.clone();
-    run_collect(p.procs, CostModel::default(), move |ctx| {
-        body(ctx, &p, version)
-    })
+    run_collect(p.procs, cost, move |ctx| body(ctx, &p, version))
 }
 
 fn body(ctx: &Ctx, p: &Em3dParams, version: Em3dVersion) -> Option<AppRun<Em3dValues>> {

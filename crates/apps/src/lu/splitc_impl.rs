@@ -10,8 +10,14 @@ use std::collections::HashMap;
 
 /// Run blocked LU under the Split-C runtime.
 pub fn run_splitc(p: &LuParams) -> AppRun<LuOutput> {
+    run_splitc_cost(p, CostModel::default())
+}
+
+/// [`run_splitc`] with an explicit cost model (e.g. one carrying a fault
+/// model).
+pub fn run_splitc_cost(p: &LuParams, cost: CostModel) -> AppRun<LuOutput> {
     let p = p.clone();
-    run_collect(p.procs, CostModel::default(), move |ctx| body(ctx, &p))
+    run_collect(p.procs, cost, move |ctx| body(ctx, &p))
 }
 
 fn body(ctx: &Ctx, p: &LuParams) -> Option<AppRun<LuOutput>> {

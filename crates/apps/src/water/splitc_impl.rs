@@ -29,10 +29,18 @@ pub(super) fn remote_molecules(me: usize, n: usize, n_local: usize) -> Vec<usize
 
 /// Run Water under the Split-C runtime.
 pub fn run_splitc(p: &WaterParams, version: WaterVersion) -> AppRun<WaterOutput> {
+    run_splitc_cost(p, version, CostModel::default())
+}
+
+/// [`run_splitc`] with an explicit cost model (e.g. one carrying a fault
+/// model).
+pub fn run_splitc_cost(
+    p: &WaterParams,
+    version: WaterVersion,
+    cost: CostModel,
+) -> AppRun<WaterOutput> {
     let p = p.clone();
-    run_collect(p.procs, CostModel::default(), move |ctx| {
-        body(ctx, &p, version)
-    })
+    run_collect(p.procs, cost, move |ctx| body(ctx, &p, version))
 }
 
 fn body(ctx: &Ctx, p: &WaterParams, version: WaterVersion) -> Option<AppRun<WaterOutput>> {

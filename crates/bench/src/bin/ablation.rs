@@ -5,17 +5,22 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin ablation [iters] [-j N] [--json <path>]`
 
 use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
-use mpmd_bench::fmt::{render_table, take_json_flag, us, write_json};
+use mpmd_bench::fmt::{
+    reject_unknown_args, render_table, take_count, take_json_flag, us, write_json,
+};
 use mpmd_bench::micro::run_table4_with;
 use mpmd_bench::runner::{map_jobs, take_jobs_flag};
 use mpmd_ccxx::CcxxConfig;
 use mpmd_sim::CostModel;
 use serde::Serialize as _;
 
+const USAGE: &str = "ablation [iters] [-j N] [--json <path>]";
+
 fn main() {
     let (args, json_path) = take_json_flag(std::env::args().skip(1));
     let (args, jobs) = take_jobs_flag(args.into_iter());
-    let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let (args, iters) = take_count(args, 100, USAGE);
+    reject_unknown_args(&args, USAGE);
     let mut json = serde_json::Map::new();
 
     let configs: Vec<(&str, CcxxConfig)> = vec![

@@ -11,12 +11,15 @@
 
 use mpmd_apps::em3d::Em3dVersion;
 use mpmd_bench::experiments::{run_fig5, run_fig6_lu, Scale};
-use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
 use mpmd_sim::to_us;
 
+const USAGE: &str = "claims [--quick] [--json <path>]";
+
 fn main() {
-    let (_, json_path) = take_json_flag(std::env::args().skip(1));
-    let scale = Scale::from_args();
+    let (rest, json_path) = take_json_flag(std::env::args().skip(1));
+    let (rest, scale) = Scale::take(rest);
+    reject_unknown_args(&rest, USAGE);
     eprintln!("running discussion-claims analysis ({scale:?} scale)...");
     let jobs = mpmd_bench::runner::default_jobs();
     let cells = run_fig5(scale, &[1.0], jobs);

@@ -5,13 +5,16 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin fig5 [--quick] [-j N] [--json <path>]`
 
 use mpmd_bench::experiments::{bar_pair, breakdown_row, run_fig5, Scale, BREAKDOWN_HEADERS};
-use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
 use mpmd_bench::runner::take_jobs_flag;
+
+const USAGE: &str = "fig5 [--quick] [-j N] [--json <path>]";
 
 fn main() {
     let (rest, json_path) = take_json_flag(std::env::args().skip(1));
-    let (_, jobs) = take_jobs_flag(rest.into_iter());
-    let scale = Scale::from_args();
+    let (rest, jobs) = take_jobs_flag(rest.into_iter());
+    let (rest, scale) = Scale::take(rest);
+    reject_unknown_args(&rest, USAGE);
     eprintln!("running Figure 5 EM3D sweeps ({scale:?} scale)...");
     let fracs = [0.1, 0.4, 0.7, 1.0];
     let cells = run_fig5(scale, &fracs, jobs);

@@ -8,13 +8,16 @@ use mpmd_apps::water::WaterVersion;
 use mpmd_bench::experiments::{
     bar_pair, breakdown_row, run_fig6_lu, run_fig6_water, Scale, BREAKDOWN_HEADERS,
 };
-use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
 use mpmd_bench::runner::take_jobs_flag;
+
+const USAGE: &str = "fig6 [--quick] [-j N] [--json <path>]";
 
 fn main() {
     let (rest, json_path) = take_json_flag(std::env::args().skip(1));
-    let (_, jobs) = take_jobs_flag(rest.into_iter());
-    let scale = Scale::from_args();
+    let (rest, jobs) = take_jobs_flag(rest.into_iter());
+    let (rest, scale) = Scale::take(rest);
+    reject_unknown_args(&rest, USAGE);
     eprintln!("running Figure 6 Water sweeps ({scale:?} scale)...");
     let sizes: &[usize] = if scale == Scale::Paper {
         &[64, 512]

@@ -9,8 +9,10 @@
 use mpmd_apps::em3d::Em3dVersion;
 use mpmd_apps::water::WaterVersion;
 use mpmd_bench::experiments::{run_fig5, run_fig6_lu, run_fig6_water, Cell, Scale};
-use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
 use mpmd_sim::size_bucket_limit;
+
+const USAGE: &str = "msgprofile [--quick] [--json <path>]";
 
 fn hist_cells(c: &Cell) -> Vec<String> {
     let s = &c.breakdown.counts;
@@ -31,8 +33,9 @@ fn hist_cells(c: &Cell) -> Vec<String> {
 }
 
 fn main() {
-    let (_, json_path) = take_json_flag(std::env::args().skip(1));
-    let scale = Scale::from_args();
+    let (rest, json_path) = take_json_flag(std::env::args().skip(1));
+    let (rest, scale) = Scale::take(rest);
+    reject_unknown_args(&rest, USAGE);
     eprintln!("profiling messages across the applications ({scale:?} scale)...");
 
     let mut headers: Vec<String> = [

@@ -4,13 +4,16 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin nexus_cmp [--quick] [-j N] [--json <path>]`
 
 use mpmd_bench::experiments::{run_nexus_cmp, Scale};
-use mpmd_bench::fmt::{render_table, secs, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, secs, take_json_flag, write_json};
 use mpmd_bench::runner::take_jobs_flag;
+
+const USAGE: &str = "nexus_cmp [--quick] [-j N] [--json <path>]";
 
 fn main() {
     let (rest, json_path) = take_json_flag(std::env::args().skip(1));
-    let (_, jobs) = take_jobs_flag(rest.into_iter());
-    let scale = Scale::from_args();
+    let (rest, jobs) = take_jobs_flag(rest.into_iter());
+    let (rest, scale) = Scale::take(rest);
+    reject_unknown_args(&rest, USAGE);
     eprintln!("running CC++/ThAM vs CC++/Nexus comparison ({scale:?} scale)...");
     let cmps = run_nexus_cmp(scale, jobs);
     let rows: Vec<Vec<String>> = cmps

@@ -7,8 +7,10 @@
 //!
 //! Usage: `cargo run --release -p mpmd-bench --bin scaling [-j N] [--json <path>]`
 
-use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
 use mpmd_bench::runner::{run_jobs, take_jobs_flag, Unit};
+
+const USAGE: &str = "scaling [-j N] [--json <path>]";
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CcxxConfig, CxPtr};
 use mpmd_sim::{to_us, Sim};
@@ -98,7 +100,8 @@ fn exchange_once(ctx: &mpmd_sim::Ctx, region: u32, len: usize) {
 
 fn main() {
     let (rest, json_path) = take_json_flag(std::env::args().skip(1));
-    let (_, jobs) = take_jobs_flag(rest.into_iter());
+    let (rest, jobs) = take_jobs_flag(rest.into_iter());
+    reject_unknown_args(&rest, USAGE);
     println!("Bulk-exchange gap vs per-peer transfer size ({PROCS} nodes, flat arrays,\nwith an EM3D phase of computation per exchange)");
     println!();
     let mut rows = Vec::new();

@@ -6,8 +6,10 @@
 //!
 //! Usage: `cargo run -p mpmd-bench --bin table1 [--json <path>]`
 
-use mpmd_bench::fmt::{render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
 use std::path::{Path, PathBuf};
+
+const USAGE: &str = "table1 [--json <path>]";
 
 fn count_rust_lines(dir: &Path) -> usize {
     let mut total = 0;
@@ -37,6 +39,8 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() {
+    let (rest, json_path) = take_json_flag(std::env::args().skip(1));
+    reject_unknown_args(&rest, USAGE);
     println!("Table 1 — source code size, old (Nexus) vs new (ThAM) CC++ runtime");
     println!();
     println!("Paper (C++/headers lines):");
@@ -80,7 +84,6 @@ fn main() {
     rows.push(vec!["total".to_string(), total.to_string()]);
     println!("{}", render_table(&["component", ".rs lines"], &rows));
 
-    let (_, json_path) = take_json_flag(std::env::args().skip(1));
     if let Some(path) = &json_path {
         use serde::Serialize as _;
         let mut m = serde_json::Map::new();

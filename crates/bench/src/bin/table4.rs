@@ -3,12 +3,17 @@
 //!
 //! Usage: `cargo run --release -p mpmd-bench --bin table4 [iters] [--json <path>]`
 
-use mpmd_bench::fmt::{cnt, render_table, take_json_flag, us, write_json};
+use mpmd_bench::fmt::{
+    cnt, reject_unknown_args, render_table, take_count, take_json_flag, us, write_json,
+};
 use mpmd_bench::micro::{measure_mpl_rtt, run_table4};
+
+const USAGE: &str = "table4 [iters] [--json <path>]";
 
 fn main() {
     let (args, json_path) = take_json_flag(std::env::args().skip(1));
-    let iters: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let (args, iters) = take_count(args, 200, USAGE);
+    reject_unknown_args(&args, USAGE);
     eprintln!("running Table 4 micro-benchmarks ({iters} iterations each)...");
     let rows = run_table4(iters);
 

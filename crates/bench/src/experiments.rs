@@ -10,7 +10,7 @@ use mpmd_apps::lu::{self, LuParams};
 use mpmd_apps::water::{self, WaterParams, WaterVersion};
 use mpmd_ccxx::CcxxConfig;
 use mpmd_nexus::{nexus_config, nexus_sim_cost_model};
-use mpmd_sim::CostModel;
+use mpmd_sim::{CostModel, FaultModel};
 
 /// One measured cell of a breakdown figure.
 #[derive(Clone, Debug)]
@@ -58,12 +58,12 @@ pub enum Scale {
 }
 
 impl Scale {
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick") {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
+    /// Split the `--quick` switch off a raw argument list. Binaries pass the
+    /// remaining arguments through their other flag parsers and then reject
+    /// leftovers via [`crate::fmt::reject_unknown_args`].
+    pub fn take(args: Vec<String>) -> (Vec<String>, Scale) {
+        let (rest, quick) = crate::fmt::take_switch(args, "--quick");
+        (rest, if quick { Scale::Quick } else { Scale::Paper })
     }
 }
 
@@ -313,6 +313,192 @@ pub fn run_nexus_cmp(scale: Scale, jobs: usize) -> Vec<NexusComparison> {
             }
         })
         .collect()
+}
+
+/// Applications exercised by the fault-injection sweep (`faults` binary).
+/// One communication-heavy version of each paper application.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultApp {
+    /// EM3D, ghost version (split-phase gets each half-step).
+    Em3d,
+    /// Water, atomic version (remote reads + atomic force accumulation).
+    Water,
+    /// Blocked LU (bulk stores, prefetches, and barriers).
+    Lu,
+}
+
+impl FaultApp {
+    pub const ALL: [FaultApp; 3] = [FaultApp::Em3d, FaultApp::Water, FaultApp::Lu];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultApp::Em3d => "em3d-ghost",
+            FaultApp::Water => "water-atomic",
+            FaultApp::Lu => "lu",
+        }
+    }
+}
+
+/// One cell of the fault sweep: application × runtime × fault level.
+pub struct FaultCell {
+    pub app: &'static str,
+    pub lang: Lang,
+    /// Drop rate of the wire fault model, or `None` for the baseline run
+    /// with the fault model off (unsequenced fast path, no reliability
+    /// protocol).
+    pub drop: Option<f64>,
+    pub breakdown: AppBreakdown,
+    /// Whether the application results are bitwise identical to the
+    /// fault-free baseline of the same (application, runtime) pair. The
+    /// reliable-delivery layer guarantees this; the sweep verifies it.
+    pub matches_baseline: bool,
+}
+
+impl FaultCell {
+    /// JSON form for `faults --json`. Deliberately contains no application
+    /// floating-point values — only virtual times, counters, the drop rate,
+    /// and the baseline-match verdict — so same-seed runs are byte-identical.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde::Serialize as _;
+        let b = &self.breakdown;
+        let mut comp = serde_json::Map::new();
+        for (bk, v) in mpmd_sim::Bucket::ALL.iter().zip(b.components()) {
+            comp.insert(bk.label().to_string(), v.to_value());
+        }
+        let mut m = serde_json::Map::new();
+        m.insert("app".to_string(), self.app.to_value());
+        m.insert("lang".to_string(), self.lang.label().to_value());
+        m.insert(
+            "drop_rate".to_string(),
+            match self.drop {
+                Some(d) => d.to_value(),
+                None => serde_json::Value::Null,
+            },
+        );
+        m.insert("elapsed_ns".to_string(), b.elapsed.to_value());
+        m.insert("components_ns".to_string(), serde_json::Value::Object(comp));
+        m.insert("counts".to_string(), b.counts.to_value());
+        m.insert(
+            "matches_baseline".to_string(),
+            self.matches_baseline.to_value(),
+        );
+        serde_json::Value::Object(m)
+    }
+}
+
+/// The fault model used by the sweep at a given drop rate: duplicates at
+/// half the drop rate and reordering at the drop rate, so every fault class
+/// is exercised together.
+pub fn sweep_faults(seed: u64, drop: f64) -> FaultModel {
+    FaultModel::uniform(seed, drop, drop / 2.0, drop)
+}
+
+/// FNV-1a over the bit patterns of the result values: certifies "bitwise
+/// identical to baseline" without holding every output vector.
+fn result_fingerprint(chunks: &[&[f64]]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for chunk in chunks {
+        for v in *chunk {
+            for b in v.to_bits().to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// Run one (application, runtime) pair under `cost`, returning the
+/// breakdown and a fingerprint of the application results.
+fn fault_unit(app: FaultApp, lang: Lang, scale: Scale, cost: CostModel) -> (AppBreakdown, u64) {
+    match (app, lang) {
+        (FaultApp::Em3d, Lang::SplitC) => {
+            let p = em3d_params(scale, 1.0);
+            let r = em3d::run_splitc_cost(&p, Em3dVersion::Ghost, cost);
+            let fp = result_fingerprint(&[&r.output.e, &r.output.h]);
+            (r.breakdown, fp)
+        }
+        (FaultApp::Em3d, Lang::Ccxx) => {
+            let p = em3d_params(scale, 1.0);
+            let r = em3d::run_ccxx(&p, Em3dVersion::Ghost, CcxxConfig::tham(), cost);
+            let fp = result_fingerprint(&[&r.output.e, &r.output.h]);
+            (r.breakdown, fp)
+        }
+        (FaultApp::Water, Lang::SplitC) => {
+            let p = water_params(scale, if scale == Scale::Paper { 64 } else { 16 });
+            let r = water::run_splitc_cost(&p, WaterVersion::Atomic, cost);
+            let fp = result_fingerprint(&[&r.output.pos, &[r.output.energy]]);
+            (r.breakdown, fp)
+        }
+        (FaultApp::Water, Lang::Ccxx) => {
+            let p = water_params(scale, if scale == Scale::Paper { 64 } else { 16 });
+            let r = water::run_ccxx(&p, WaterVersion::Atomic, CcxxConfig::tham(), cost);
+            let fp = result_fingerprint(&[&r.output.pos, &[r.output.energy]]);
+            (r.breakdown, fp)
+        }
+        (FaultApp::Lu, Lang::SplitC) => {
+            let p = lu_params(scale);
+            let r = lu::run_splitc_cost(&p, cost);
+            let fp = result_fingerprint(&[&r.output.factored]);
+            (r.breakdown, fp)
+        }
+        (FaultApp::Lu, Lang::Ccxx) => {
+            let p = lu_params(scale);
+            let r = lu::run_ccxx(&p, CcxxConfig::tham(), cost);
+            let fp = result_fingerprint(&[&r.output.factored]);
+            (r.breakdown, fp)
+        }
+    }
+}
+
+/// Fault-injection sweep: every application × runtime × fault level, with
+/// the baseline (fault model off) first in each group. Each simulation is an
+/// independent work unit fanned across `jobs` threads in deterministic
+/// config order, so output is identical for any `jobs`.
+pub fn run_faults(scale: Scale, drops: &[f64], seed: u64, jobs: usize) -> Vec<FaultCell> {
+    let mut configs = Vec::new();
+    for &app in &FaultApp::ALL {
+        for lang in [Lang::SplitC, Lang::Ccxx] {
+            configs.push((app, lang));
+        }
+    }
+    let levels: Vec<Option<f64>> = std::iter::once(None)
+        .chain(drops.iter().copied().map(Some))
+        .collect();
+    let units: Vec<Unit<(AppBreakdown, u64)>> = configs
+        .iter()
+        .flat_map(|&(app, lang)| {
+            levels.iter().map(move |&level| {
+                let cost = match level {
+                    None => CostModel::default(),
+                    Some(d) => CostModel::default().with_faults(sweep_faults(seed, d)),
+                };
+                Box::new(move || fault_unit(app, lang, scale, cost)) as Unit<(AppBreakdown, u64)>
+            })
+        })
+        .collect();
+    let mut results = run_jobs(units, jobs).into_iter();
+    let mut out = Vec::new();
+    for (app, lang) in configs {
+        let (breakdown, base_fp) = results.next().expect("missing baseline run");
+        out.push(FaultCell {
+            app: app.label(),
+            lang,
+            drop: None,
+            breakdown,
+            matches_baseline: true,
+        });
+        for &d in drops {
+            let (breakdown, fp) = results.next().expect("missing fault run");
+            out.push(FaultCell {
+                app: app.label(),
+                lang,
+                drop: Some(d),
+                breakdown,
+                matches_baseline: fp == base_fp,
+            });
+        }
+    }
+    out
 }
 
 /// Render one breakdown cell as a table row (seconds + component shares).

@@ -15,6 +15,7 @@ pub fn take_json_flag(args: impl Iterator<Item = String>) -> (Vec<String>, Optio
         if a == "--json" {
             let Some(p) = args.next() else {
                 eprintln!("error: --json requires a path argument");
+                eprintln!("usage: --json <path> (or --json=<path>)");
                 std::process::exit(2);
             };
             json = Some(PathBuf::from(p));
@@ -25,6 +26,59 @@ pub fn take_json_flag(args: impl Iterator<Item = String>) -> (Vec<String>, Optio
         }
     }
     (rest, json)
+}
+
+/// Split a bare switch (e.g. `--quick`) off a raw argument list, returning
+/// the remaining arguments and whether the switch was present.
+pub fn take_switch(args: impl IntoIterator<Item = String>, name: &str) -> (Vec<String>, bool) {
+    let mut present = false;
+    let rest = args
+        .into_iter()
+        .filter(|a| {
+            if a == name {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    (rest, present)
+}
+
+/// Print `error: <msg>` plus the binary's usage line and exit non-zero.
+pub fn usage_error(msg: &str, usage: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
+/// Reject any argument no parser consumed. Every experiment binary calls
+/// this after stripping its known flags, so an unknown or misspelled flag
+/// fails loudly instead of silently running the default configuration.
+/// `-h`/`--help` print the usage line and exit zero.
+pub fn reject_unknown_args(rest: &[String], usage: &str) {
+    if rest.iter().any(|a| a == "-h" || a == "--help") {
+        println!("usage: {usage}");
+        std::process::exit(0);
+    }
+    if let Some(a) = rest.first() {
+        usage_error(&format!("unrecognized argument '{a}'"), usage);
+    }
+}
+
+/// Parse an optional leading positional count (e.g. an iteration count),
+/// exiting with the usage line on malformed input instead of silently
+/// substituting the default.
+pub fn take_count(args: Vec<String>, default: usize, usage: &str) -> (Vec<String>, usize) {
+    match args.split_first() {
+        // Leave help requests for `reject_unknown_args` to answer.
+        Some((first, rest)) if first != "-h" && first != "--help" => match first.parse() {
+            Ok(n) => (rest.to_vec(), n),
+            Err(_) => usage_error(&format!("invalid count '{first}'"), usage),
+        },
+        _ => (args, default),
+    }
 }
 
 /// Write a JSON value to `path` (creating parent directories), with a
@@ -170,6 +224,31 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("name"));
         assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn take_switch_strips_all_occurrences() {
+        let argv = |s: &[&str]| s.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (rest, on) = take_switch(argv(&["--quick", "5", "--quick"]), "--quick");
+        assert!(on);
+        assert_eq!(rest, vec!["5"]);
+        let (rest, on) = take_switch(argv(&["5"]), "--quick");
+        assert!(!on);
+        assert_eq!(rest, vec!["5"]);
+    }
+
+    #[test]
+    fn reject_unknown_args_accepts_empty() {
+        reject_unknown_args(&[], "prog [--quick]");
+    }
+
+    #[test]
+    fn take_count_parses_and_defaults() {
+        let (rest, n) = take_count(vec!["7".into(), "x".into()], 100, "prog [iters]");
+        assert_eq!((rest, n), (vec!["x".to_string()], 7));
+        let (rest, n) = take_count(vec![], 100, "prog [iters]");
+        assert!(rest.is_empty());
+        assert_eq!(n, 100);
     }
 
     #[test]

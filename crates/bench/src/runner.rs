@@ -17,10 +17,21 @@
 //! therefore an upper bound, never a demand.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
 
 /// A single unit of experiment work producing one result.
 pub type Unit<R> = Box<dyn FnOnce() -> R + Send>;
+
+/// First panic payload captured from a worker thread.
+type PanicPayload = Box<dyn std::any::Any + Send>;
+
+/// Lock ignoring poisoning: the pool catches unit panics before they can
+/// unwind through a held guard, and a poisoned queue or slot must not
+/// replace the original panic message with `PoisonError`'s.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Run `units` on up to `jobs` worker threads (clamped to
 /// [`default_jobs`]), returning the results in the order the units were
@@ -34,6 +45,13 @@ pub fn run_jobs<R: Send>(units: Vec<Unit<R>>, jobs: usize) -> Vec<R> {
 
 /// [`run_jobs`] without the available-parallelism clamp. Exercised directly
 /// by tests so the multi-worker path is covered even on one-CPU machines.
+///
+/// A panicking unit is caught on its worker, recorded (first panic wins),
+/// and re-raised on the calling thread with its original payload — exactly
+/// the message a sequential run would show. Letting the panic unwind the
+/// worker instead would poison the shared queue and surface as
+/// `std::thread::scope`'s generic "a scoped thread panicked", masking the
+/// real failure. Remaining workers drain out without starting new units.
 fn run_jobs_on<R: Send>(units: Vec<Unit<R>>, workers: usize) -> Vec<R> {
     let n = units.len();
     if workers <= 1 || n <= 1 {
@@ -42,21 +60,36 @@ fn run_jobs_on<R: Send>(units: Vec<Unit<R>>, workers: usize) -> Vec<R> {
     let queue: Mutex<VecDeque<(usize, Unit<R>)>> =
         Mutex::new(units.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..workers.min(n) {
             s.spawn(|| loop {
-                let next = queue.lock().unwrap().pop_front();
+                if lock(&first_panic).is_some() {
+                    return;
+                }
+                let next = lock(&queue).pop_front();
                 let Some((i, unit)) = next else { return };
-                let r = unit();
-                *slots[i].lock().unwrap() = Some(r);
+                match catch_unwind(AssertUnwindSafe(unit)) {
+                    Ok(r) => *lock(&slots[i]) = Some(r),
+                    Err(p) => {
+                        let mut fp = lock(&first_panic);
+                        if fp.is_none() {
+                            *fp = Some(p);
+                        }
+                        return;
+                    }
+                }
             });
         }
     });
+    if let Some(p) = lock(&first_panic).take() {
+        resume_unwind(p);
+    }
     slots
         .into_iter()
         .map(|m| {
-            m.into_inner()
-                .unwrap()
+            lock(&m)
+                .take()
                 .expect("work unit completed without a result")
         })
         .collect()
@@ -78,21 +111,36 @@ where
     }
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let first_panic: Mutex<Option<PanicPayload>> = Mutex::new(None);
     std::thread::scope(|s| {
         for _ in 0..workers.min(n) {
             s.spawn(|| loop {
-                let next = queue.lock().unwrap().pop_front();
+                if lock(&first_panic).is_some() {
+                    return;
+                }
+                let next = lock(&queue).pop_front();
                 let Some((i, item)) = next else { return };
-                let r = f(item);
-                *slots[i].lock().unwrap() = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => *lock(&slots[i]) = Some(r),
+                    Err(p) => {
+                        let mut fp = lock(&first_panic);
+                        if fp.is_none() {
+                            *fp = Some(p);
+                        }
+                        return;
+                    }
+                }
             });
         }
     });
+    if let Some(p) = lock(&first_panic).take() {
+        resume_unwind(p);
+    }
     slots
         .into_iter()
         .map(|m| {
-            m.into_inner()
-                .unwrap()
+            lock(&m)
+                .take()
                 .expect("work unit completed without a result")
         })
         .collect()
@@ -168,6 +216,40 @@ mod tests {
         let items: Vec<u64> = (0..20).collect();
         let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
         assert_eq!(map_jobs(items, 4, |x| x * x), seq);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_original_message() {
+        let units: Vec<Unit<usize>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("unit 3 exploded");
+                    }
+                    i
+                }) as Unit<usize>
+            })
+            .collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| run_jobs_on(units, 4))).unwrap_err();
+        // The caller sees the unit's own panic payload, not scope's generic
+        // "a scoped thread panicked" or a PoisonError.
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"unit 3 exploded"));
+    }
+
+    #[test]
+    fn map_jobs_panic_surfaces_original_message() {
+        let items: Vec<u64> = (0..8).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            map_jobs(items, 4, |x| {
+                assert_ne!(x, 5, "item 5 rejected");
+                x
+            })
+        }))
+        .unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert!(msg.contains("item 5 rejected"), "got: {msg}");
     }
 
     #[test]

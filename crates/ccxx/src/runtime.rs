@@ -4,7 +4,7 @@
 use crate::config::CcxxConfig;
 use crate::marshal::{MarshalBuf, UnmarshalBuf};
 use crate::rmi::{register_rmi_handlers, rmi, spin_wait, CallMode, RmiRet};
-use crate::state::{CcxxState, CxPtr};
+use crate::state::{CcxxState, CxPtr, StagedAdd};
 use mpmd_am as am;
 use mpmd_sim::{Bucket, Ctx};
 use std::sync::atomic::Ordering;
@@ -51,6 +51,7 @@ pub fn init(ctx: &Ctx, config: CcxxConfig) {
 /// node's polling thread so the simulation can terminate.
 pub fn finalize(ctx: &Ctx) {
     am::barrier(ctx);
+    apply_staged_adds(ctx);
     let st = CcxxState::get(ctx);
     st.poller_stop.store(true, Ordering::Release);
     let poller = *st.poller.lock();
@@ -66,6 +67,24 @@ pub fn finalize(ctx: &Ctx) {
 /// based on the original Split-C implementations").
 pub fn barrier(ctx: &Ctx) {
     am::barrier(ctx);
+    apply_staged_adds(ctx);
+}
+
+/// Commit accumulates staged by the `__addf` / `__add3f` stubs, in canonical
+/// (caller, per-caller index) order. Every staged update was acknowledged
+/// before its caller entered the barrier, so the set is complete here. Costs
+/// nothing: the stub charged its dispatch and lock costs when it ran; this
+/// is only the deferred memory commit.
+fn apply_staged_adds(ctx: &Ctx) {
+    let st = CcxxState::get(ctx);
+    let items = st.staged.lock().drain();
+    for (_, a) in items {
+        let region = st.region(a.region);
+        let mut w = region.write();
+        for k in 0..a.n {
+            w[a.offset + k] += f64::from_bits(a.deltas[k]);
+        }
+    }
 }
 
 /// Service pending messages from the application (poll point).
@@ -266,23 +285,36 @@ fn register_builtins(ctx: &Ctx) {
         RmiRet::null()
     });
 
+    // The accumulate stubs stage rather than apply; the commit happens at
+    // barrier exit in canonical order (see `StagedAdds`). The staged `__addf`
+    // can no longer return the post-add value — it is not known until the
+    // commit — so both reply void, like `__add3f` always did.
     crate::rmi::register_method(ctx, M_ADD_F64, |ctx, args| {
         let st = CcxxState::get(ctx);
-        let region = st.region(args.words[0] as u32);
-        let mut w = region.write();
-        let slot = &mut w[args.words[1] as usize];
-        *slot += f64::from_bits(args.words[2]);
-        RmiRet::of_words([slot.to_bits(), 0, 0, 0])
+        st.staged.lock().stage(
+            args.src,
+            StagedAdd {
+                region: args.words[0] as u32,
+                offset: args.words[1] as usize,
+                deltas: [args.words[2], 0, 0],
+                n: 1,
+            },
+        );
+        RmiRet::null()
     });
 
     crate::rmi::register_method(ctx, M_ADD3_F64, |ctx, args| {
         let st = CcxxState::get(ctx);
         let (region, offset) = unpack_addr(args.words[0]);
-        let region = st.region(region);
-        let mut w = region.write();
-        w[offset] += f64::from_bits(args.words[1]);
-        w[offset + 1] += f64::from_bits(args.words[2]);
-        w[offset + 2] += f64::from_bits(args.words[3]);
+        st.staged.lock().stage(
+            args.src,
+            StagedAdd {
+                region,
+                offset,
+                deltas: [args.words[1], args.words[2], args.words[3]],
+                n: 3,
+            },
+        );
         RmiRet::null()
     });
 

@@ -4,7 +4,7 @@ use crate::config::CcxxConfig;
 use crate::rmi::{RmiArgs, RmiRet};
 use mpmd_sim::{Ctx, TaskId};
 use parking_lot::{Mutex as HostMutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
 use std::sync::Arc;
 
@@ -87,6 +87,49 @@ pub(crate) struct CcxxState {
     pub(crate) spinners: AtomicUsize,
     pub(crate) poller: HostMutex<Option<TaskId>>,
     pub(crate) poller_stop: AtomicBool,
+    /// Atomic-method accumulates staged until the next barrier, where they
+    /// commit in canonical order (see [`StagedAdds`]). Host-side state:
+    /// staging and committing are not modeled costs.
+    pub(crate) staged: HostMutex<StagedAdds>,
+}
+
+/// One staged atomic accumulate: `n` deltas applied to consecutive doubles.
+pub(crate) struct StagedAdd {
+    pub(crate) region: u32,
+    pub(crate) offset: usize,
+    pub(crate) deltas: [u64; 3],
+    pub(crate) n: usize,
+}
+
+/// Accumulates from `__addf` / `__add3f` staged between barriers.
+///
+/// The stubs do not touch memory when they run: the update is recorded here
+/// and committed at barrier exit sorted by (caller node, per-caller arrival
+/// index). Floating-point addition does not commute bitwise, so committing
+/// in execution order would make results depend on how RMIs from different
+/// callers interleave — which retransmission timing perturbs once a fault
+/// model is active. The canonical order depends only on what each caller
+/// issued (per-caller order is preserved: atomic-add RMIs are synchronous),
+/// so a faulty run reproduces the fault-free result bit for bit.
+#[derive(Default)]
+pub(crate) struct StagedAdds {
+    /// Per-caller arrival counters.
+    next_idx: HashMap<usize, u64>,
+    items: BTreeMap<(usize, u64), StagedAdd>,
+}
+
+impl StagedAdds {
+    pub(crate) fn stage(&mut self, src: usize, add: StagedAdd) {
+        let idx = self.next_idx.entry(src).or_insert(0);
+        self.items.insert((src, *idx), add);
+        *idx += 1;
+    }
+
+    /// Take everything staged so far, in canonical commit order.
+    pub(crate) fn drain(&mut self) -> BTreeMap<(usize, u64), StagedAdd> {
+        self.next_idx.clear();
+        std::mem::take(&mut self.items)
+    }
 }
 
 impl CcxxState {
@@ -105,6 +148,7 @@ impl CcxxState {
             spinners: AtomicUsize::new(0),
             poller: HostMutex::new(None),
             poller_stop: AtomicBool::new(false),
+            staged: HostMutex::new(StagedAdds::default()),
         }
     }
 

@@ -144,6 +144,7 @@ fn mixed_traffic_under_heavyweight_threads() {
     let r = Sim::new(3)
         .cost_model(CostModel {
             threads: mpmd_sim::ThreadCosts::heavyweight(),
+            ..Default::default()
         })
         .run(move |ctx| {
             cx::init(&ctx, CcxxConfig::tham());

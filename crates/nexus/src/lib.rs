@@ -101,6 +101,7 @@ pub fn nexus_thread_costs() -> ThreadCosts {
 pub fn nexus_sim_cost_model() -> CostModel {
     CostModel {
         threads: nexus_thread_costs(),
+        ..Default::default()
     }
 }
 

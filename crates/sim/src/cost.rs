@@ -62,11 +62,173 @@ impl ThreadCosts {
     }
 }
 
+/// Unit costs of the reliable-delivery protocol layered over the wire by
+/// `mpmd-am` when a [`FaultModel`] is installed. Charged to the `Net` bucket
+/// on whichever node performs the work, so reliability overhead lands in the
+/// five-bucket breakdown next to the send/receive overheads it extends.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReliabilityCosts {
+    /// Cost of producing or consuming one acknowledgement.
+    pub ack_handling: Time,
+    /// Cost of one retransmit-timer expiration check that found due work.
+    pub timeout_check: Time,
+    /// Cost of re-issuing one unacknowledged packet.
+    pub retransmit: Time,
+}
+
+impl Default for ReliabilityCosts {
+    fn default() -> Self {
+        ReliabilityCosts {
+            ack_handling: us(1.0),
+            timeout_check: us(0.5),
+            retransmit: us(2.0),
+        }
+    }
+}
+
+impl ReliabilityCosts {
+    /// A zero-cost profile (protocol-semantics tests).
+    pub fn free() -> Self {
+        ReliabilityCosts {
+            ack_handling: 0,
+            timeout_check: 0,
+            retransmit: 0,
+        }
+    }
+}
+
+/// Fault rates and delay parameters for one directed link.
+///
+/// Probabilities are per transmission attempt and must lie in `[0, 1)`
+/// (a link that drops everything can never quiesce).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a transmitted packet is dropped by the wire.
+    pub drop: f64,
+    /// Probability a transmitted packet is delivered twice.
+    pub duplicate: f64,
+    /// Probability a packet is held back by an extra delay drawn uniformly
+    /// from `[1, reorder_window]` ns, letting later sends overtake it.
+    pub reorder: f64,
+    /// Window for the reorder hold-back draw.
+    pub reorder_window: Time,
+    /// Probability a packet is delayed by a fixed `delay_by`.
+    pub delay: f64,
+    /// Fixed extra delay applied to `delay`-selected packets.
+    pub delay_by: Time,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_window: us(100.0),
+            delay: 0.0,
+            delay_by: us(50.0),
+        }
+    }
+}
+
+impl LinkFaults {
+    fn validate(&self) {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+            ("delay", self.delay),
+        ] {
+            assert!(
+                (0.0..1.0).contains(&p),
+                "fault rate `{name}` = {p} outside [0, 1)"
+            );
+        }
+    }
+}
+
+/// Deterministic fault-injection model, seeded per `Sim` and off by default.
+///
+/// Installed through [`CostModel::faults`]; its presence switches the AM
+/// layer into reliable-delivery mode (sequence numbers, acks, retransmits),
+/// so an all-zero-rate model measures the pure protocol overhead. All fault
+/// decisions are drawn from one seeded generator under the kernel lock, in
+/// simulation order, so identical seeds give byte-identical runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultModel {
+    /// Seed for the per-`Sim` fault decision stream.
+    pub seed: u64,
+    /// Fault rates applied to every link without an override.
+    pub link: LinkFaults,
+    /// Per-link `(src, dst, faults)` overrides (first match wins).
+    pub overrides: Vec<(usize, usize, LinkFaults)>,
+    /// Initial retransmission timeout of the reliable-delivery protocol.
+    pub rto_initial: Time,
+    /// Backoff cap: timeouts double from `rto_initial` up to this bound.
+    pub rto_max: Time,
+}
+
+impl FaultModel {
+    /// A fault-free model: enables the reliable-delivery protocol (useful to
+    /// measure its overhead) without perturbing the wire.
+    pub fn new(seed: u64) -> Self {
+        FaultModel {
+            seed,
+            link: LinkFaults::default(),
+            overrides: Vec::new(),
+            rto_initial: us(500.0),
+            rto_max: crate::time::ms(64.0),
+        }
+    }
+
+    /// A model applying the same drop/duplicate/reorder rates to every link.
+    pub fn uniform(seed: u64, drop: f64, duplicate: f64, reorder: f64) -> Self {
+        let mut m = FaultModel::new(seed);
+        m.link.drop = drop;
+        m.link.duplicate = duplicate;
+        m.link.reorder = reorder;
+        m
+    }
+
+    /// Override the fault rates of the directed link `src -> dst`.
+    pub fn with_link(mut self, src: usize, dst: usize, faults: LinkFaults) -> Self {
+        self.overrides.push((src, dst, faults));
+        self
+    }
+
+    /// The fault rates governing `src -> dst`.
+    pub fn link(&self, src: usize, dst: usize) -> &LinkFaults {
+        self.overrides
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map(|(_, _, f)| f)
+            .unwrap_or(&self.link)
+    }
+
+    /// Panic on out-of-range rates (checked when a `Sim` installs the model).
+    pub(crate) fn validate(&self) {
+        self.link.validate();
+        for (_, _, f) in &self.overrides {
+            f.validate();
+        }
+        assert!(self.rto_initial > 0, "rto_initial must be positive");
+        assert!(
+            self.rto_max >= self.rto_initial,
+            "rto_max below rto_initial"
+        );
+    }
+}
+
 /// Costs the simulator core knows about.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CostModel {
     /// Thread-operation costs.
     pub threads: ThreadCosts,
+    /// Reliable-delivery protocol costs (charged only when `faults` is set).
+    pub reliability: ReliabilityCosts,
+    /// Fault-injection model; `None` (the default) leaves the wire perfect
+    /// and the AM layer's reliability machinery disabled.
+    pub faults: Option<FaultModel>,
 }
 
 impl CostModel {
@@ -74,7 +236,15 @@ impl CostModel {
     pub fn free() -> Self {
         CostModel {
             threads: ThreadCosts::free(),
+            reliability: ReliabilityCosts::free(),
+            faults: None,
         }
+    }
+
+    /// This cost model with `faults` installed.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 

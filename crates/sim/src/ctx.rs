@@ -1,9 +1,9 @@
 //! Task-side API: everything a simulated task can do.
 
 use crate::cost::CostModel;
-use crate::engine::{spawn_task, switch_from_task, SimInner};
+use crate::engine::{spawn_task, spawn_task_inner, switch_from_task, SimInner};
 use crate::event::Msg;
-use crate::kernel::TaskState;
+use crate::kernel::{FaultDecision, TaskState};
 use crate::report::Snapshot;
 use crate::stats::{Bucket, Stats};
 use crate::task::{HandoffCell, TaskId};
@@ -183,6 +183,55 @@ impl Ctx {
         k.nodes[self.node].inbox_waiters.push(self.task);
         k.emit(self.node, self.task, TraceEvent::Park);
         switch_from_task(&self.inner, k, self.task, &self.cell);
+    }
+
+    /// [`Ctx::park_for_inbox`] with a wake-up deadline: returns when a
+    /// message is delivered *or* this node's clock reaches `deadline`,
+    /// whichever comes first. Returns immediately if the inbox is already
+    /// non-empty or the deadline has passed. This is the blocking primitive
+    /// beneath the reliable-delivery layer's retransmit timers.
+    pub fn park_for_inbox_until(&self, deadline: Time) {
+        let mut k = self.inner.kernel.lock();
+        let n = &k.nodes[self.node];
+        if !n.inbox.is_empty() || n.clock >= deadline {
+            return;
+        }
+        let gen = k.tasks[self.task.idx()].timeout_gen;
+        k.post_timeout_wake(self.task, deadline, gen);
+        k.tasks[self.task.idx()].state = TaskState::InboxWait;
+        k.nodes[self.node].inbox_waiters.push(self.task);
+        k.emit(self.node, self.task, TraceEvent::Park);
+        switch_from_task(&self.inner, k, self.task, &self.cell);
+    }
+
+    /// Whether a fault model is installed on this simulation (gates the
+    /// AM layer's reliable-delivery machinery).
+    #[inline]
+    pub fn faults_enabled(&self) -> bool {
+        self.inner.cost.faults.is_some()
+    }
+
+    /// Draw the fate of one transmission attempt from this node to `dst`
+    /// from the seeded fault stream. Panics when no fault model is installed
+    /// (callers gate on [`Ctx::faults_enabled`]).
+    pub fn fault_decision(&self, dst: usize) -> FaultDecision {
+        self.inner.kernel.lock().fault_decision(self.node, dst)
+    }
+
+    /// Whether the engine has begun shutdown because only daemon tasks
+    /// remain. Daemons must exit promptly once this turns true.
+    pub fn shutting_down(&self) -> bool {
+        self.inner.kernel.lock().shutting_down
+    }
+
+    /// Spawn a background *daemon* task on this node. Daemons are excluded
+    /// from the liveness condition: when only daemons remain, the engine
+    /// flips [`Ctx::shutting_down`], wakes them, and expects them to return.
+    pub fn spawn_daemon<F>(&self, name: &str, f: F) -> TaskId
+    where
+        F: FnOnce(Ctx) + Send + 'static,
+    {
+        spawn_task_inner(&self.inner, self.node, name.to_string(), true, f)
     }
 
     /// A *poll point*: make all network events due at or before this node's
@@ -367,6 +416,22 @@ impl Ctx {
         let mut k = self.inner.kernel.lock();
         if k.tracer.is_some() {
             k.emit(self.node, self.task, TraceEvent::HandlerEnd { handler });
+        }
+    }
+
+    /// Record a reliable-delivery retransmission (point event).
+    pub fn trace_retransmit(&self, dst: usize, seq: u64) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::Retransmit { dst, seq });
+        }
+    }
+
+    /// Record a duplicate-suppression drop (point event).
+    pub fn trace_dup_drop(&self, src: usize, seq: u64) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(self.node, self.task, TraceEvent::DupDrop { src, seq });
         }
     }
 

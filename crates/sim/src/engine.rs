@@ -111,8 +111,9 @@ impl Sim {
     where
         F: Fn(Ctx) + Send + Sync + 'static,
     {
+        let faults = self.cost.faults.clone();
         let inner = Arc::new(SimInner {
-            kernel: Mutex::new(Kernel::new(self.nodes, self.trace)),
+            kernel: Mutex::new(Kernel::new(self.nodes, self.trace, faults)),
             pool: TaskPool::new(),
             gate: EngineGate::new(),
             cost: self.cost,
@@ -144,11 +145,25 @@ pub(crate) fn spawn_task<F>(inner: &Arc<SimInner>, node: usize, name: String, f:
 where
     F: FnOnce(Ctx) + Send + 'static,
 {
+    spawn_task_inner(inner, node, name, false, f)
+}
+
+/// [`spawn_task`] with the daemon flag exposed (see `Ctx::spawn_daemon`).
+pub(crate) fn spawn_task_inner<F>(
+    inner: &Arc<SimInner>,
+    node: usize,
+    name: String,
+    daemon: bool,
+    f: F,
+) -> TaskId
+where
+    F: FnOnce(Ctx) + Send + 'static,
+{
     let cell = HandoffCell::new();
     let id = inner
         .kernel
         .lock()
-        .register_task(node, name, Arc::clone(&cell));
+        .register_task(node, name, Arc::clone(&cell), daemon);
     let ctx = Ctx::new(Arc::clone(inner), node, id, Arc::clone(&cell));
     let inner2 = Arc::clone(inner);
     let body = Box::new(move || {
@@ -207,9 +222,17 @@ pub(crate) fn run_engine(inner: &Arc<SimInner>) {
                 inner.gate.sleep();
             }
             Decision::Idle => {
-                let k = inner.kernel.lock();
+                let mut k = inner.kernel.lock();
                 if k.live == 0 {
                     return;
+                }
+                // Only background daemons (reliable-delivery pumps) remain:
+                // flip the shutdown flag and wake them so they can observe it
+                // and exit. A second idle in this state means a daemon failed
+                // to exit, which falls through to the deadlock dump.
+                if k.live == k.live_daemons && !k.shutting_down {
+                    k.begin_shutdown();
+                    continue;
                 }
                 let dump = k.dump_live();
                 drop(k);

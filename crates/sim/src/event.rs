@@ -36,6 +36,11 @@ pub(crate) enum EventKind {
     /// A timer wakes a parked task (used by `Ctx::sleep` and the
     /// interrupt-model ablation).
     Wake { task: TaskId },
+    /// A deadline wake for `Ctx::park_for_inbox_until` (reliable-delivery
+    /// retransmit timers). Carries the generation the task had when the
+    /// timeout was armed; a wake for any other reason bumps the generation,
+    /// so a stale timeout firing later is ignored.
+    TimeoutWake { task: TaskId, gen: u64 },
 }
 
 /// A timestamped event. Ordered as a *min*-heap key on `(time, seq)`; `seq`

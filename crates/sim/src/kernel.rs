@@ -37,6 +37,12 @@ pub(crate) struct TaskRec {
     pub(crate) name: String,
     /// Tasks parked in `join` on this task.
     pub(crate) joiners: Vec<TaskId>,
+    /// Background service task (reliable-delivery pump): excluded from the
+    /// liveness condition — the simulation ends when only daemons remain.
+    pub(crate) daemon: bool,
+    /// Bumped on every wake; a `TimeoutWake` event only fires if its armed
+    /// generation still matches (stale deadline wakes are ignored).
+    pub(crate) timeout_gen: u64,
 }
 
 pub(crate) struct NodeState {
@@ -85,13 +91,79 @@ pub(crate) struct Kernel {
     pub(crate) seq: u64,
     /// Unfinished task count.
     pub(crate) live: usize,
+    /// Unfinished daemon-task count (subset of `live`).
+    pub(crate) live_daemons: usize,
+    /// Set once only daemons remain; parked daemons are woken to exit.
+    pub(crate) shutting_down: bool,
     /// Captured panic payload from a task body, re-raised by the engine.
     pub(crate) panic: Option<Box<dyn Any + Send>>,
     pub(crate) tracer: Option<Tracer>,
+    /// Installed fault model plus its seeded decision stream.
+    pub(crate) faults: Option<FaultState>,
+}
+
+/// The fault model's deterministic decision stream. All draws happen under
+/// the kernel lock, in simulation order, so a seed fixes every decision.
+pub(crate) struct FaultState {
+    pub(crate) model: crate::cost::FaultModel,
+    rng: u64,
+}
+
+/// One transmission attempt's fate, drawn from the [`FaultState`] stream.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FaultDecision {
+    /// The packet vanishes on the wire.
+    pub drop: bool,
+    /// The packet is delivered twice.
+    pub duplicate: bool,
+    /// Extra delivery delay (reorder hold-back or fixed delay), in ns.
+    pub extra_delay: Time,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultState {
+    pub(crate) fn new(model: crate::cost::FaultModel) -> Self {
+        model.validate();
+        // Decorrelate the stream from the raw seed (seeds 1 and 2 should not
+        // share a prefix).
+        let rng = model.seed ^ 0xD6E8_FEB8_6659_FD93;
+        FaultState { model, rng }
+    }
+
+    fn decide(&mut self, src: usize, dst: usize) -> FaultDecision {
+        let link = *self.model.link(src, dst);
+        let mut d = FaultDecision {
+            drop: unit(&mut self.rng) < link.drop,
+            duplicate: unit(&mut self.rng) < link.duplicate,
+            extra_delay: 0,
+        };
+        if unit(&mut self.rng) < link.reorder {
+            d.extra_delay += 1 + splitmix64(&mut self.rng) % link.reorder_window.max(1);
+        }
+        if unit(&mut self.rng) < link.delay {
+            d.extra_delay += link.delay_by;
+        }
+        d
+    }
 }
 
 impl Kernel {
-    pub(crate) fn new(nodes: usize, trace: Option<TraceConfig>) -> Self {
+    pub(crate) fn new(
+        nodes: usize,
+        trace: Option<TraceConfig>,
+        faults: Option<crate::cost::FaultModel>,
+    ) -> Self {
         Kernel {
             nodes: (0..nodes).map(|_| NodeState::new()).collect(),
             tasks: Vec::new(),
@@ -99,8 +171,32 @@ impl Kernel {
             run_heap: BinaryHeap::new(),
             seq: 0,
             live: 0,
+            live_daemons: 0,
+            shutting_down: false,
             panic: None,
             tracer: trace.map(|cfg| Tracer::new(nodes, cfg)),
+            faults: faults.map(FaultState::new),
+        }
+    }
+
+    /// Draw the fate of one transmission attempt on `src -> dst`. Panics if
+    /// no fault model is installed (callers gate on `faults_enabled`).
+    pub(crate) fn fault_decision(&mut self, src: usize, dst: usize) -> FaultDecision {
+        self.faults
+            .as_mut()
+            .expect("fault_decision without a fault model")
+            .decide(src, dst)
+    }
+
+    /// Only daemon tasks remain: wake every parked daemon so it can observe
+    /// `shutting_down` and exit, letting the run terminate cleanly.
+    pub(crate) fn begin_shutdown(&mut self) {
+        self.shutting_down = true;
+        for i in 0..self.tasks.len() {
+            let rec = &self.tasks[i];
+            if rec.daemon && matches!(rec.state, TaskState::Parked | TaskState::InboxWait) {
+                self.make_runnable(TaskId(i as u32));
+            }
         }
     }
 
@@ -167,6 +263,7 @@ impl Kernel {
         node: usize,
         name: String,
         cell: Arc<HandoffCell>,
+        daemon: bool,
     ) -> TaskId {
         assert!(node < self.nodes.len(), "spawn on nonexistent node {node}");
         let id = TaskId(u32::try_from(self.tasks.len()).expect("too many tasks"));
@@ -176,8 +273,13 @@ impl Kernel {
             cell,
             name,
             joiners: Vec::new(),
+            daemon,
+            timeout_gen: 0,
         });
         self.live += 1;
+        if daemon {
+            self.live_daemons += 1;
+        }
         self.enqueue_ready_back(node, id);
         // Trace payloads are only built when a tracer is installed — the
         // name clone here is pure waste otherwise.
@@ -225,6 +327,17 @@ impl Kernel {
         });
     }
 
+    /// Schedule a deadline wake for `task` at `at`, valid only while the
+    /// task's timeout generation stays at `gen`.
+    pub(crate) fn post_timeout_wake(&mut self, task: TaskId, at: Time, gen: u64) {
+        let seq = self.next_seq();
+        self.events.push(Event {
+            time: at,
+            seq,
+            kind: EventKind::TimeoutWake { task, gen },
+        });
+    }
+
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -259,6 +372,16 @@ impl Kernel {
                     self.make_runnable(task);
                 }
             }
+            EventKind::TimeoutWake { task, gen } => {
+                let rec = &self.tasks[task.idx()];
+                // Fire only if the task is still in the inbox wait that armed
+                // this deadline; any intervening wake bumped the generation.
+                if rec.state == TaskState::InboxWait && rec.timeout_gen == gen {
+                    let node = rec.node;
+                    self.nodes[node].clock = self.nodes[node].clock.max(ev.time);
+                    self.make_runnable(task);
+                }
+            }
         }
     }
 
@@ -271,6 +394,7 @@ impl Kernel {
             rec.state
         );
         rec.state = TaskState::Runnable;
+        rec.timeout_gen += 1;
         let node = rec.node;
         self.enqueue_ready_back(node, t);
         self.emit(node, t, TraceEvent::Unpark);
@@ -285,8 +409,12 @@ impl Kernel {
         let rec = &mut self.tasks[t.idx()];
         debug_assert_ne!(rec.state, TaskState::Finished, "double finish");
         rec.state = TaskState::Finished;
+        let daemon = rec.daemon;
         let joiners = std::mem::take(&mut rec.joiners);
         self.live -= 1;
+        if daemon {
+            self.live_daemons -= 1;
+        }
         for j in joiners {
             if self.tasks[j.idx()].state == TaskState::Parked {
                 let jn = self.tasks[j.idx()].node;

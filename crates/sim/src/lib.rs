@@ -34,10 +34,11 @@ mod task;
 pub mod time;
 pub mod trace;
 
-pub use cost::{CostModel, ThreadCosts};
+pub use cost::{CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
 pub use ctx::{Ctx, SpanGuard};
 pub use engine::Sim;
 pub use event::Msg;
+pub use kernel::FaultDecision;
 pub use report::{Report, Snapshot};
 pub use stats::{size_bucket, size_bucket_limit, Bucket, Stats, NUM_BUCKETS};
 pub use task::TaskId;

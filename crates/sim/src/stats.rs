@@ -102,25 +102,64 @@ pub struct Stats {
     /// 256 KiB, larger). The paper's instrumentation records "the number,
     /// types, and sizes of message transfers".
     pub msg_size_hist: [u64; 8],
+    /// Reliable-delivery packets re-sent after a retransmission timeout.
+    pub retransmits: u64,
+    /// Retransmit-timer scans that found at least one overdue packet.
+    pub timeouts: u64,
+    /// Received packets discarded by duplicate suppression (sequence number
+    /// already delivered).
+    pub dup_drops: u64,
+    /// Transmission attempts dropped on the wire by the fault model.
+    pub wire_drops: u64,
+    /// Transmission attempts duplicated on the wire by the fault model.
+    pub wire_dups: u64,
 }
 
+// Hand-rolled rather than `serde::impl_serialize!`: the reliability counters
+// are emitted only when nonzero so fault-free runs keep byte-identical JSON
+// output (keys land in alphabetical order regardless of insertion order).
 #[cfg(feature = "serde")]
-serde::impl_serialize!(Stats {
-    bucket_ns,
-    thread_creates,
-    context_switches,
-    sync_ops,
-    lock_acquisitions,
-    lock_contended,
-    msgs_sent,
-    msgs_received,
-    bytes_sent,
-    short_msgs,
-    bulk_msgs,
-    polls,
-    handlers_run,
-    msg_size_hist,
-});
+impl serde::Serialize for Stats {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        macro_rules! put {
+            ($($field:ident),+ $(,)?) => {
+                $(map.insert(
+                    stringify!($field).to_string(),
+                    serde::Serialize::to_value(&self.$field),
+                );)+
+            };
+        }
+        macro_rules! put_nonzero {
+            ($($field:ident),+ $(,)?) => {
+                $(if self.$field != 0 {
+                    map.insert(
+                        stringify!($field).to_string(),
+                        serde::Serialize::to_value(&self.$field),
+                    );
+                })+
+            };
+        }
+        put!(
+            bucket_ns,
+            thread_creates,
+            context_switches,
+            sync_ops,
+            lock_acquisitions,
+            lock_contended,
+            msgs_sent,
+            msgs_received,
+            bytes_sent,
+            short_msgs,
+            bulk_msgs,
+            polls,
+            handlers_run,
+            msg_size_hist,
+        );
+        put_nonzero!(retransmits, timeouts, dup_drops, wire_drops, wire_dups);
+        serde::Value::Object(map)
+    }
+}
 
 /// Histogram bucket index for a wire size.
 pub fn size_bucket(bytes: usize) -> usize {
@@ -176,6 +215,11 @@ impl Stats {
         for i in 0..8 {
             self.msg_size_hist[i] += other.msg_size_hist[i];
         }
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.dup_drops += other.dup_drops;
+        self.wire_drops += other.wire_drops;
+        self.wire_dups += other.wire_dups;
     }
 
     /// Element-wise difference `self - earlier` (panics on counter regression,
@@ -209,6 +253,11 @@ impl Stats {
                 }
                 h
             },
+            retransmits: sub(self.retransmits, earlier.retransmits),
+            timeouts: sub(self.timeouts, earlier.timeouts),
+            dup_drops: sub(self.dup_drops, earlier.dup_drops),
+            wire_drops: sub(self.wire_drops, earlier.wire_drops),
+            wire_dups: sub(self.wire_dups, earlier.wire_dups),
         }
     }
 }

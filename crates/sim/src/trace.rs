@@ -93,6 +93,10 @@ pub enum TraceEvent {
     /// The phase closed. Ends must match the innermost open frame of the
     /// emitting task; the tracer panics otherwise.
     SpanEnd { id: SpanId },
+    /// The reliable-delivery layer re-sent an unacknowledged packet.
+    Retransmit { dst: usize, seq: u64 },
+    /// Duplicate suppression discarded an already-delivered packet.
+    DupDrop { src: usize, seq: u64 },
     /// Free-text debug marker ([`Ctx::trace`](crate::Ctx::trace)).
     Mark { text: String },
 }
@@ -265,13 +269,68 @@ impl Tracer {
             nodes: self
                 .nodes
                 .into_iter()
-                .map(|n| NodeTrace {
-                    events: n.ring.into_iter().collect(),
-                    dropped: n.dropped,
+                .map(|n| {
+                    // An End record whose Begin was discarded by ring
+                    // overflow carries no usable interval: count it as
+                    // dropped too, so truncation is visible rather than
+                    // silently shrinking the span set.
+                    let orphan_ends = count_orphan_ends(&n.ring);
+                    NodeTrace {
+                        events: n.ring.into_iter().collect(),
+                        dropped: n.dropped + orphan_ends,
+                    }
                 })
                 .collect(),
         }
     }
+}
+
+/// Count End records (spans and handler frames) that do not close the frame
+/// on top of the replayed per-task stack. Ring drops always discard the
+/// *oldest* prefix of a node's stream, so a surviving End whose Begin was
+/// dropped replays against an empty (or mismatching) stack — the streams are
+/// panic-checked at emission time, so a mismatch here can only mean the
+/// Begin is gone.
+fn count_orphan_ends(events: &VecDeque<TraceRecord>) -> u64 {
+    enum Open {
+        Span(SpanId),
+        Handler(u32),
+    }
+    let mut stacks: std::collections::HashMap<TaskId, Vec<Open>> = std::collections::HashMap::new();
+    let mut orphans = 0;
+    for rec in events {
+        match &rec.event {
+            TraceEvent::SpanStart { id, .. } => {
+                stacks.entry(rec.task).or_default().push(Open::Span(*id));
+            }
+            TraceEvent::HandlerStart { handler } => {
+                stacks
+                    .entry(rec.task)
+                    .or_default()
+                    .push(Open::Handler(*handler));
+            }
+            TraceEvent::SpanEnd { id } => {
+                let stack = stacks.entry(rec.task).or_default();
+                match stack.last() {
+                    Some(Open::Span(top)) if top == id => {
+                        stack.pop();
+                    }
+                    _ => orphans += 1,
+                }
+            }
+            TraceEvent::HandlerEnd { handler } => {
+                let stack = stacks.entry(rec.task).or_default();
+                match stack.last() {
+                    Some(Open::Handler(top)) if top == handler => {
+                        stack.pop();
+                    }
+                    _ => orphans += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    orphans
 }
 
 /// The legacy line-per-event debug output, preserved for `Sim::trace(true)`.
@@ -314,7 +373,9 @@ pub struct NodeTrace {
     /// ring overflowed — check [`NodeTrace::dropped`]).
     pub events: Vec<TraceRecord>,
     /// Number of records discarded due to ring overflow (or discarded
-    /// entirely when collection capacity is 0).
+    /// entirely when collection capacity is 0), plus surviving span/handler
+    /// End records whose Begin was among the discarded (orphan Ends — they
+    /// cannot be reconstructed into spans).
     pub dropped: u64,
 }
 
@@ -611,6 +672,12 @@ fn instant_fields(ev: &TraceEvent) -> Option<(&'static str, String)> {
         TraceEvent::BarrierExit { epoch } => {
             Some(("BarrierExit", format!(r#"{{"epoch":{epoch}}}"#)))
         }
+        TraceEvent::Retransmit { dst, seq } => {
+            Some(("Retransmit", format!(r#"{{"dst":{dst},"seq":{seq}}}"#)))
+        }
+        TraceEvent::DupDrop { src, seq } => {
+            Some(("DupDrop", format!(r#"{{"src":{src},"seq":{seq}}}"#)))
+        }
         TraceEvent::Mark { text } => Some(("Mark", format!(r#"{{"text":{}}}"#, json_string(text)))),
         // Frames are exported as X events by the span pass.
         TraceEvent::HandlerStart { .. }
@@ -666,6 +733,12 @@ fn jsonl_record(rec: &TraceRecord) -> String {
             json_string(&name.clone())
         ),
         TraceEvent::SpanEnd { id } => format!(r#""type":"span_end","span":{}"#, id.0),
+        TraceEvent::Retransmit { dst, seq } => {
+            format!(r#""type":"retransmit","dst":{dst},"seq":{seq}"#)
+        }
+        TraceEvent::DupDrop { src, seq } => {
+            format!(r#""type":"dup_drop","src":{src},"seq":{seq}"#)
+        }
         TraceEvent::Mark { text } => format!(r#""type":"mark","text":{}"#, json_string(text)),
     };
     format!("{head},{tail}}}")
@@ -697,6 +770,77 @@ mod tests {
         // Oldest dropped, newest kept.
         assert_eq!(log.nodes[0].events[0].time, 3);
         assert_eq!(log.nodes[0].events[1].time, 4);
+    }
+
+    #[test]
+    fn overflow_mid_span_counts_orphan_end_as_dropped() {
+        // Ring of 2: the SpanStart is pushed out by the Parks, leaving an
+        // End with no Begin. It must count toward `dropped` (2 overflow + 1
+        // orphan End) and never attach to a wrong frame.
+        let mut tr = Tracer::new(1, TraceConfig::new().capacity(2));
+        let id = tr.alloc_span();
+        tr.record(rec(
+            0,
+            0,
+            0,
+            TraceEvent::SpanStart {
+                id,
+                name: "lost".into(),
+            },
+        ));
+        tr.record(rec(1, 0, 0, TraceEvent::Park));
+        tr.record(rec(2, 0, 0, TraceEvent::Unpark));
+        tr.record(rec(3, 0, 0, TraceEvent::SpanEnd { id }));
+        let log = tr.finish();
+        assert_eq!(log.nodes[0].dropped, 3);
+        assert!(log.spans().is_empty());
+    }
+
+    #[test]
+    fn overflow_mid_handler_counts_orphan_end_as_dropped() {
+        let mut tr = Tracer::new(1, TraceConfig::new().capacity(2));
+        tr.record(rec(0, 0, 0, TraceEvent::HandlerStart { handler: 7 }));
+        tr.record(rec(1, 0, 0, TraceEvent::Park));
+        tr.record(rec(2, 0, 0, TraceEvent::Unpark));
+        tr.record(rec(3, 0, 0, TraceEvent::HandlerEnd { handler: 7 }));
+        let log = tr.finish();
+        assert_eq!(log.nodes[0].dropped, 3);
+        assert!(log.spans().is_empty());
+    }
+
+    #[test]
+    fn intact_nested_spans_report_no_orphans() {
+        // Overflow that discards only *complete* leading records must not
+        // inflate `dropped` beyond the ring accounting.
+        let mut tr = Tracer::new(1, TraceConfig::new().capacity(4));
+        tr.record(rec(0, 0, 0, TraceEvent::Park));
+        tr.record(rec(1, 0, 0, TraceEvent::Unpark));
+        let id = tr.alloc_span();
+        tr.record(rec(
+            2,
+            0,
+            0,
+            TraceEvent::SpanStart {
+                id,
+                name: "kept".into(),
+            },
+        ));
+        tr.record(rec(
+            3,
+            0,
+            0,
+            TraceEvent::Charge {
+                bucket: Bucket::Cpu,
+                ns: 10,
+            },
+        ));
+        tr.record(rec(4, 0, 0, TraceEvent::SpanEnd { id }));
+        tr.record(rec(5, 0, 0, TraceEvent::Park));
+        let log = tr.finish();
+        assert_eq!(log.nodes[0].dropped, 2); // the two leading records only
+        let spans = log.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "kept");
     }
 
     #[test]

@@ -28,9 +28,28 @@ pub fn init(ctx: &Ctx) {
     am::barrier(ctx);
 }
 
-/// Global barrier.
+/// Global barrier. On exit, commits all atomic accumulates staged by
+/// `H_ATOMIC_ADD3` since the previous barrier.
 pub fn barrier(ctx: &Ctx) {
     am::barrier(ctx);
+    apply_staged_adds(ctx);
+}
+
+/// Commit updates staged by the three-component atomic handler, in canonical
+/// (source, per-source index) order. Every staged update was acknowledged
+/// before its issuer entered the barrier, so the set is complete here. Costs
+/// nothing: the work was charged at receipt (`atomic_dispatch`); this is
+/// only the deferred memory commit.
+fn apply_staged_adds(ctx: &Ctx) {
+    let st = ScState::get(ctx);
+    let items = st.staged.lock().drain();
+    for (_, (region, offset, deltas)) in items {
+        let region = st.region(region);
+        let mut w = region.write();
+        for (k, d) in deltas.iter().enumerate() {
+            w[offset + k] += f64::from_bits(*d);
+        }
+    }
 }
 
 /// Allocate a local region of `len` doubles initialized to `fill`, returning
@@ -77,7 +96,7 @@ pub fn reduce(ctx: &Ctx, op: ReduceOp, value: u64) -> u64 {
         red.my_gen
     };
     if ctx.node() == 0 {
-        note_reduce_arrival(ctx, gen, value, op as u64);
+        note_reduce_arrival(ctx, 0, gen, value, op as u64);
     } else {
         am::request(ctx, 0, H_REDUCE, [gen, value, op as u64, 0], None);
     }
@@ -103,33 +122,43 @@ pub fn reduce_sum_u64(ctx: &Ctx, value: u64) -> u64 {
 
 /// Record one reduction arrival on node 0; release everyone when complete.
 /// Also invoked by the `H_REDUCE` handler.
-pub(crate) fn note_reduce_arrival(ctx: &Ctx, gen: u64, value: u64, op: u64) {
+///
+/// Contributions are collected per source and folded in ascending node
+/// order only once all have arrived. An arrival-order fold would make the
+/// `SumF64` rounding depend on message interleaving across senders; the
+/// canonical fold gives the same bits on every schedule, including under
+/// injected wire faults.
+pub(crate) fn note_reduce_arrival(ctx: &Ctx, src: usize, gen: u64, value: u64, op: u64) {
     debug_assert_eq!(ctx.node(), 0);
     let st = ScState::get(ctx);
     let complete = {
         let mut red = st.reduce.lock();
-        let entry = red.collect.entry(gen).or_insert_with(|| {
-            (
-                0,
-                match op {
-                    o if o == ReduceOp::SumF64 as u64 => 0f64.to_bits(),
-                    o if o == ReduceOp::MaxU64 as u64 => 0,
-                    _ => 0,
-                },
-            )
-        });
-        entry.0 += 1;
-        entry.1 = match op {
-            o if o == ReduceOp::SumU64 as u64 => entry.1.wrapping_add(value),
-            o if o == ReduceOp::SumF64 as u64 => {
-                (f64::from_bits(entry.1) + f64::from_bits(value)).to_bits()
-            }
-            o if o == ReduceOp::MaxU64 as u64 => entry.1.max(value),
-            _ => panic!("unknown reduction op {op}"),
-        };
-        if entry.0 == ctx.nodes() {
-            let total = entry.1;
-            red.collect.remove(&gen);
+        let entry = red
+            .collect
+            .entry(gen)
+            .or_insert_with(|| (op, std::collections::BTreeMap::new()));
+        assert_eq!(entry.0, op, "mixed ops within reduction {gen}");
+        let prev = entry.1.insert(src, value);
+        assert!(
+            prev.is_none(),
+            "node {src} contributed twice to reduction {gen}"
+        );
+        if entry.1.len() == ctx.nodes() {
+            let (_, vals) = red
+                .collect
+                .remove(&gen)
+                .expect("reduction vanished mid-fold");
+            let total = match op {
+                o if o == ReduceOp::SumU64 as u64 => {
+                    vals.values().fold(0u64, |acc, &v| acc.wrapping_add(v))
+                }
+                o if o == ReduceOp::SumF64 as u64 => vals
+                    .values()
+                    .fold(0f64, |acc, &v| acc + f64::from_bits(v))
+                    .to_bits(),
+                o if o == ReduceOp::MaxU64 as u64 => vals.values().fold(0u64, |acc, &v| acc.max(v)),
+                _ => panic!("unknown reduction op {op}"),
+            };
             red.released = Some((gen, total));
             Some(total)
         } else {

@@ -136,18 +136,17 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
 
     // Dedicated three-component atomic accumulate: the handler id implies
     // the function, freeing all four argument words for the packed address
-    // plus three deltas (Water's force write-back in one message).
+    // plus three deltas (Water's force write-back in one message). The
+    // update is staged, not applied: it commits at barrier exit in canonical
+    // (source, index) order so that cross-sender arrival interleaving —
+    // which retransmission timing perturbs — cannot change the sums.
     am::register(ctx, H_ATOMIC_ADD3, |ctx, m| {
         let st = ScState::get(ctx);
         ctx.charge(Bucket::Runtime, st.costs.atomic_dispatch);
         let (region, offset) = crate::ops::unpack_addr(m.args[0]);
-        {
-            let region = st.region(region);
-            let mut w = region.write();
-            w[offset] += f64::from_bits(m.args[1]);
-            w[offset + 1] += f64::from_bits(m.args[2]);
-            w[offset + 2] += f64::from_bits(m.args[3]);
-        }
+        st.staged
+            .lock()
+            .stage(m.src, region, offset, [m.args[1], m.args[2], m.args[3]]);
         am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
     });
 
@@ -176,7 +175,7 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
     });
 
     am::register(ctx, H_REDUCE, |ctx, m| {
-        crate::collective::note_reduce_arrival(ctx, m.args[0], m.args[1], m.args[2]);
+        crate::collective::note_reduce_arrival(ctx, m.src, m.args[0], m.args[1], m.args[2]);
     });
 
     am::register(ctx, H_REDUCE_RELEASE, |ctx, m| {

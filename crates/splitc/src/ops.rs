@@ -478,6 +478,7 @@ pub(crate) fn register_builtin_atomics(ctx: &Ctx) {
         let mut w = region.write();
         w[offset] += f64::from_bits(a[1]);
         w[offset + 1] += f64::from_bits(a[2]);
+        w[offset + 2] += f64::from_bits(a[3]);
         [0; 4]
     });
 }
