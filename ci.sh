@@ -66,4 +66,29 @@ EOF
 rm -f /tmp/ci_faults_a.json /tmp/ci_faults_b.json /tmp/ci_faults_a.out /tmp/ci_faults_b.out
 echo "faults smoke + seeded determinism OK"
 
+echo "==> ablation coalescing smoke (em3d on/off)"
+# The coalescing axis self-verifies: the binary asserts (and exits nonzero
+# otherwise) that with aggregation on, em3d results are bit-identical in
+# both runtimes, the wire carries strictly fewer messages (>= 25% fewer
+# under Split-C), and net time decreases. Check the JSON agrees.
+./target/release/ablation 25 --coalescing --json /tmp/ci_ablation_co.json >/dev/null
+python3 - <<'EOF' 2>/dev/null || node -e "
+  const d = JSON.parse(require('fs').readFileSync('/tmp/ci_ablation_co.json'));
+  for (const lang of ['splitc-ghost', 'ccxx-ghost']) {
+    const c = d.em3d_coalescing[lang];
+    if (!(c.on.msgs_sent < c.off.msgs_sent)) throw new Error(lang + ': no message reduction');
+    if (!(c.on.net_ns < c.off.net_ns)) throw new Error(lang + ': no net reduction');
+  }
+" 2>/dev/null || grep -q '"em3d_coalescing"' /tmp/ci_ablation_co.json
+import json
+d = json.load(open("/tmp/ci_ablation_co.json"))
+for lang in ("splitc-ghost", "ccxx-ghost"):
+    c = d["em3d_coalescing"][lang]
+    assert c["on"]["msgs_sent"] < c["off"]["msgs_sent"], f"{lang}: no message reduction"
+    assert c["on"]["net_ns"] < c["off"]["net_ns"], f"{lang}: no net reduction"
+assert d["em3d_coalescing"]["splitc-ghost"]["msgs_drop_pct"] >= 25.0
+EOF
+rm -f /tmp/ci_ablation_co.json
+echo "ablation coalescing smoke OK"
+
 echo "==> all checks passed"

@@ -7,7 +7,8 @@
 //! `barrier()` on a single-threaded node. The experiment harnesses also use
 //! it to quiesce the machine around measured regions.
 
-use crate::ops::{request, wait_until};
+use crate::endpoint::endpoint;
+use crate::ops::wait_until;
 use crate::state::{register, AmState, HandlerId};
 use crate::AmMsg;
 use mpmd_sim::Ctx;
@@ -47,8 +48,12 @@ fn note_arrival(ctx: &Ctx, gen: u64) {
     };
     if complete {
         st.barrier_release_gen.fetch_max(gen, Ordering::AcqRel);
+        let ep = endpoint(ctx);
         for n in 1..ctx.nodes() {
-            request(ctx, n, H_BARRIER_RELEASE, [gen, 0, 0, 0], None);
+            ep.to(n)
+                .handler(H_BARRIER_RELEASE)
+                .args([gen, 0, 0, 0])
+                .send();
         }
     }
 }
@@ -62,7 +67,11 @@ pub fn barrier(ctx: &Ctx) {
     if ctx.node() == 0 {
         note_arrival(ctx, gen);
     } else {
-        request(ctx, 0, H_BARRIER_ARRIVE, [gen, 0, 0, 0], None);
+        endpoint(ctx)
+            .to(0)
+            .handler(H_BARRIER_ARRIVE)
+            .args([gen, 0, 0, 0])
+            .send();
     }
     let st2 = AmState::get(ctx);
     wait_until(ctx, move || {

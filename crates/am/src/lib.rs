@@ -7,13 +7,21 @@
 //! software interrupts ... message reception is based on polling that occurs
 //! on a node every time a message is sent").
 //!
-//! This crate provides that layer: per-node handler tables, [`request`] /
-//! [`request_bulk`] sends, [`poll`], the spin-wait [`wait_until`], reply
+//! This crate provides that layer: per-node handler tables, an [`Endpoint`]
+//! handle with a typed send builder (`endpoint(ctx).to(dst).handler(H_X)
+//! .args([..]).send()`), [`poll`], the spin-wait [`wait_until`], reply
 //! continuation cells, a message barrier, and calibrated [`NetProfile`]s
 //! (Split-C's single-threaded endpoint at a 53 µs null round trip, the CC++
-//! thread-safe endpoint at 55 µs, IBM MPL at 88 µs).
+//! thread-safe endpoint at 55 µs, IBM MPL at 88 µs). Runtimes can opt into
+//! adaptive per-destination [message coalescing](coalesce) ([`CoalesceConfig`])
+//! that aggregates short sends into one wire frame per destination.
+//!
+//! The positional free functions ([`request`] / [`request_bulk`]) are
+//! deprecated shims over the builder, kept for one release.
 
 mod barrier;
+pub mod coalesce;
+mod endpoint;
 mod ops;
 mod profile;
 mod reliable;
@@ -21,7 +29,11 @@ mod reply;
 mod state;
 
 pub use barrier::{barrier, register_barrier_handlers, H_BARRIER_ARRIVE, H_BARRIER_RELEASE};
-pub use ops::{poll, request, request_bulk, wait_until, Token, SHORT_WIRE_BYTES};
+pub use coalesce::{coalescing_enabled, enable_coalescing, CoalesceConfig, SUB_WIRE_BYTES};
+pub use endpoint::{endpoint, Endpoint, SendBuilder};
+pub use ops::{flush, poll, wait_until, Token, SHORT_WIRE_BYTES};
+#[allow(deprecated)]
+pub use ops::{request, request_bulk};
 pub use profile::NetProfile;
 pub use reply::{PendingCounter, ReplyCell};
 pub use state::{init, is_registered, profile, register, Handler, HandlerId};
@@ -36,7 +48,7 @@ pub struct AmMsg {
     pub handler: HandlerId,
     /// The four 64-bit argument words.
     pub args: [u64; 4],
-    /// Bulk payload, if sent with [`request_bulk`].
+    /// Bulk payload, if sent with a `.bulk(..)` send.
     pub data: Option<Bytes>,
     /// Opaque continuation (reply-buffer "address").
     pub token: Option<Token>,
@@ -62,11 +74,17 @@ mod tests {
     /// Run a null AM ping-pong and return the measured round-trip time.
     /// The responder waits until it has served the echo before re-entering
     /// the final barrier, so no barrier traffic lands in the timed window.
-    fn measure_null_rtt(profile: NetProfile) -> u64 {
+    /// With `coalesce`, both endpoints aggregate — the adaptive singleton
+    /// path must keep strictly request-reply traffic at the same cost.
+    fn measure_null_rtt(profile: NetProfile, coalesce: Option<CoalesceConfig>) -> u64 {
         let rtt_out = Arc::new(AtomicU64::new(0));
         let rtt2 = Arc::clone(&rtt_out);
         Sim::new(2).run(move |ctx| {
             setup(&ctx, profile.clone());
+            if let Some(cfg) = coalesce.clone() {
+                enable_coalescing(&ctx, cfg);
+            }
+            let ep = endpoint(&ctx);
             if ctx.node() == 0 {
                 register(&ctx, H_REPLY, |_ctx, m| {
                     let cell = m.token.unwrap().downcast::<Arc<ReplyCell>>().unwrap();
@@ -75,15 +93,13 @@ mod tests {
                 barrier(&ctx);
                 let t0 = ctx.now();
                 let cell = ReplyCell::new();
-                request(
-                    &ctx,
-                    1,
-                    H_ECHO,
-                    [7, 0, 0, 0],
-                    Some(Box::new(Arc::clone(&cell))),
-                );
+                ep.to(1)
+                    .handler(H_ECHO)
+                    .args([7, 0, 0, 0])
+                    .token(Box::new(Arc::clone(&cell)) as Token)
+                    .send();
                 let c2 = Arc::clone(&cell);
-                wait_until(&ctx, move || c2.is_done());
+                ep.wait_until(move || c2.is_done());
                 assert_eq!(cell.words()[0], 7);
                 rtt2.store(ctx.now() - t0, Ordering::SeqCst);
                 barrier(&ctx);
@@ -91,11 +107,16 @@ mod tests {
                 let served = Arc::new(AtomicU64::new(0));
                 let s2 = Arc::clone(&served);
                 register(&ctx, H_ECHO, move |ctx, m| {
-                    request(ctx, m.src, H_REPLY, m.args, m.token);
+                    endpoint(ctx)
+                        .to(m.src)
+                        .handler(H_REPLY)
+                        .args(m.args)
+                        .token(m.token)
+                        .send();
                     s2.fetch_add(1, Ordering::SeqCst);
                 });
                 barrier(&ctx);
-                wait_until(&ctx, move || served.load(Ordering::SeqCst) >= 1);
+                ep.wait_until(move || served.load(Ordering::SeqCst) >= 1);
                 barrier(&ctx);
             }
         });
@@ -104,14 +125,23 @@ mod tests {
 
     #[test]
     fn null_ping_pong_round_trip_is_53us_on_splitc_profile() {
-        let rtt = measure_null_rtt(NetProfile::sp_am_splitc());
+        let rtt = measure_null_rtt(NetProfile::sp_am_splitc(), None);
         assert_eq!(rtt, us(53.0), "rtt = {} µs", to_us(rtt));
     }
 
     #[test]
     fn thread_safe_profile_costs_55us() {
-        let rtt = measure_null_rtt(NetProfile::sp_am_ccxx());
+        let rtt = measure_null_rtt(NetProfile::sp_am_ccxx(), None);
         assert_eq!(rtt, us(55.0), "rtt = {} µs", to_us(rtt));
+    }
+
+    #[test]
+    fn adaptive_singletons_keep_request_reply_at_53us() {
+        // Coalescing on, but the traffic is strictly request-reply: every
+        // buffer flushes as a singleton, which must charge exactly like an
+        // uncoalesced send.
+        let rtt = measure_null_rtt(NetProfile::sp_am_splitc(), Some(CoalesceConfig::default()));
+        assert_eq!(rtt, us(53.0), "rtt = {} µs", to_us(rtt));
     }
 
     #[test]
@@ -121,7 +151,12 @@ mod tests {
             if ctx.node() == 0 {
                 barrier(&ctx);
                 let data: Vec<u8> = (0..=255).collect();
-                request_bulk(&ctx, 1, H_SINK, [255, 0, 0, 0], Bytes::from(data), None);
+                endpoint(&ctx)
+                    .to(1)
+                    .handler(H_SINK)
+                    .args([255, 0, 0, 0])
+                    .bulk(Bytes::from(data))
+                    .send();
                 barrier(&ctx);
             } else {
                 let seen = Arc::new(AtomicU64::new(0));
@@ -146,7 +181,11 @@ mod tests {
             register(&ctx, H_SINK, |_ctx, _m| {});
             if ctx.node() == 0 {
                 barrier(&ctx);
-                request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(vec![0u8; 160]), None);
+                endpoint(&ctx)
+                    .to(1)
+                    .handler(H_SINK)
+                    .bulk(Bytes::from(vec![0u8; 160]))
+                    .send();
             } else {
                 barrier(&ctx);
             }
@@ -195,13 +234,13 @@ mod tests {
             });
             barrier(&ctx);
             if ctx.node() == 0 {
-                request(&ctx, 1, H_SINK, [0; 4], None);
+                endpoint(&ctx).to(1).handler(H_SINK).send();
                 barrier(&ctx);
             } else {
                 // Burn time so the message is already in our inbox, then
                 // send our own message: poll-on-send must run the handler.
                 ctx.charge(Bucket::Cpu, us(500.0));
-                request(&ctx, 0, H_SINK, [0; 4], None);
+                endpoint(&ctx).to(0).handler(H_SINK).send();
                 assert_eq!(hits.load(Ordering::SeqCst), 1);
                 barrier(&ctx);
             }
@@ -214,7 +253,7 @@ mod tests {
         Sim::new(2).run(|ctx| {
             setup(&ctx, NetProfile::sp_am_splitc());
             if ctx.node() == 0 {
-                request(&ctx, 1, 999, [0; 4], None);
+                endpoint(&ctx).to(1).handler(999).send();
             } else {
                 wait_until(&ctx, || false); // poll forever: panics on dispatch
             }
@@ -257,7 +296,11 @@ mod tests {
             barrier(&ctx);
             if ctx.node() == 0 {
                 for i in 0..10u64 {
-                    request(&ctx, 1, H_SINK, [i, 0, 0, 0], None);
+                    endpoint(&ctx)
+                        .to(1)
+                        .handler(H_SINK)
+                        .args([i, 0, 0, 0])
+                        .send();
                 }
                 barrier(&ctx);
             } else {
@@ -277,7 +320,11 @@ mod tests {
             barrier(&ctx);
             if ctx.node() == 0 {
                 for i in 0..10u64 {
-                    request(&ctx, 1, H_SINK, [i, 0, 0, 0], None);
+                    endpoint(&ctx)
+                        .to(1)
+                        .handler(H_SINK)
+                        .args([i, 0, 0, 0])
+                        .send();
                 }
             }
             barrier(&ctx);
@@ -289,5 +336,201 @@ mod tests {
             "elapsed = {} µs",
             to_us(r.elapsed())
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_still_send() {
+        // Out-of-tree code gets one release of the positional shims.
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            let seen = Arc::new(AtomicU64::new(0));
+            let s2 = Arc::clone(&seen);
+            register(&ctx, H_SINK, move |_ctx, m| {
+                s2.fetch_add(
+                    m.args[0] + m.data.as_ref().map_or(0, |d| d.len() as u64),
+                    Ordering::SeqCst,
+                );
+            });
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                request(&ctx, 1, H_SINK, [5, 0, 0, 0], None);
+                request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(vec![0u8; 16]), None);
+            }
+            barrier(&ctx);
+            if ctx.node() == 1 {
+                assert_eq!(seen.load(Ordering::SeqCst), 21);
+            }
+        });
+    }
+
+    /// One-directional burst with per-node stats: the workhorse for the
+    /// coalescing assertions below.
+    fn run_burst(coalesce: Option<CoalesceConfig>, n_msgs: u64) -> (mpmd_sim::Report, Vec<u64>) {
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let l_out = Arc::clone(&log);
+        let r = Sim::new(2).run(move |ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            if let Some(cfg) = coalesce.clone() {
+                enable_coalescing(&ctx, cfg);
+            }
+            let seen = Arc::new(AtomicU64::new(0));
+            let s2 = Arc::clone(&seen);
+            let l2 = Arc::clone(&log);
+            register(&ctx, H_SINK, move |_ctx, m| {
+                l2.lock().push(m.args[0]);
+                s2.fetch_add(1, Ordering::SeqCst);
+            });
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                let ep = endpoint(&ctx);
+                for i in 0..n_msgs {
+                    ep.to(1).handler(H_SINK).args([i, 0, 0, 0]).send();
+                }
+            } else {
+                wait_until(&ctx, move || seen.load(Ordering::SeqCst) >= n_msgs);
+            }
+            barrier(&ctx);
+        });
+        let got = l_out.lock().clone();
+        (r, got)
+    }
+
+    #[test]
+    fn coalescing_preserves_order_and_cuts_wire_messages() {
+        let (off, log_off) = run_burst(None, 32);
+        let (on, log_on) = run_burst(Some(CoalesceConfig::default()), 32);
+        assert_eq!(log_off, (0..32).collect::<Vec<u64>>());
+        assert_eq!(log_on, log_off, "coalescing reordered the stream");
+        let t_off = off.total_stats();
+        let t_on = on.total_stats();
+        // Logical message counts are unchanged; wire counts shrink.
+        assert_eq!(t_on.short_msgs, t_off.short_msgs);
+        assert!(
+            t_on.msgs_sent < t_off.msgs_sent,
+            "wire messages not reduced: {} vs {}",
+            t_on.msgs_sent,
+            t_off.msgs_sent
+        );
+        // 32 bursts at max_msgs=8 → 4 aggregate frames.
+        assert_eq!(t_on.agg_flushes, 4);
+        assert_eq!(t_on.agg_msgs, 32);
+        assert_eq!(
+            t_on.agg_bytes,
+            4 * (SHORT_WIRE_BYTES as u64 + 8 * SUB_WIRE_BYTES as u64)
+        );
+        assert_eq!(t_off.agg_flushes, 0);
+        // The aggregate pays fewer fixed overheads: net time drops.
+        assert!(
+            t_on.bucket(Bucket::Net) < t_off.bucket(Bucket::Net),
+            "net did not drop: {} vs {} ns",
+            t_on.bucket(Bucket::Net),
+            t_off.bucket(Bucket::Net)
+        );
+    }
+
+    #[test]
+    fn coalescing_survives_faults_in_order() {
+        use mpmd_sim::{CostModel, FaultModel};
+        let run = |coalesce: Option<CoalesceConfig>| {
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let l_out = Arc::clone(&log);
+            let cost = CostModel::default().with_faults(FaultModel::uniform(77, 0.15, 0.1, 0.2));
+            let r = Sim::new(2).cost_model(cost).run(move |ctx| {
+                setup(&ctx, NetProfile::sp_am_splitc());
+                if let Some(cfg) = coalesce.clone() {
+                    enable_coalescing(&ctx, cfg);
+                }
+                let seen = Arc::new(AtomicU64::new(0));
+                let s2 = Arc::clone(&seen);
+                let l2 = Arc::clone(&log);
+                register(&ctx, H_SINK, move |_ctx, m| {
+                    l2.lock().push(m.args[0]);
+                    s2.fetch_add(1, Ordering::SeqCst);
+                });
+                barrier(&ctx);
+                if ctx.node() == 0 {
+                    let ep = endpoint(&ctx);
+                    for i in 0..40u64 {
+                        ep.to(1).handler(H_SINK).args([i, 0, 0, 0]).send();
+                    }
+                } else {
+                    wait_until(&ctx, move || seen.load(Ordering::SeqCst) >= 40);
+                }
+                barrier(&ctx);
+            });
+            let got = l_out.lock().clone();
+            (r, got)
+        };
+        let (r, log) = run(Some(CoalesceConfig::default()));
+        assert_eq!(log, (0..40).collect::<Vec<u64>>());
+        assert!(r.total_stats().wire_drops > 0, "fault model never fired");
+        assert!(r.total_stats().agg_flushes > 0, "nothing was coalesced");
+    }
+
+    #[test]
+    fn flush_points_bound_buffering() {
+        // A lone message below every threshold still goes out at the next
+        // poll (here: the barrier's wait_until), never stranding the buffer.
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            enable_coalescing(&ctx, CoalesceConfig::default());
+            let seen = Arc::new(AtomicU64::new(0));
+            let s2 = Arc::clone(&seen);
+            register(&ctx, H_SINK, move |_ctx, _m| {
+                s2.fetch_add(1, Ordering::SeqCst);
+            });
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                endpoint(&ctx).to(1).handler(H_SINK).send();
+            }
+            barrier(&ctx);
+            if ctx.node() == 1 {
+                assert_eq!(seen.load(Ordering::SeqCst), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn bulk_send_flushes_buffered_shorts_first() {
+        // Shorts buffered before a bulk to the same destination must be
+        // handled before it.
+        Sim::new(2).run(|ctx| {
+            setup(&ctx, NetProfile::sp_am_splitc());
+            enable_coalescing(
+                &ctx,
+                CoalesceConfig {
+                    max_msgs: 64,
+                    ..CoalesceConfig::default()
+                },
+            );
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let l2 = Arc::clone(&log);
+            let done = Arc::new(AtomicU64::new(0));
+            let d2 = Arc::clone(&done);
+            register(&ctx, H_SINK, move |_ctx, m| {
+                l2.lock().push((m.args[0], m.data.is_some()));
+                if m.data.is_some() {
+                    d2.store(1, Ordering::SeqCst);
+                }
+            });
+            barrier(&ctx);
+            if ctx.node() == 0 {
+                let ep = endpoint(&ctx);
+                ep.to(1).handler(H_SINK).args([1, 0, 0, 0]).send();
+                ep.to(1).handler(H_SINK).args([2, 0, 0, 0]).send();
+                ep.to(1)
+                    .handler(H_SINK)
+                    .args([3, 0, 0, 0])
+                    .bulk(Bytes::from(vec![0u8; 8]))
+                    .send();
+            } else {
+                wait_until(&ctx, move || done.load(Ordering::SeqCst) == 1);
+                let l = log.lock().clone();
+                let shorts: Vec<u64> = l.iter().filter(|(_, b)| !b).map(|(a, _)| *a).collect();
+                assert_eq!(shorts, vec![1, 2], "shorts lost or reordered: {l:?}");
+            }
+            barrier(&ctx);
+        });
     }
 }

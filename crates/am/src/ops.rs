@@ -16,12 +16,20 @@ pub const SHORT_WIRE_BYTES: usize = 48;
 /// Send a short (4-word) active message. Charges the sender-side overhead to
 /// `Bucket::Net` and, per the paper's reception strategy, polls the local
 /// queue ("polling ... occurs on a node every time a message is sent").
+#[deprecated(
+    since = "0.2.0",
+    note = "use `am::endpoint(ctx).to(dst).handler(h).args(a).token(t).send()`"
+)]
 pub fn request(ctx: &Ctx, dst: usize, handler: HandlerId, args: [u64; 4], token: Option<Token>) {
     send_inner(ctx, dst, handler, args, None, token);
 }
 
 /// Send an active message carrying a bulk payload. Charges the additional
 /// bulk setup overhead; the payload adds per-byte wire time.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `am::endpoint(ctx).to(dst).handler(h).bulk(data).send()`"
+)]
 pub fn request_bulk(
     ctx: &Ctx,
     dst: usize,
@@ -33,7 +41,7 @@ pub fn request_bulk(
     send_inner(ctx, dst, handler, args, Some(data), token);
 }
 
-fn send_inner(
+pub(crate) fn send_inner(
     ctx: &Ctx,
     dst: usize,
     handler: HandlerId,
@@ -45,7 +53,6 @@ fn send_inner(
     let p = st.profile();
     let bulk = data.is_some();
     let bytes = data.as_ref().map_or(0, |d| d.len());
-    ctx.charge(Bucket::Net, p.send_charge(bulk));
     ctx.with_stats(|s| {
         if bulk {
             s.bulk_msgs += 1;
@@ -60,6 +67,18 @@ fn send_inner(
         data,
         token,
     };
+    if crate::coalesce::enabled(&st) {
+        if !bulk {
+            // Short sends append to the aggregation buffer: no charge, no
+            // wire traffic, and no poll-on-send until a flush happens.
+            crate::coalesce::append(ctx, &st, dst, msg, &p);
+            return;
+        }
+        // A bulk message overtaking buffered shorts would break program
+        // order on this link: flush them first.
+        crate::coalesce::flush_dst(ctx, &st, dst, &p);
+    }
+    ctx.charge(Bucket::Net, p.send_charge(bulk));
     if ctx.faults_enabled() {
         crate::reliable::send(ctx, &st, dst, msg, bytes, &p);
     } else {
@@ -75,40 +94,72 @@ fn send_inner(
     }
 }
 
+/// Execute one delivered message with the standard reception accounting;
+/// aggregate frames are unpacked and dispatched sub-message by sub-message.
+/// Returns the number of handlers run. Shared by the fault-free and
+/// reliable delivery paths.
+pub(crate) fn dispatch(ctx: &Ctx, st: &AmState, p: &crate::NetProfile, am: AmMsg) -> usize {
+    if am.handler == crate::coalesce::H_COALESCED {
+        return crate::coalesce::dispatch_batch(ctx, st, p, am);
+    }
+    let hid = am.handler;
+    // Open the handler frame before charging reception so the frame's
+    // duration covers the full per-message cost (receive overhead plus
+    // handler body) — the trace reconciles against Bucket::Net this way.
+    ctx.handler_start(hid);
+    ctx.charge(Bucket::Net, p.recv_charge());
+    ctx.with_stats(|s| s.handlers_run += 1);
+    let h = lookup(st, hid);
+    h(ctx, am);
+    ctx.handler_end(hid);
+    1
+}
+
 /// Drain the inbox, dispatching every delivered message's handler on this
 /// task. Returns the number of handlers run. Recursive polls (a handler's
-/// reply re-entering `poll` via poll-on-send) are suppressed.
+/// reply re-entering `poll` via poll-on-send) are suppressed. A mandatory
+/// flush point: aggregation buffers are flushed on entry (so nothing this
+/// task sent can be held back while it waits) and again on exit (handlers
+/// run during the drain may have issued coalescible replies).
 pub fn poll(ctx: &Ctx) -> usize {
     let st = AmState::get(ctx);
     let Some(_guard) = PollGuard::enter(&st, ctx.task_id()) else {
         return 0;
     };
+    let p = st.profile();
+    crate::coalesce::flush_all(ctx, &st, &p);
     // Yield so every network event due at or before our clock is visible.
     ctx.poll_point();
     ctx.with_stats(|s| s.polls += 1);
-    let p = st.profile();
-    if ctx.faults_enabled() {
-        return crate::reliable::poll_reliable(ctx, &st, &p);
-    }
-    let mut ran = 0;
-    while let Some(m) = ctx.try_recv() {
-        let am = m
-            .payload
-            .downcast::<AmMsg>()
-            .expect("non-AM message in inbox");
-        let hid = am.handler;
-        // Open the handler frame before charging reception so the frame's
-        // duration covers the full per-message cost (receive overhead plus
-        // handler body) — the trace reconciles against Bucket::Net this way.
-        ctx.handler_start(hid);
-        ctx.charge(Bucket::Net, p.recv_charge());
-        ctx.with_stats(|s| s.handlers_run += 1);
-        let h = lookup(&st, hid);
-        h(ctx, *am);
-        ctx.handler_end(hid);
-        ran += 1;
-    }
+    let ran = if ctx.faults_enabled() {
+        crate::reliable::poll_reliable(ctx, &st, &p)
+    } else {
+        let mut ran = 0;
+        while let Some(m) = ctx.try_recv() {
+            let am = m
+                .payload
+                .downcast::<AmMsg>()
+                .expect("non-AM message in inbox");
+            ran += dispatch(ctx, &st, &p, *am);
+        }
+        ran
+    };
+    crate::coalesce::flush_all(ctx, &st, &p);
     ran
+}
+
+/// Flush every aggregation buffer on this node. A no-op when coalescing is
+/// disabled. Runtimes call this before blocking a task on anything other
+/// than [`wait_until`] (which flushes via its polls) — e.g. before parking
+/// on a synchronization variable — so buffered messages can't be stranded
+/// by a sleeping sender.
+pub fn flush(ctx: &Ctx) {
+    let st = AmState::get(ctx);
+    if !crate::coalesce::enabled(&st) {
+        return;
+    }
+    let p = st.profile();
+    crate::coalesce::flush_all(ctx, &st, &p);
 }
 
 /// Spin-poll until `pred` becomes true: poll, check, and if nothing is

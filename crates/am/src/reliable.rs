@@ -33,7 +33,7 @@
 //! alone, so the message is never needed twice.
 
 use crate::profile::NetProfile;
-use crate::state::{lookup, AmState};
+use crate::state::AmState;
 use crate::AmMsg;
 use mpmd_sim::{Bucket, Ctx, Time};
 use parking_lot::Mutex;
@@ -258,8 +258,7 @@ pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
                 match action {
                     Action::Deliver(msgs) => {
                         for am in msgs {
-                            dispatch(ctx, st, p, am);
-                            ran += 1;
+                            ran += crate::ops::dispatch(ctx, st, p, am);
                         }
                     }
                     Action::Duplicate => {
@@ -292,18 +291,6 @@ pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
     }
     retransmit_scan(ctx, st, p);
     ran
-}
-
-/// Execute one delivered message's handler with the standard reception
-/// accounting (mirrors the fault-free dispatch in `ops::poll`).
-fn dispatch(ctx: &Ctx, st: &AmState, p: &NetProfile, am: AmMsg) {
-    let hid = am.handler;
-    ctx.handler_start(hid);
-    ctx.charge(Bucket::Net, p.recv_charge());
-    ctx.with_stats(|s| s.handlers_run += 1);
-    let h = lookup(st, hid);
-    h(ctx, am);
-    ctx.handler_end(hid);
 }
 
 /// Re-send every unacknowledged packet whose deadline has passed, with

@@ -35,6 +35,9 @@ pub(crate) struct AmState {
     pub(crate) barrier_my_gen: AtomicU64,
     /// Reliable-delivery protocol state (used only with a fault model).
     pub(crate) rel: Mutex<crate::reliable::RelState>,
+    /// Per-destination aggregation buffers; `Some` iff the runtime enabled
+    /// message coalescing on this node.
+    pub(crate) coalesce: Mutex<Option<crate::coalesce::CoalesceState>>,
     /// Whether this node's pump daemon has been spawned.
     pub(crate) pump_started: AtomicBool,
     /// The pump daemon's task, once spawned. Sends nudge it awake so it
@@ -54,6 +57,7 @@ impl AmState {
             barrier_release_gen: AtomicU64::new(0),
             barrier_my_gen: AtomicU64::new(0),
             rel: Mutex::new(crate::reliable::RelState::default()),
+            coalesce: Mutex::new(None),
             pump_started: AtomicBool::new(false),
             pump: Mutex::new(None),
         }

@@ -10,6 +10,17 @@ use std::sync::Arc;
 
 const H_SINK: am::HandlerId = 120;
 
+/// One step of a randomized coalescing schedule on node 0.
+#[derive(Clone, Debug)]
+enum CoalesceOp {
+    /// Send a sequenced short AM to this node.
+    Send(usize),
+    /// Force every aggregation buffer to the wire.
+    Flush,
+    /// A mandatory flush point that also drains inbound traffic.
+    Poll,
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -31,8 +42,9 @@ proptest! {
             });
             am::barrier(&ctx);
             if ctx.node() == 0 {
+                let ep = am::endpoint(&ctx);
                 for p in &payloads2 {
-                    am::request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(p.clone()), None);
+                    ep.to(1).handler(H_SINK).bulk(Bytes::from(p.clone())).send();
                 }
             } else {
                 // Large bulk messages can be overtaken by short ones (their
@@ -86,6 +98,79 @@ proptest! {
         }
     }
 
+    /// With coalescing on, any interleaving of sends to mixed destinations,
+    /// forced flushes, and polls — on a clean or faulty wire — delivers each
+    /// (src,dst) stream in program order.
+    #[test]
+    fn coalesced_interleavings_preserve_program_order(
+        ops in proptest::collection::vec(
+            // Sends to nodes 1 and 2, with flushes and polls mixed in at a
+            // 1-in-3 rate between them.
+            (0usize..6).prop_map(|v| match v {
+                0 => CoalesceOp::Flush,
+                1 => CoalesceOp::Poll,
+                d => CoalesceOp::Send(1 + (d % 2)),
+            }),
+            1..40),
+        max_msgs in 1usize..8,
+        faulty in any::<bool>(),
+    ) {
+        // Per-receiver log of sequence numbers, indexed by node.
+        let logs: Arc<Mutex<Vec<Vec<u64>>>> =
+            Arc::new(Mutex::new(vec![Vec::new(); 3]));
+        let l2 = Arc::clone(&logs);
+        let ops2 = ops.clone();
+        let mut sim = mpmd_sim::Sim::new(3);
+        if faulty {
+            sim = sim.cost_model(mpmd_sim::CostModel::default().with_faults(
+                mpmd_sim::FaultModel::uniform(11, 0.15, 0.1, 0.2),
+            ));
+        }
+        sim.run(move |ctx| {
+            am::init(&ctx, am::NetProfile::sp_am_splitc());
+            am::register_barrier_handlers(&ctx);
+            am::enable_coalescing(&ctx, am::CoalesceConfig {
+                max_msgs,
+                max_bytes: 8 * am::SUB_WIRE_BYTES,
+                max_linger: 50_000,
+            });
+            let l3 = Arc::clone(&l2);
+            am::register(&ctx, H_SINK, move |ctx, m| {
+                l3.lock()[ctx.node()].push(m.args[0]);
+            });
+            am::barrier(&ctx);
+            if ctx.node() == 0 {
+                let ep = am::endpoint(&ctx);
+                let mut seq = 0u64;
+                for op in &ops2 {
+                    match op {
+                        CoalesceOp::Send(dst) => {
+                            ep.to(*dst).handler(H_SINK).args([seq, 0, 0, 0]).send();
+                            seq += 1;
+                        }
+                        CoalesceOp::Flush => am::flush(&ctx),
+                        CoalesceOp::Poll => {
+                            am::poll(&ctx);
+                        }
+                    }
+                }
+            }
+            // The barrier release reaches each node after node 0's buffered
+            // sends flush (poll entry) and, per link, after every data frame
+            // — so arrival implies the full log is in place.
+            am::barrier(&ctx);
+        });
+        let mut seq = 0u64;
+        let mut expect: Vec<Vec<u64>> = vec![Vec::new(); 3];
+        for op in &ops {
+            if let CoalesceOp::Send(dst) = op {
+                expect[*dst].push(seq);
+                seq += 1;
+            }
+        }
+        prop_assert_eq!(logs.lock().clone(), expect);
+    }
+
     /// wait_until observes a condition made true by the k-th message, never
     /// earlier.
     #[test]
@@ -102,8 +187,9 @@ proptest! {
             });
             am::barrier(&ctx);
             if ctx.node() == 0 {
+                let ep = am::endpoint(&ctx);
                 for _ in 0..k {
-                    am::request(&ctx, 1, H_SINK, [0; 4], None);
+                    ep.to(1).handler(H_SINK).send();
                     ctx.charge(mpmd_sim::Bucket::Cpu, 100_000); // spread arrivals
                 }
             } else {

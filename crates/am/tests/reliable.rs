@@ -30,8 +30,9 @@ fn run_stream(faults: Option<FaultModel>) -> (Report, Vec<u64>) {
         });
         am::barrier(&ctx);
         if ctx.node() == 0 {
+            let ep = am::endpoint(&ctx);
             for i in 0..N_MSGS {
-                am::request(&ctx, 1, H_SINK, [i, 0, 0, 0], None);
+                ep.to(1).handler(H_SINK).args([i, 0, 0, 0]).send();
             }
         } else {
             am::wait_until(&ctx, move || seen.load(Ordering::SeqCst) >= N_MSGS);
@@ -129,9 +130,10 @@ fn bulk_payloads_survive_drops_intact() {
         });
         am::barrier(&ctx);
         if ctx.node() == 0 {
+            let ep = am::endpoint(&ctx);
             for _ in 0..8 {
                 let data: Vec<u8> = (0..256usize).map(|i| (i % 256) as u8).collect();
-                am::request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(data), None);
+                ep.to(1).handler(H_SINK).bulk(Bytes::from(data)).send();
             }
         } else {
             am::wait_until(&ctx, move || seen.load(Ordering::SeqCst) >= 8);

@@ -33,12 +33,30 @@ pub fn run_splitc_cost(
     version: Em3dVersion,
     cost: CostModel,
 ) -> AppRun<Em3dValues> {
-    let p = p.clone();
-    run_collect(p.procs, cost, move |ctx| body(ctx, &p, version))
+    run_splitc_coalesced(p, version, cost, None)
 }
 
-fn body(ctx: &Ctx, p: &Em3dParams, version: Em3dVersion) -> Option<AppRun<Em3dValues>> {
-    sc::init(ctx);
+/// [`run_splitc_cost`] with optional per-destination message coalescing in
+/// the AM substrate (the ablation axis; `None` is the paper's runtime).
+pub fn run_splitc_coalesced(
+    p: &Em3dParams,
+    version: Em3dVersion,
+    cost: CostModel,
+    coalescing: Option<sc::CoalesceConfig>,
+) -> AppRun<Em3dValues> {
+    let p = p.clone();
+    run_collect(p.procs, cost, move |ctx| {
+        body(ctx, &p, version, coalescing.clone())
+    })
+}
+
+fn body(
+    ctx: &Ctx,
+    p: &Em3dParams,
+    version: Em3dVersion,
+    coalescing: Option<sc::CoalesceConfig>,
+) -> Option<AppRun<Em3dValues>> {
+    sc::init_coalesced(ctx, coalescing);
     let g = Graph::generate(p);
     let me = ctx.node();
     let per = g.per_proc();

@@ -16,12 +16,26 @@ pub fn run_splitc(p: &LuParams) -> AppRun<LuOutput> {
 /// [`run_splitc`] with an explicit cost model (e.g. one carrying a fault
 /// model).
 pub fn run_splitc_cost(p: &LuParams, cost: CostModel) -> AppRun<LuOutput> {
-    let p = p.clone();
-    run_collect(p.procs, cost, move |ctx| body(ctx, &p))
+    run_splitc_coalesced(p, cost, None)
 }
 
-fn body(ctx: &Ctx, p: &LuParams) -> Option<AppRun<LuOutput>> {
-    sc::init(ctx);
+/// [`run_splitc_cost`] with optional per-destination message coalescing in
+/// the AM substrate (the ablation axis; `None` is the paper's runtime).
+pub fn run_splitc_coalesced(
+    p: &LuParams,
+    cost: CostModel,
+    coalescing: Option<sc::CoalesceConfig>,
+) -> AppRun<LuOutput> {
+    let p = p.clone();
+    run_collect(p.procs, cost, move |ctx| body(ctx, &p, coalescing.clone()))
+}
+
+fn body(
+    ctx: &Ctx,
+    p: &LuParams,
+    coalescing: Option<sc::CoalesceConfig>,
+) -> Option<AppRun<LuOutput>> {
+    sc::init_coalesced(ctx, coalescing);
     let me = ctx.node();
     let b = p.block;
     let nb = p.nb();

@@ -39,12 +39,30 @@ pub fn run_splitc_cost(
     version: WaterVersion,
     cost: CostModel,
 ) -> AppRun<WaterOutput> {
-    let p = p.clone();
-    run_collect(p.procs, cost, move |ctx| body(ctx, &p, version))
+    run_splitc_coalesced(p, version, cost, None)
 }
 
-fn body(ctx: &Ctx, p: &WaterParams, version: WaterVersion) -> Option<AppRun<WaterOutput>> {
-    sc::init(ctx);
+/// [`run_splitc_cost`] with optional per-destination message coalescing in
+/// the AM substrate (the ablation axis; `None` is the paper's runtime).
+pub fn run_splitc_coalesced(
+    p: &WaterParams,
+    version: WaterVersion,
+    cost: CostModel,
+    coalescing: Option<sc::CoalesceConfig>,
+) -> AppRun<WaterOutput> {
+    let p = p.clone();
+    run_collect(p.procs, cost, move |ctx| {
+        body(ctx, &p, version, coalescing.clone())
+    })
+}
+
+fn body(
+    ctx: &Ctx,
+    p: &WaterParams,
+    version: WaterVersion,
+    coalescing: Option<sc::CoalesceConfig>,
+) -> Option<AppRun<WaterOutput>> {
+    sc::init_coalesced(ctx, coalescing);
     let n = p.n_mol;
     let me = ctx.node();
     assert!(

@@ -1,0 +1,122 @@
+//! Property tests: per-destination message coalescing is invisible to
+//! application results. For any aggregation bound — message cap, byte cap,
+//! linger, with or without injected wire faults — the Split-C applications
+//! reproduce their coalescing-off outputs bitwise.
+
+use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
+use mpmd_apps::lu::{self, LuParams};
+use mpmd_apps::water::{self, WaterParams, WaterVersion};
+use mpmd_sim::{CostModel, FaultModel};
+use mpmd_splitc::CoalesceConfig;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn quick_em3d() -> Em3dParams {
+    Em3dParams {
+        graph_nodes: 160,
+        degree: 8,
+        procs: 4,
+        steps: 2,
+        remote_frac: 1.0,
+        seed: 42,
+    }
+}
+
+fn quick_water() -> WaterParams {
+    WaterParams {
+        n_mol: 16,
+        procs: 4,
+        steps: 1,
+        seed: 1997,
+        box_size: 8.0,
+    }
+}
+
+fn quick_lu() -> LuParams {
+    LuParams {
+        n: 64,
+        block: 8,
+        procs: 4,
+        seed: 101,
+    }
+}
+
+/// Bit patterns of a result vector: equality here is bitwise equality,
+/// immune to `-0.0 == 0.0` and the like.
+fn bits(vs: &[f64]) -> Vec<u64> {
+    vs.iter().map(|v| v.to_bits()).collect()
+}
+
+fn cost_for(faulty: bool) -> CostModel {
+    if faulty {
+        CostModel::default().with_faults(FaultModel::uniform(7, 0.1, 0.05, 0.1))
+    } else {
+        CostModel::default()
+    }
+}
+
+/// Arbitrary-but-valid aggregation bounds, spanning degenerate (one message
+/// per frame, zero linger) through generous.
+fn cfg_strategy() -> impl Strategy<Value = CoalesceConfig> {
+    (1usize..=12, 1usize..=8, 0u64..=30).prop_map(|(msgs, frames, linger_us)| CoalesceConfig {
+        max_msgs: msgs,
+        max_bytes: frames * mpmd_am::SUB_WIRE_BYTES,
+        max_linger: linger_us * 1_000,
+    })
+}
+
+// Coalescing-off baselines, computed once: the reliable-delivery layer
+// already guarantees faulty runs match the fault-free baseline, so one
+// reference per application suffices.
+static EM3D_OFF: OnceLock<(Vec<u64>, Vec<u64>)> = OnceLock::new();
+static WATER_OFF: OnceLock<(Vec<u64>, u64)> = OnceLock::new();
+static LU_OFF: OnceLock<Vec<u64>> = OnceLock::new();
+
+fn em3d_off() -> &'static (Vec<u64>, Vec<u64>) {
+    EM3D_OFF.get_or_init(|| {
+        let r = em3d::run_splitc_cost(&quick_em3d(), Em3dVersion::Ghost, CostModel::default());
+        (bits(&r.output.e), bits(&r.output.h))
+    })
+}
+
+fn water_off() -> &'static (Vec<u64>, u64) {
+    WATER_OFF.get_or_init(|| {
+        let r = water::run_splitc_cost(&quick_water(), WaterVersion::Atomic, CostModel::default());
+        (bits(&r.output.pos), r.output.energy.to_bits())
+    })
+}
+
+fn lu_off() -> &'static Vec<u64> {
+    LU_OFF.get_or_init(|| {
+        let r = lu::run_splitc_cost(&quick_lu(), CostModel::default());
+        bits(&r.output.factored)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn em3d_results_are_coalescing_invariant(cfg in cfg_strategy(), faulty in any::<bool>()) {
+        let r = em3d::run_splitc_coalesced(
+            &quick_em3d(), Em3dVersion::Ghost, cost_for(faulty), Some(cfg));
+        let (e, h) = em3d_off();
+        prop_assert_eq!(&bits(&r.output.e), e);
+        prop_assert_eq!(&bits(&r.output.h), h);
+    }
+
+    #[test]
+    fn water_results_are_coalescing_invariant(cfg in cfg_strategy(), faulty in any::<bool>()) {
+        let r = water::run_splitc_coalesced(
+            &quick_water(), WaterVersion::Atomic, cost_for(faulty), Some(cfg));
+        let (pos, energy) = water_off();
+        prop_assert_eq!(&bits(&r.output.pos), pos);
+        prop_assert_eq!(r.output.energy.to_bits(), *energy);
+    }
+
+    #[test]
+    fn lu_results_are_coalescing_invariant(cfg in cfg_strategy(), faulty in any::<bool>()) {
+        let r = lu::run_splitc_coalesced(&quick_lu(), cost_for(faulty), Some(cfg));
+        prop_assert_eq!(&bits(&r.output.factored), lu_off());
+    }
+}

@@ -6,7 +6,8 @@
 
 use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
 use mpmd_bench::fmt::{
-    reject_unknown_args, render_table, take_count, take_json_flag, us, write_json,
+    reject_unknown_args, render_table, take_count, take_json_flag, take_switch, us, write_json,
+    JsonReport,
 };
 use mpmd_bench::micro::run_table4_with;
 use mpmd_bench::runner::{map_jobs, take_jobs_flag};
@@ -14,11 +15,12 @@ use mpmd_ccxx::CcxxConfig;
 use mpmd_sim::CostModel;
 use serde::Serialize as _;
 
-const USAGE: &str = "ablation [iters] [-j N] [--json <path>]";
+const USAGE: &str = "ablation [iters] [-j N] [--coalescing] [--json <path>]";
 
 fn main() {
     let (args, json_path) = take_json_flag(std::env::args().skip(1));
     let (args, jobs) = take_jobs_flag(args.into_iter());
+    let (args, coalescing_axis) = take_switch(args, "--coalescing");
     let (args, iters) = take_count(args, 100, USAGE);
     reject_unknown_args(&args, USAGE);
     let mut json = serde_json::Map::new();
@@ -111,6 +113,111 @@ fn main() {
     }
     println!("em3d-bulk (100% remote, reduced graph) per configuration");
     println!("{}", render_table(&["configuration", "seconds"], &rows));
+
+    // Per-destination message coalescing (opt-in axis: the paper's runtimes
+    // send every AM individually, so the default run stays exactly the
+    // paper's configuration). Self-verifying: application results must be
+    // bit-identical with the aggregation on, and the wire must carry
+    // strictly fewer messages.
+    if coalescing_axis {
+        eprintln!("running em3d coalescing ablation (paper-scale, 100% remote)...");
+        let p = Em3dParams::paper(1.0);
+        let mut rows = Vec::new();
+        let mut co_json = serde_json::Map::new();
+        let cell = |run: &mpmd_apps::common::AppRun<mpmd_apps::em3d::Em3dValues>| {
+            let mut m = serde_json::Map::new();
+            m.insert(
+                "msgs_sent".to_string(),
+                run.breakdown.counts.msgs_sent.to_value(),
+            );
+            m.insert("net_ns".to_string(), run.breakdown.net.to_value());
+            m.insert(
+                "secs".to_string(),
+                mpmd_sim::to_secs(run.breakdown.elapsed).to_value(),
+            );
+            serde_json::Value::Object(m)
+        };
+        let fingerprint = |v: &mpmd_apps::em3d::Em3dValues| {
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            (bits(&v.e), bits(&v.h))
+        };
+        let mut push =
+            |lang: &str,
+             co_json: &mut serde_json::Map,
+             off: &mpmd_apps::common::AppRun<mpmd_apps::em3d::Em3dValues>,
+             on: &mpmd_apps::common::AppRun<mpmd_apps::em3d::Em3dValues>| {
+                assert_eq!(
+                    fingerprint(&off.output),
+                    fingerprint(&on.output),
+                    "{lang}: coalescing changed em3d results"
+                );
+                let (m_off, m_on) = (
+                    off.breakdown.counts.msgs_sent,
+                    on.breakdown.counts.msgs_sent,
+                );
+                assert!(
+                    m_on < m_off,
+                    "{lang}: coalescing did not reduce wire messages ({m_on} vs {m_off})"
+                );
+                assert!(
+                    on.breakdown.net < off.breakdown.net,
+                    "{lang}: coalescing did not reduce net time"
+                );
+                let drop_pct = 100.0 * (m_off - m_on) as f64 / m_off as f64;
+                let mut m = serde_json::Map::new();
+                m.insert("off".to_string(), cell(off));
+                m.insert("on".to_string(), cell(on));
+                m.insert("msgs_drop_pct".to_string(), drop_pct.to_value());
+                co_json.insert(lang.to_string(), serde_json::Value::Object(m));
+                for (label, r) in [("off", off), ("on", on)] {
+                    rows.push(vec![
+                        format!("{lang} {label}"),
+                        format!("{}", r.breakdown.counts.msgs_sent),
+                        format!("{:.0}", r.breakdown.net as f64 / 1_000.0),
+                        format!("{:.4}", mpmd_sim::to_secs(r.breakdown.elapsed)),
+                    ]);
+                }
+                drop_pct
+            };
+        let sc_off = em3d::run_splitc_coalesced(&p, Em3dVersion::Ghost, CostModel::default(), None);
+        let sc_on = em3d::run_splitc_coalesced(
+            &p,
+            Em3dVersion::Ghost,
+            CostModel::default(),
+            Some(mpmd_splitc::CoalesceConfig::default()),
+        );
+        let sc_drop = push("splitc-ghost", &mut co_json, &sc_off, &sc_on);
+        assert!(
+            sc_drop >= 25.0,
+            "splitc-ghost: wire message drop only {sc_drop:.1}% (< 25%)"
+        );
+        let cc_off = em3d::run_ccxx(
+            &p,
+            Em3dVersion::Ghost,
+            CcxxConfig::tham(),
+            CostModel::default(),
+        );
+        let cc_on = em3d::run_ccxx(
+            &p,
+            Em3dVersion::Ghost,
+            CcxxConfig::tham().with_coalescing(mpmd_ccxx::CoalesceConfig::default()),
+            CostModel::default(),
+        );
+        push("ccxx-ghost", &mut co_json, &cc_off, &cc_on);
+        println!("em3d per-destination coalescing (paper graph, 100% remote)");
+        println!(
+            "{}",
+            render_table(
+                &["configuration", "wire msgs", "net (µs)", "seconds"],
+                &rows
+            )
+        );
+        println!("  (results bit-identical in both runtimes; splitc drop {sc_drop:.1}%)");
+        json.insert(
+            "em3d_coalescing".to_string(),
+            serde_json::Value::Object(co_json),
+        );
+    }
 
     // Optimistic Active Messages (§7 related work, implemented as an
     // extension): compare a null RMI under Threaded vs Optimistic dispatch

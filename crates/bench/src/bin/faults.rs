@@ -8,6 +8,7 @@
 use mpmd_bench::experiments::{run_faults, FaultCell, Scale};
 use mpmd_bench::fmt::{
     cnt, reject_unknown_args, render_table, secs, take_json_flag, usage_error, write_json,
+    JsonReport,
 };
 use mpmd_bench::runner::take_jobs_flag;
 

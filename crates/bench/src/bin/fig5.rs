@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin fig5 [--quick] [-j N] [--json <path>]`
 
 use mpmd_bench::experiments::{bar_pair, breakdown_row, run_fig5, Scale, BREAKDOWN_HEADERS};
-use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json, JsonReport};
 use mpmd_bench::runner::take_jobs_flag;
 
 const USAGE: &str = "fig5 [--quick] [-j N] [--json <path>]";

@@ -8,7 +8,7 @@ use mpmd_apps::water::WaterVersion;
 use mpmd_bench::experiments::{
     bar_pair, breakdown_row, run_fig6_lu, run_fig6_water, Scale, BREAKDOWN_HEADERS,
 };
-use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json, JsonReport};
 use mpmd_bench::runner::take_jobs_flag;
 
 const USAGE: &str = "fig6 [--quick] [-j N] [--json <path>]";

@@ -9,7 +9,7 @@
 use mpmd_apps::em3d::Em3dVersion;
 use mpmd_apps::water::WaterVersion;
 use mpmd_bench::experiments::{run_fig5, run_fig6_lu, run_fig6_water, Cell, Scale};
-use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json};
+use mpmd_bench::fmt::{reject_unknown_args, render_table, take_json_flag, write_json, JsonReport};
 use mpmd_sim::size_bucket_limit;
 
 const USAGE: &str = "msgprofile [--quick] [--json <path>]";

@@ -4,7 +4,9 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin nexus_cmp [--quick] [-j N] [--json <path>]`
 
 use mpmd_bench::experiments::{run_nexus_cmp, Scale};
-use mpmd_bench::fmt::{reject_unknown_args, render_table, secs, take_json_flag, write_json};
+use mpmd_bench::fmt::{
+    reject_unknown_args, render_table, secs, take_json_flag, write_json, JsonReport,
+};
 use mpmd_bench::runner::take_jobs_flag;
 
 const USAGE: &str = "nexus_cmp [--quick] [-j N] [--json <path>]";
@@ -42,18 +44,7 @@ fn main() {
         m.insert("table".to_string(), "nexus_cmp".to_value());
         m.insert(
             "comparisons".to_string(),
-            serde_json::Value::Array(
-                cmps.iter()
-                    .map(|c| {
-                        let mut o = serde_json::Map::new();
-                        o.insert("application".to_string(), c.name.to_value());
-                        o.insert("tham_secs".to_string(), c.tham_secs.to_value());
-                        o.insert("nexus_secs".to_string(), c.nexus_secs.to_value());
-                        o.insert("speedup".to_string(), c.ratio().to_value());
-                        serde_json::Value::Object(o)
-                    })
-                    .collect(),
-            ),
+            serde_json::Value::Array(cmps.iter().map(|c| c.to_json()).collect()),
         );
         write_json(path, &serde_json::Value::Object(m));
     }

@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p mpmd-bench --bin table4 [iters] [--json <path>]`
 
 use mpmd_bench::fmt::{
-    cnt, reject_unknown_args, render_table, take_count, take_json_flag, us, write_json,
+    cnt, reject_unknown_args, render_table, take_count, take_json_flag, us, write_json, JsonReport,
 };
 use mpmd_bench::micro::{measure_mpl_rtt, run_table4};
 

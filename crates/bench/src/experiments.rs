@@ -3,6 +3,7 @@
 //! are thin wrappers over these so that integration tests can assert the
 //! paper's shapes directly.
 
+use crate::fmt::JsonReport;
 use crate::runner::{run_jobs, Unit};
 use mpmd_apps::common::{AppBreakdown, Lang};
 use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
@@ -26,25 +27,33 @@ impl Cell {
     pub fn total_secs(&self) -> f64 {
         mpmd_sim::to_secs(self.breakdown.elapsed)
     }
+}
 
-    /// JSON form for the binaries' `--json` output: elapsed time, the five
-    /// cost components keyed by [`mpmd_sim::Bucket::label`], and the raw
-    /// counters.
-    pub fn to_json(&self) -> serde_json::Value {
+/// The shared tail of every per-run report: elapsed time, the five cost
+/// components keyed by [`mpmd_sim::Bucket::label`], and the raw counters.
+fn breakdown_fields(b: &AppBreakdown) -> Vec<(&'static str, serde_json::Value)> {
+    use serde::Serialize as _;
+    let comps = b.components();
+    vec![
+        ("elapsed_ns", b.elapsed.to_value()),
+        (
+            "components_ns",
+            crate::fmt::bucket_object(|bk| comps[bk.index()].to_value()),
+        ),
+        ("counts", b.counts.to_value()),
+    ]
+}
+
+impl JsonReport for Cell {
+    fn json_fields(&self) -> Vec<(&'static str, serde_json::Value)> {
         use serde::Serialize as _;
-        let b = &self.breakdown;
-        let mut comp = serde_json::Map::new();
-        for (bk, v) in mpmd_sim::Bucket::ALL.iter().zip(b.components()) {
-            comp.insert(bk.label().to_string(), v.to_value());
-        }
-        let mut m = serde_json::Map::new();
-        m.insert("lang".to_string(), self.lang.label().to_value());
-        m.insert("label".to_string(), self.label.to_value());
-        m.insert("units".to_string(), self.units.to_value());
-        m.insert("elapsed_ns".to_string(), b.elapsed.to_value());
-        m.insert("components_ns".to_string(), serde_json::Value::Object(comp));
-        m.insert("counts".to_string(), b.counts.to_value());
-        serde_json::Value::Object(m)
+        let mut f = vec![
+            ("lang", self.lang.label().to_value()),
+            ("label", self.label.to_value()),
+            ("units", self.units.to_value()),
+        ];
+        f.extend(breakdown_fields(&self.breakdown));
+        f
     }
 }
 
@@ -246,6 +255,18 @@ impl NexusComparison {
     }
 }
 
+impl JsonReport for NexusComparison {
+    fn json_fields(&self) -> Vec<(&'static str, serde_json::Value)> {
+        use serde::Serialize as _;
+        vec![
+            ("application", self.name.to_value()),
+            ("tham_secs", self.tham_secs.to_value()),
+            ("nexus_secs", self.nexus_secs.to_value()),
+            ("speedup", self.ratio().to_value()),
+        ]
+    }
+}
+
 /// Run every application under ThAM and under the Nexus baseline. Each
 /// (application, runtime) pair is an independent work unit; results are
 /// reassembled in the fixed application order.
@@ -354,35 +375,26 @@ pub struct FaultCell {
     pub matches_baseline: bool,
 }
 
-impl FaultCell {
-    /// JSON form for `faults --json`. Deliberately contains no application
-    /// floating-point values — only virtual times, counters, the drop rate,
-    /// and the baseline-match verdict — so same-seed runs are byte-identical.
-    pub fn to_json(&self) -> serde_json::Value {
+/// JSON form for `faults --json`. Deliberately contains no application
+/// floating-point values — only virtual times, counters, the drop rate,
+/// and the baseline-match verdict — so same-seed runs are byte-identical.
+impl JsonReport for FaultCell {
+    fn json_fields(&self) -> Vec<(&'static str, serde_json::Value)> {
         use serde::Serialize as _;
-        let b = &self.breakdown;
-        let mut comp = serde_json::Map::new();
-        for (bk, v) in mpmd_sim::Bucket::ALL.iter().zip(b.components()) {
-            comp.insert(bk.label().to_string(), v.to_value());
-        }
-        let mut m = serde_json::Map::new();
-        m.insert("app".to_string(), self.app.to_value());
-        m.insert("lang".to_string(), self.lang.label().to_value());
-        m.insert(
-            "drop_rate".to_string(),
-            match self.drop {
-                Some(d) => d.to_value(),
-                None => serde_json::Value::Null,
-            },
-        );
-        m.insert("elapsed_ns".to_string(), b.elapsed.to_value());
-        m.insert("components_ns".to_string(), serde_json::Value::Object(comp));
-        m.insert("counts".to_string(), b.counts.to_value());
-        m.insert(
-            "matches_baseline".to_string(),
-            self.matches_baseline.to_value(),
-        );
-        serde_json::Value::Object(m)
+        let mut f = vec![
+            ("app", self.app.to_value()),
+            ("lang", self.lang.label().to_value()),
+            (
+                "drop_rate",
+                match self.drop {
+                    Some(d) => d.to_value(),
+                    None => serde_json::Value::Null,
+                },
+            ),
+            ("matches_baseline", self.matches_baseline.to_value()),
+        ];
+        f.extend(breakdown_fields(&self.breakdown));
+        f
     }
 }
 
@@ -540,4 +552,99 @@ pub fn bar_pair(name: &str, sc: &Cell, cc: &Cell, base_len: usize) -> String {
         format!("cc++ {name}"),
         crate::fmt::stacked_bar(comp(cc), cc_len),
     )
+}
+
+#[cfg(test)]
+mod golden_tests {
+    use super::*;
+    use crate::micro::{Measured, Table4Row};
+
+    fn golden_breakdown() -> AppBreakdown {
+        let counts = mpmd_sim::Stats {
+            bucket_ns: [11_111, 22_222, 3_333, 444, 55],
+            msgs_sent: 100,
+            msgs_received: 100,
+            bytes_sent: 4_800,
+            short_msgs: 80,
+            bulk_msgs: 20,
+            polls: 40,
+            handlers_run: 90,
+            ..Default::default()
+        };
+        AppBreakdown {
+            elapsed: 123_456_789,
+            cpu: 11_111,
+            net: 22_222,
+            thread_mgmt: 3_333,
+            thread_sync: 444,
+            runtime: 55,
+            counts,
+        }
+    }
+
+    fn golden_measured() -> Measured {
+        Measured {
+            total_us: 67.5,
+            am_us: 55.0,
+            threads_us: 4.25,
+            yields: 2.0,
+            creates: 1.0,
+            syncs: 3.0,
+            runtime_us: 8.25,
+            bucket_us: [1.5, 55.0, 2.0, 2.25, 8.25],
+        }
+    }
+
+    fn golden_value() -> serde_json::Value {
+        let cell = Cell {
+            lang: Lang::SplitC,
+            label: "ghost".to_string(),
+            breakdown: golden_breakdown(),
+            units: 2_560,
+        };
+        let fault_cell = FaultCell {
+            app: "em3d-ghost",
+            lang: Lang::Ccxx,
+            drop: Some(0.1),
+            breakdown: golden_breakdown(),
+            matches_baseline: true,
+        };
+        let row = Table4Row {
+            name: "0-Word",
+            cc: golden_measured(),
+            sc: Some(golden_measured()),
+            paper_cc: (77.0, 55.0, 12.0, 10.0),
+            paper_sc: Some((56.0, 53.0, 3.0)),
+        };
+        let mut m = serde_json::Map::new();
+        m.insert("cell".to_string(), cell.to_json());
+        m.insert("fault_cell".to_string(), fault_cell.to_json());
+        m.insert("measured".to_string(), golden_measured().to_json());
+        m.insert("table4_row".to_string(), row.to_json());
+        serde_json::Value::Object(m)
+    }
+
+    /// The `--json` serializers must produce byte-identical output across
+    /// refactors. The golden file was captured from the hand-rolled
+    /// per-type `to_json` implementations; regenerate (only for a
+    /// deliberate format change) with `UPDATE_GOLDEN=1 cargo test`.
+    #[test]
+    fn json_reports_match_golden() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/testdata/json_report_golden.json"
+        );
+        let mut text = serde_json::to_string_pretty(&golden_value()).expect("serialize golden");
+        text.push('\n');
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/testdata")).unwrap();
+            std::fs::write(path, &text).unwrap();
+        }
+        let want = std::fs::read_to_string(path)
+            .expect("golden file missing; regenerate with UPDATE_GOLDEN=1 cargo test");
+        assert_eq!(
+            text, want,
+            "JSON report serialization drifted from the golden file"
+        );
+    }
 }

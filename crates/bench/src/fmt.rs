@@ -81,6 +81,38 @@ pub fn take_count(args: Vec<String>, default: usize, usage: &str) -> (Vec<String
     }
 }
 
+/// A report row of a `--json` output: the type lists its fields once and
+/// gets the object assembly (and the alphabetical key order guaranteed by
+/// the `BTreeMap`-backed [`serde_json::Map`]) from the default method.
+/// Replaces the hand-rolled per-type `to_json` map-building the experiment
+/// types and binaries used to copy-paste; `experiments::golden_tests`
+/// pins the rendered bytes against a golden captured before the collapse.
+pub trait JsonReport {
+    /// The object's (key, value) fields. Order is irrelevant — rendering
+    /// sorts keys — so implementors list identity fields first for
+    /// readability.
+    fn json_fields(&self) -> Vec<(&'static str, serde_json::Value)>;
+
+    /// The JSON object written by the binaries' `--json` flag.
+    fn to_json(&self) -> serde_json::Value {
+        let mut m = serde_json::Map::new();
+        for (k, v) in self.json_fields() {
+            m.insert(k.to_string(), v);
+        }
+        serde_json::Value::Object(m)
+    }
+}
+
+/// A JSON object keyed by cost-bucket label ([`mpmd_sim::Bucket::label`]),
+/// one entry per bucket — the shape every per-bucket breakdown uses.
+pub fn bucket_object(f: impl Fn(mpmd_sim::Bucket) -> serde_json::Value) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    for b in mpmd_sim::Bucket::ALL {
+        m.insert(b.label().to_string(), f(b));
+    }
+    serde_json::Value::Object(m)
+}
+
 /// Write a JSON value to `path` (creating parent directories), with a
 /// trailing newline. Used by the experiment binaries for `--json` output.
 pub fn write_json(path: &Path, value: &serde_json::Value) {

@@ -8,6 +8,7 @@
 //! `Threads` and `Runtime` are the charged thread/runtime costs across both
 //! nodes, and `AM = Total − Threads − Runtime`.
 
+use crate::fmt::JsonReport;
 use mpmd_am as am;
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CallMode, CcxxConfig, CxPtr, MarshalBuf};
@@ -34,31 +35,23 @@ pub struct Measured {
     pub bucket_us: [f64; mpmd_sim::NUM_BUCKETS],
 }
 
-serde::impl_serialize!(Measured {
-    total_us,
-    am_us,
-    threads_us,
-    yields,
-    creates,
-    syncs,
-    runtime_us,
-    bucket_us,
-});
-
-impl Measured {
-    /// JSON form with the per-bucket totals keyed by [`Bucket::label`].
-    pub fn to_json(&self) -> serde_json::Value {
+/// JSON form with the per-bucket totals keyed by [`Bucket::label`].
+impl JsonReport for Measured {
+    fn json_fields(&self) -> Vec<(&'static str, serde_json::Value)> {
         use serde::Serialize as _;
-        let mut v = serde_json::to_value(self);
-        if let serde_json::Value::Object(map) = &mut v {
-            map.remove("bucket_us");
-            let mut buckets = serde_json::Map::new();
-            for b in Bucket::ALL {
-                buckets.insert(b.label().to_string(), self.bucket_us[b.index()].to_value());
-            }
-            map.insert("bucket_us".to_string(), serde_json::Value::Object(buckets));
-        }
-        v
+        vec![
+            ("total_us", self.total_us.to_value()),
+            ("am_us", self.am_us.to_value()),
+            ("threads_us", self.threads_us.to_value()),
+            ("yields", self.yields.to_value()),
+            ("creates", self.creates.to_value()),
+            ("syncs", self.syncs.to_value()),
+            ("runtime_us", self.runtime_us.to_value()),
+            (
+                "bucket_us",
+                crate::fmt::bucket_object(|b| self.bucket_us[b.index()].to_value()),
+            ),
+        ]
     }
 }
 
@@ -205,31 +198,31 @@ pub struct Table4Row {
     pub paper_sc: Option<(f64, f64, f64)>,
 }
 
-impl Table4Row {
-    /// JSON form for `--json` output: measured values plus the paper's
-    /// reference numbers.
-    pub fn to_json(&self) -> serde_json::Value {
+/// JSON form for `--json` output: measured values plus the paper's
+/// reference numbers.
+impl JsonReport for Table4Row {
+    fn json_fields(&self) -> Vec<(&'static str, serde_json::Value)> {
         use serde::Serialize as _;
-        let mut m = serde_json::Map::new();
-        m.insert("name".to_string(), self.name.to_value());
-        m.insert("cc".to_string(), self.cc.to_json());
-        m.insert(
-            "sc".to_string(),
-            match &self.sc {
-                Some(sc) => sc.to_json(),
-                None => serde_json::Value::Null,
-            },
-        );
         let (t, a, th, rt) = self.paper_cc;
-        m.insert("paper_cc_us".to_string(), [t, a, th, rt].to_value());
-        m.insert(
-            "paper_sc_us".to_string(),
-            match self.paper_sc {
-                Some((t, a, rt)) => [t, a, rt].to_value(),
-                None => serde_json::Value::Null,
-            },
-        );
-        serde_json::Value::Object(m)
+        vec![
+            ("name", self.name.to_value()),
+            ("cc", self.cc.to_json()),
+            (
+                "sc",
+                match &self.sc {
+                    Some(sc) => sc.to_json(),
+                    None => serde_json::Value::Null,
+                },
+            ),
+            ("paper_cc_us", [t, a, th, rt].to_value()),
+            (
+                "paper_sc_us",
+                match self.paper_sc {
+                    Some((t, a, rt)) => [t, a, rt].to_value(),
+                    None => serde_json::Value::Null,
+                },
+            ),
+        ]
     }
 }
 
@@ -486,7 +479,7 @@ pub fn measure_mpl_rtt() -> f64 {
             am::register(&ctx, H_DONE, move |_ctx, m| c2.complete(m.args));
             am::barrier(&ctx);
             let t0 = ctx.now();
-            am::request(&ctx, 1, H_ECHO, [0; 4], None);
+            am::endpoint(&ctx).to(1).handler(H_ECHO).send();
             let c3 = Arc::clone(&cell);
             am::wait_until(&ctx, move || c3.is_done());
             *o2.lock() = to_us(ctx.now() - t0);
@@ -495,7 +488,11 @@ pub fn measure_mpl_rtt() -> f64 {
             let served = Arc::new(AtomicBool::new(false));
             let s2 = Arc::clone(&served);
             am::register(&ctx, H_ECHO, move |ctx, m| {
-                am::request(ctx, m.src, H_DONE, m.args, None);
+                am::endpoint(ctx)
+                    .to(m.src)
+                    .handler(H_DONE)
+                    .args(m.args)
+                    .send();
                 s2.store(true, Ordering::Release);
             });
             am::barrier(&ctx);

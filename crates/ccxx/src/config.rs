@@ -34,6 +34,11 @@ pub struct CcxxConfig {
     /// dispatch charges `cost` (software interrupt + kernel propagation) but
     /// the polling thread's context switches disappear.
     pub interrupt_cost: Option<Time>,
+    /// `Some(cfg)` ⇒ per-destination message coalescing in the AM substrate:
+    /// short AMs to the same destination aggregate into one wire frame,
+    /// flushed at polls, buffer bounds, and before any synchronous read.
+    /// `None` (the paper's runtime) sends every AM individually.
+    pub coalescing: Option<mpmd_am::CoalesceConfig>,
 }
 
 impl Default for CcxxConfig {
@@ -52,6 +57,7 @@ impl CcxxConfig {
             persistent_buffers: true,
             pass_return_buffer: false,
             interrupt_cost: None,
+            coalescing: None,
         }
     }
 
@@ -80,6 +86,12 @@ impl CcxxConfig {
         self.interrupt_cost = Some(cost);
         self
     }
+
+    /// ThAM with per-destination message coalescing in the AM substrate.
+    pub fn with_coalescing(mut self, cfg: mpmd_am::CoalesceConfig) -> Self {
+        self.coalescing = Some(cfg);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +105,7 @@ mod tests {
         assert!(c.persistent_buffers);
         assert!(!c.pass_return_buffer);
         assert!(c.interrupt_cost.is_none());
+        assert!(c.coalescing.is_none());
         assert_eq!(c.profile.name, "SP-AM (CC++/ThAM)");
     }
 
@@ -101,9 +114,11 @@ mod tests {
         let c = CcxxConfig::tham()
             .without_stub_caching()
             .without_persistent_buffers()
-            .with_interrupts(mpmd_sim::us(50.0));
+            .with_interrupts(mpmd_sim::us(50.0))
+            .with_coalescing(mpmd_am::CoalesceConfig::default());
         assert!(!c.stub_caching);
         assert!(!c.persistent_buffers);
         assert_eq!(c.interrupt_cost, Some(50_000));
+        assert_eq!(c.coalescing, Some(mpmd_am::CoalesceConfig::default()));
     }
 }

@@ -47,6 +47,9 @@ impl GpHandle {
         }
         let st = CcxxState::get(ctx);
         let cfg = st.cfg();
+        // Blocking read: flush coalesced sends (the prefetch request itself
+        // may still be buffered) before this thread sleeps on the reply.
+        am::flush(ctx);
         self.sv.read(ctx);
         ctx.charge(Bucket::Runtime, cfg.costs.gp_async_complete);
         f64::from_bits(self.cell.words()[0])
@@ -79,14 +82,14 @@ pub fn gp_read(ctx: &Ctx, p: CxPtr) -> f64 {
     };
     {
         drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
-        am::request(
-            ctx,
-            p.node,
-            H_GP_ACC,
-            [p.region as u64, p.offset as u64, OP_READ, 0],
-            Some(Box::new(tok)),
-        );
+        am::endpoint(ctx)
+            .to(p.node)
+            .handler(H_GP_ACC)
+            .args([p.region as u64, p.offset as u64, OP_READ, 0])
+            .token(Box::new(tok) as am::Token)
+            .send();
     }
+    am::flush(ctx); // blocking read below; don't leave the request buffered
     sv.read(ctx);
     ctx.charge(Bucket::Runtime, c.gp_complete);
     f64::from_bits(cell.words()[0])
@@ -113,14 +116,14 @@ pub fn gp_write(ctx: &Ctx, p: CxPtr, v: f64) {
     };
     {
         drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
-        am::request(
-            ctx,
-            p.node,
-            H_GP_ACC,
-            [p.region as u64, p.offset as u64, OP_WRITE, v.to_bits()],
-            Some(Box::new(tok)),
-        );
+        am::endpoint(ctx)
+            .to(p.node)
+            .handler(H_GP_ACC)
+            .args([p.region as u64, p.offset as u64, OP_WRITE, v.to_bits()])
+            .token(Box::new(tok) as am::Token)
+            .send();
     }
+    am::flush(ctx); // blocking read below; don't leave the request buffered
     sv.read(ctx);
     ctx.charge(Bucket::Runtime, c.gp_complete);
 }
@@ -147,14 +150,14 @@ pub fn gp_read3(ctx: &Ctx, p: CxPtr) -> [f64; 3] {
     };
     {
         drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
-        am::request(
-            ctx,
-            p.node,
-            H_GP_ACC,
-            [p.region as u64, p.offset as u64, OP_READ3, 0],
-            Some(Box::new(tok)),
-        );
+        am::endpoint(ctx)
+            .to(p.node)
+            .handler(H_GP_ACC)
+            .args([p.region as u64, p.offset as u64, OP_READ3, 0])
+            .token(Box::new(tok) as am::Token)
+            .send();
     }
+    am::flush(ctx); // blocking read below; don't leave the request buffered
     sv.read(ctx);
     ctx.charge(Bucket::Runtime, c.gp_complete);
     let w = cell.words();
@@ -190,13 +193,12 @@ pub fn gp_read_async(ctx: &Ctx, p: CxPtr) -> GpHandle {
     };
     {
         drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
-        am::request(
-            ctx,
-            p.node,
-            H_GP_ACC_ASYNC,
-            [p.region as u64, p.offset as u64, OP_READ, 0],
-            Some(Box::new(tok)),
-        );
+        am::endpoint(ctx)
+            .to(p.node)
+            .handler(H_GP_ACC_ASYNC)
+            .args([p.region as u64, p.offset as u64, OP_READ, 0])
+            .token(Box::new(tok) as am::Token)
+            .send();
     }
     GpHandle {
         cell,
@@ -246,7 +248,15 @@ pub(crate) fn register_gp_handlers(ctx: &Ctx) {
             let reply = serve_access(&cctx, &st2, args);
             drop(st2.sbuf_lock.lock(&cctx)); // charged lock/unlock pair
             cctx.charge(Bucket::Runtime, c.gp_reply);
-            am::request(&cctx, src, H_GP_REPLY, reply, Some(tok));
+            am::endpoint(&cctx)
+                .to(src)
+                .handler(H_GP_REPLY)
+                .args(reply)
+                .token(tok)
+                .send();
+            // The access thread ends here; push out a coalesced reply rather
+            // than leaving it for the next poller.
+            am::flush(&cctx);
         });
     });
 
@@ -263,7 +273,12 @@ pub(crate) fn register_gp_handlers(ctx: &Ctx) {
         let reply = serve_access(ctx, &st, m.args);
         drop(st.sbuf_lock.lock(ctx)); // charged lock/unlock pair; released before the send's poll point
         ctx.charge(Bucket::Runtime, c.gp_async_reply);
-        am::request(ctx, m.src, H_GP_REPLY, reply, Some(tok));
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_GP_REPLY)
+            .args(reply)
+            .token(tok)
+            .send();
     });
 
     am::register(ctx, H_GP_REPLY, |ctx, mut m| {

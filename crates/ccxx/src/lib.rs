@@ -47,6 +47,7 @@ pub use config::CcxxConfig;
 pub use costs::CcxxCosts;
 pub use gp::{gp_read, gp_read3, gp_read_async, gp_write, GpHandle};
 pub use marshal::{FlatF64s, Marshal, MarshalBuf, UnmarshalBuf};
+pub use mpmd_am::CoalesceConfig;
 pub use par::{par, parfor, prefetch};
 pub use pobj::{create_object, destroy_object, register_obj_method, rmi_obj, CxObjPtr};
 pub use rmi::{

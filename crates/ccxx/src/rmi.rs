@@ -324,9 +324,18 @@ fn rmi_inner(
             } else {
                 wire
             };
-            am::request_bulk(ctx, dst, H_REQ, [0; 4], wire, Some(Box::new(req)));
+            am::endpoint(ctx)
+                .to(dst)
+                .handler(H_REQ)
+                .bulk(wire)
+                .token(Box::new(req) as am::Token)
+                .send();
         } else {
-            am::request(ctx, dst, H_REQ, [0; 4], Some(Box::new(req)));
+            am::endpoint(ctx)
+                .to(dst)
+                .handler(H_REQ)
+                .token(Box::new(req) as am::Token)
+                .send();
         }
     }
 
@@ -336,6 +345,9 @@ fn rmi_inner(
             spin_wait(ctx, move || c2.is_done());
         }
         Some(sv) => {
+            // Blocking read: flush any coalesced sends first, or the request
+            // could sit buffered while this thread sleeps on the reply.
+            am::flush(ctx);
             sv.read(ctx);
         }
     }
@@ -405,8 +417,17 @@ fn run_and_reply(
     };
     let dst = req.src;
     match reply_msg.ret.data.clone() {
-        Some(d) => am::request_bulk(ctx, dst, H_REPLY, [0; 4], d, Some(Box::new(reply_msg))),
-        None => am::request(ctx, dst, H_REPLY, [0; 4], Some(Box::new(reply_msg))),
+        Some(d) => am::endpoint(ctx)
+            .to(dst)
+            .handler(H_REPLY)
+            .bulk(d)
+            .token(Box::new(reply_msg) as am::Token)
+            .send(),
+        None => am::endpoint(ctx)
+            .to(dst)
+            .handler(H_REPLY)
+            .token(Box::new(reply_msg) as am::Token)
+            .send(),
     }
 }
 
@@ -499,6 +520,9 @@ pub(crate) fn register_rmi_handlers(ctx: &Ctx) {
             let st2 = Arc::clone(&st);
             mpmd_threads::spawn(ctx, "rmi-method", move |cctx| {
                 run_and_reply(&cctx, &st2, stub, req, cache_update);
+                // The method thread ends here; push out any coalesced reply
+                // rather than leaving it for the next poller.
+                am::flush(&cctx);
             });
         } else {
             ctx.span_end(sp_dispatch);

@@ -37,6 +37,9 @@ pub fn unpack_addr(word: u64) -> (u32, usize) {
 pub fn init(ctx: &Ctx, config: CcxxConfig) {
     let st = CcxxState::get(ctx);
     am::init(ctx, config.profile.clone());
+    if let Some(cfg) = config.coalescing.clone() {
+        am::enable_coalescing(ctx, cfg);
+    }
     let interrupts = config.interrupt_cost.is_some();
     st.set_config(config);
     am::register_barrier_handlers(ctx);

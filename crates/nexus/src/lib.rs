@@ -89,6 +89,7 @@ pub fn nexus_config() -> CcxxConfig {
         persistent_buffers: false,
         pass_return_buffer: false,
         interrupt_cost: Some(nexus_interrupt_cost()),
+        coalescing: None,
     }
 }
 

@@ -97,6 +97,40 @@ impl ReliabilityCosts {
     }
 }
 
+/// Unit costs of the per-destination message-coalescing layer in `mpmd-am`.
+/// Charged to the `Net` bucket: an aggregated frame pays one send overhead
+/// plus `marshal_per_msg` for each sub-message packed into it, and the
+/// receiver pays one receive overhead plus `unmarshal_per_msg` per
+/// sub-message unpacked. Singleton flushes bypass aggregation entirely and
+/// charge exactly what an uncoalesced send would, so these costs only appear
+/// when two or more messages actually share a frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoalesceCosts {
+    /// Cost of packing one sub-message into an aggregation buffer.
+    pub marshal_per_msg: Time,
+    /// Cost of unpacking one sub-message from a received aggregate.
+    pub unmarshal_per_msg: Time,
+}
+
+impl Default for CoalesceCosts {
+    fn default() -> Self {
+        CoalesceCosts {
+            marshal_per_msg: us(0.3),
+            unmarshal_per_msg: us(0.3),
+        }
+    }
+}
+
+impl CoalesceCosts {
+    /// A zero-cost profile (coalescing-semantics tests).
+    pub fn free() -> Self {
+        CoalesceCosts {
+            marshal_per_msg: 0,
+            unmarshal_per_msg: 0,
+        }
+    }
+}
+
 /// Fault rates and delay parameters for one directed link.
 ///
 /// Probabilities are per transmission attempt and must lie in `[0, 1)`
@@ -226,6 +260,9 @@ pub struct CostModel {
     pub threads: ThreadCosts,
     /// Reliable-delivery protocol costs (charged only when `faults` is set).
     pub reliability: ReliabilityCosts,
+    /// Message-coalescing costs (charged only when a runtime enables
+    /// per-destination aggregation in the AM layer).
+    pub coalescing: CoalesceCosts,
     /// Fault-injection model; `None` (the default) leaves the wire perfect
     /// and the AM layer's reliability machinery disabled.
     pub faults: Option<FaultModel>,
@@ -237,6 +274,7 @@ impl CostModel {
         CostModel {
             threads: ThreadCosts::free(),
             reliability: ReliabilityCosts::free(),
+            coalescing: CoalesceCosts::free(),
             faults: None,
         }
     }

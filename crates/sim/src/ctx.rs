@@ -427,6 +427,22 @@ impl Ctx {
         }
     }
 
+    /// Record a coalescing-layer flush (point event).
+    pub fn trace_coalesce_flush(&self, dst: usize, msgs: u64, wire_bytes: usize) {
+        let mut k = self.inner.kernel.lock();
+        if k.tracer.is_some() {
+            k.emit(
+                self.node,
+                self.task,
+                TraceEvent::CoalesceFlush {
+                    dst,
+                    msgs,
+                    wire_bytes,
+                },
+            );
+        }
+    }
+
     /// Record a duplicate-suppression drop (point event).
     pub fn trace_dup_drop(&self, src: usize, seq: u64) {
         let mut k = self.inner.kernel.lock();

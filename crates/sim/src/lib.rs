@@ -34,7 +34,7 @@ mod task;
 pub mod time;
 pub mod trace;
 
-pub use cost::{CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
+pub use cost::{CoalesceCosts, CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
 pub use ctx::{Ctx, SpanGuard};
 pub use engine::Sim;
 pub use event::Msg;

@@ -113,6 +113,13 @@ pub struct Stats {
     pub wire_drops: u64,
     /// Transmission attempts duplicated on the wire by the fault model.
     pub wire_dups: u64,
+    /// Aggregated frames flushed by the coalescing layer (frames carrying
+    /// two or more sub-messages; singleton flushes are ordinary sends).
+    pub agg_flushes: u64,
+    /// Sub-messages that travelled inside aggregated frames.
+    pub agg_msgs: u64,
+    /// Wire bytes of aggregated frames.
+    pub agg_bytes: u64,
 }
 
 // Hand-rolled rather than `serde::impl_serialize!`: the reliability counters
@@ -156,7 +163,16 @@ impl serde::Serialize for Stats {
             handlers_run,
             msg_size_hist,
         );
-        put_nonzero!(retransmits, timeouts, dup_drops, wire_drops, wire_dups);
+        put_nonzero!(
+            retransmits,
+            timeouts,
+            dup_drops,
+            wire_drops,
+            wire_dups,
+            agg_flushes,
+            agg_msgs,
+            agg_bytes,
+        );
         serde::Value::Object(map)
     }
 }
@@ -220,6 +236,9 @@ impl Stats {
         self.dup_drops += other.dup_drops;
         self.wire_drops += other.wire_drops;
         self.wire_dups += other.wire_dups;
+        self.agg_flushes += other.agg_flushes;
+        self.agg_msgs += other.agg_msgs;
+        self.agg_bytes += other.agg_bytes;
     }
 
     /// Element-wise difference `self - earlier` (panics on counter regression,
@@ -258,6 +277,9 @@ impl Stats {
             dup_drops: sub(self.dup_drops, earlier.dup_drops),
             wire_drops: sub(self.wire_drops, earlier.wire_drops),
             wire_dups: sub(self.wire_dups, earlier.wire_dups),
+            agg_flushes: sub(self.agg_flushes, earlier.agg_flushes),
+            agg_msgs: sub(self.agg_msgs, earlier.agg_msgs),
+            agg_bytes: sub(self.agg_bytes, earlier.agg_bytes),
         }
     }
 }

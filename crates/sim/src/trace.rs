@@ -97,6 +97,12 @@ pub enum TraceEvent {
     Retransmit { dst: usize, seq: u64 },
     /// Duplicate suppression discarded an already-delivered packet.
     DupDrop { src: usize, seq: u64 },
+    /// The coalescing layer flushed an aggregation buffer as one wire frame.
+    CoalesceFlush {
+        dst: usize,
+        msgs: u64,
+        wire_bytes: usize,
+    },
     /// Free-text debug marker ([`Ctx::trace`](crate::Ctx::trace)).
     Mark { text: String },
 }
@@ -678,6 +684,14 @@ fn instant_fields(ev: &TraceEvent) -> Option<(&'static str, String)> {
         TraceEvent::DupDrop { src, seq } => {
             Some(("DupDrop", format!(r#"{{"src":{src},"seq":{seq}}}"#)))
         }
+        TraceEvent::CoalesceFlush {
+            dst,
+            msgs,
+            wire_bytes,
+        } => Some((
+            "CoalesceFlush",
+            format!(r#"{{"dst":{dst},"msgs":{msgs},"wire_bytes":{wire_bytes}}}"#),
+        )),
         TraceEvent::Mark { text } => Some(("Mark", format!(r#"{{"text":{}}}"#, json_string(text)))),
         // Frames are exported as X events by the span pass.
         TraceEvent::HandlerStart { .. }
@@ -738,6 +752,15 @@ fn jsonl_record(rec: &TraceRecord) -> String {
         }
         TraceEvent::DupDrop { src, seq } => {
             format!(r#""type":"dup_drop","src":{src},"seq":{seq}"#)
+        }
+        TraceEvent::CoalesceFlush {
+            dst,
+            msgs,
+            wire_bytes,
+        } => {
+            format!(
+                r#""type":"coalesce_flush","dst":{dst},"msgs":{msgs},"wire_bytes":{wire_bytes}"#
+            )
         }
         TraceEvent::Mark { text } => format!(r#""type":"mark","text":{}"#, json_string(text)),
     };

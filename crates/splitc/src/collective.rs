@@ -21,7 +21,18 @@ pub enum ReduceOp {
 /// profile), barrier and runtime handlers, built-in atomics. Collective —
 /// every node must call it before any communication; ends with a barrier.
 pub fn init(ctx: &Ctx) {
+    init_coalesced(ctx, None);
+}
+
+/// [`init`] with optional per-destination message coalescing: short AMs
+/// (stores, split-phase issues, reduction traffic) aggregate into one wire
+/// frame per destination, flushed at every poll and buffer bound. `None`
+/// behaves exactly like [`init`].
+pub fn init_coalesced(ctx: &Ctx, coalescing: Option<am::CoalesceConfig>) {
     am::init(ctx, am::NetProfile::sp_am_splitc());
+    if let Some(cfg) = coalescing {
+        am::enable_coalescing(ctx, cfg);
+    }
     am::register_barrier_handlers(ctx);
     register_handlers(ctx);
     register_builtin_atomics(ctx);
@@ -98,7 +109,11 @@ pub fn reduce(ctx: &Ctx, op: ReduceOp, value: u64) -> u64 {
     if ctx.node() == 0 {
         note_reduce_arrival(ctx, 0, gen, value, op as u64);
     } else {
-        am::request(ctx, 0, H_REDUCE, [gen, value, op as u64, 0], None);
+        am::endpoint(ctx)
+            .to(0)
+            .handler(H_REDUCE)
+            .args([gen, value, op as u64, 0])
+            .send();
     }
     let st2 = ScState::get(ctx);
     am::wait_until(ctx, move || {
@@ -166,8 +181,12 @@ pub(crate) fn note_reduce_arrival(ctx: &Ctx, src: usize, gen: u64, value: u64, o
         }
     };
     if let Some(total) = complete {
+        let ep = am::endpoint(ctx);
         for n in 1..ctx.nodes() {
-            am::request(ctx, n, H_REDUCE_RELEASE, [gen, total, 0, 0], None);
+            ep.to(n)
+                .handler(H_REDUCE_RELEASE)
+                .args([gen, total, 0, 0])
+                .send();
         }
     }
 }

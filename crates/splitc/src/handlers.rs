@@ -46,7 +46,12 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
         ctx.charge(Bucket::Runtime, st.costs.serve_access);
         let region = st.region(m.args[0] as u32);
         let v = region.read()[m.args[1] as usize];
-        am::request(ctx, m.src, H_REPLY_VALUE, [v.to_bits(), 0, 0, 0], m.token);
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_VALUE)
+            .args([v.to_bits(), 0, 0, 0])
+            .token(m.token)
+            .send();
     });
 
     am::register(ctx, H_READ3, |ctx, m| {
@@ -62,7 +67,12 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
             0,
         ];
         drop(r);
-        am::request(ctx, m.src, H_REPLY_VALUE, reply, m.token);
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_VALUE)
+            .args(reply)
+            .token(m.token)
+            .send();
     });
 
     am::register(ctx, H_WRITE, |ctx, m| {
@@ -70,7 +80,11 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
         ctx.charge(Bucket::Runtime, st.costs.serve_access);
         let region = st.region(m.args[0] as u32);
         region.write()[m.args[1] as usize] = f64::from_bits(m.args[2]);
-        am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_VALUE)
+            .token(m.token)
+            .send();
     });
 
     am::register(ctx, H_STORE, |ctx, m| {
@@ -96,21 +110,24 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
             );
             f64s_to_bytes(&r[off..off + len])
         };
-        am::request_bulk(
-            ctx,
-            m.src,
-            H_REPLY_DATA,
-            [len as u64, 0, 0, 0],
-            data,
-            m.token,
-        );
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_DATA)
+            .args([len as u64, 0, 0, 0])
+            .bulk(data)
+            .token(m.token)
+            .send();
     });
 
     am::register(ctx, H_BULK_WRITE, |ctx, m| {
         let st = ScState::get(ctx);
         ctx.charge(Bucket::Runtime, st.costs.serve_access);
         write_bulk_into_region(ctx, &m);
-        am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_VALUE)
+            .token(m.token)
+            .send();
     });
 
     am::register(ctx, H_BULK_STORE, |ctx, m| {
@@ -131,7 +148,12 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
             )
         };
         let result = f(ctx, [m.args[1], m.args[2], m.args[3], 0]);
-        am::request(ctx, m.src, H_REPLY_VALUE, result, m.token);
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_VALUE)
+            .args(result)
+            .token(m.token)
+            .send();
     });
 
     // Dedicated three-component atomic accumulate: the handler id implies
@@ -147,7 +169,11 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
         st.staged
             .lock()
             .stage(m.src, region, offset, [m.args[1], m.args[2], m.args[3]]);
-        am::request(ctx, m.src, H_REPLY_VALUE, [0; 4], m.token);
+        am::endpoint(ctx)
+            .to(m.src)
+            .handler(H_REPLY_VALUE)
+            .token(m.token)
+            .send();
     });
 
     am::register(ctx, H_REPLY_VALUE, |ctx, mut m| {

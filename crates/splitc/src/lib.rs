@@ -31,11 +31,12 @@ mod ops;
 mod state;
 
 pub use collective::{
-    all_spread_alloc, all_store_sync, alloc_region, barrier, init, reduce, reduce_sum_f64,
-    reduce_sum_u64, ReduceOp,
+    all_spread_alloc, all_store_sync, alloc_region, barrier, init, init_coalesced, reduce,
+    reduce_sum_f64, reduce_sum_u64, ReduceOp,
 };
 pub use costs::ScCosts;
 pub use gptr::{GlobalPtr, SpreadArray};
+pub use mpmd_am::CoalesceConfig;
 pub use ops::{
     atomic_add, atomic_add3, atomic_rpc, bulk_read, bulk_store, bulk_write, get, get_bulk,
     pack_addr, put, read, read_vec3, register_atomic, store, sync, unpack_addr, with_local, write,

@@ -43,16 +43,15 @@ pub fn read(ctx: &Ctx, gp: GlobalPtr) -> f64 {
     let _sp = ctx.span("sc.read");
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        gp.node,
-        H_READ,
-        [gp.region as u64, gp.offset as u64, 0, 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_READ)
+        .args([gp.region as u64, gp.offset as u64, 0, 0])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
@@ -71,16 +70,15 @@ pub fn write(ctx: &Ctx, gp: GlobalPtr, v: f64) {
     let _sp = ctx.span("sc.write");
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        gp.node,
-        H_WRITE,
-        [gp.region as u64, gp.offset as u64, v.to_bits(), 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_WRITE)
+        .args([gp.region as u64, gp.offset as u64, v.to_bits(), 0])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
@@ -100,16 +98,15 @@ pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
     let _sp = ctx.span("sc.read_vec3");
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        gp.node,
-        H_READ3,
-        [gp.region as u64, gp.offset as u64, 0, 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_READ3)
+        .args([gp.region as u64, gp.offset as u64, 0, 0])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
@@ -139,21 +136,20 @@ pub fn atomic_add3(ctx: &Ctx, gp: GlobalPtr, deltas: [f64; 3]) {
     let _sp = ctx.span("sc.atomic_add3");
     ctx.charge(Bucket::Runtime, st.costs.atomic_issue);
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        gp.node,
-        crate::handlers::H_ATOMIC_ADD3,
-        [
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(crate::handlers::H_ATOMIC_ADD3)
+        .args([
             pack_addr(gp.region, gp.offset),
             deltas[0].to_bits(),
             deltas[1].to_bits(),
             deltas[2].to_bits(),
-        ],
-        Some(Box::new(ScToken {
+        ])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.atomic_complete);
@@ -201,16 +197,15 @@ pub fn get_bulk(ctx: &Ctx, gp: GlobalPtr, len: usize) -> BulkGetHandle {
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     st.pending.issue();
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        gp.node,
-        H_BULK_READ,
-        [gp.region as u64, gp.offset as u64, len as u64, 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_BULK_READ)
+        .args([gp.region as u64, gp.offset as u64, len as u64, 0])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: Some(Arc::clone(&st.pending)),
-        })),
-    );
+        }) as am::Token)
+        .send();
     BulkGetHandle { cell, local: None }
 }
 
@@ -247,16 +242,15 @@ pub fn get(ctx: &Ctx, gp: GlobalPtr) -> GetHandle {
     let _sp = ctx.span("sc.get");
     ctx.charge(Bucket::Runtime, st.costs.split_issue);
     st.pending.issue();
-    am::request(
-        ctx,
-        gp.node,
-        H_READ,
-        [gp.region as u64, gp.offset as u64, 0, 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_READ)
+        .args([gp.region as u64, gp.offset as u64, 0, 0])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: Some(Arc::clone(&st.pending)),
-        })),
-    );
+        }) as am::Token)
+        .send();
     GetHandle { cell }
 }
 
@@ -273,16 +267,15 @@ pub fn put(ctx: &Ctx, gp: GlobalPtr, v: f64) {
     let _sp = ctx.span("sc.put");
     ctx.charge(Bucket::Runtime, st.costs.split_issue);
     st.pending.issue();
-    am::request(
-        ctx,
-        gp.node,
-        H_WRITE,
-        [gp.region as u64, gp.offset as u64, v.to_bits(), 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_WRITE)
+        .args([gp.region as u64, gp.offset as u64, v.to_bits(), 0])
+        .token(Box::new(ScToken {
             cell: None,
             pending: Some(Arc::clone(&st.pending)),
-        })),
-    );
+        }) as am::Token)
+        .send();
 }
 
 /// Wait for all outstanding split-phase operations issued by this node.
@@ -307,13 +300,11 @@ pub fn store(ctx: &Ctx, gp: GlobalPtr, v: f64) {
     let _sp = ctx.span("sc.store");
     ctx.charge(Bucket::Runtime, st.costs.split_issue);
     st.stores_sent.fetch_add(1, Ordering::AcqRel);
-    am::request(
-        ctx,
-        gp.node,
-        H_STORE,
-        [gp.region as u64, gp.offset as u64, v.to_bits(), 0],
-        None,
-    );
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_STORE)
+        .args([gp.region as u64, gp.offset as u64, v.to_bits(), 0])
+        .send();
 }
 
 /// Synchronous bulk read of `len` doubles starting at `gp`.
@@ -328,16 +319,15 @@ pub fn bulk_read(ctx: &Ctx, gp: GlobalPtr, len: usize) -> Vec<f64> {
     let _sp = ctx.span("sc.bulk_read");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        gp.node,
-        H_BULK_READ,
-        [gp.region as u64, gp.offset as u64, len as u64, 0],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_BULK_READ)
+        .args([gp.region as u64, gp.offset as u64, len as u64, 0])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.bulk_complete);
@@ -357,17 +347,16 @@ pub fn bulk_write(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
     let _sp = ctx.span("sc.bulk_write");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     let cell = ReplyCell::new();
-    am::request_bulk(
-        ctx,
-        gp.node,
-        H_BULK_WRITE,
-        [gp.region as u64, gp.offset as u64, 0, 0],
-        f64s_to_bytes(vals),
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_BULK_WRITE)
+        .args([gp.region as u64, gp.offset as u64, 0, 0])
+        .bulk(f64s_to_bytes(vals))
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.bulk_complete);
@@ -386,14 +375,12 @@ pub fn bulk_store(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
     let _sp = ctx.span("sc.bulk_store");
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     st.stores_sent.fetch_add(1, Ordering::AcqRel);
-    am::request_bulk(
-        ctx,
-        gp.node,
-        H_BULK_STORE,
-        [gp.region as u64, gp.offset as u64, 0, 0],
-        f64s_to_bytes(vals),
-        None,
-    );
+    am::endpoint(ctx)
+        .to(gp.node)
+        .handler(H_BULK_STORE)
+        .args([gp.region as u64, gp.offset as u64, 0, 0])
+        .bulk(f64s_to_bytes(vals))
+        .send();
 }
 
 /// Execute registered atomic function `fn_id` at `node` with up to three
@@ -413,16 +400,15 @@ pub fn atomic_rpc(ctx: &Ctx, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4
         return r;
     }
     let cell = ReplyCell::new();
-    am::request(
-        ctx,
-        node,
-        H_ATOMIC,
-        [fn_id as u64, args[0], args[1], args[2]],
-        Some(Box::new(ScToken {
+    am::endpoint(ctx)
+        .to(node)
+        .handler(H_ATOMIC)
+        .args([fn_id as u64, args[0], args[1], args[2]])
+        .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
-        })),
-    );
+        }) as am::Token)
+        .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.atomic_complete);

@@ -128,7 +128,7 @@ fn threads_and_am_interleave_without_losing_messages() {
             let mut handles = Vec::new();
             for i in 1..=10u64 {
                 handles.push(threads::spawn(&ctx, "sender", move |c| {
-                    am::request(&c, 1, 77, [i, 0, 0, 0], None);
+                    am::endpoint(&c).to(1).handler(77).args([i, 0, 0, 0]).send();
                 }));
             }
             for h in handles {
