@@ -91,4 +91,39 @@ EOF
 rm -f /tmp/ci_ablation_co.json
 echo "ablation coalescing smoke OK"
 
+echo "==> regress smoke (quick observability suite vs checked-in baseline)"
+# The perf-regression gate itself: rerun the quick-scale suite with metrics
+# on and diff every gated metric against the committed baseline (loose
+# per-metric tolerances; the binary exits nonzero on regression).
+./target/release/regress --quick --json /tmp/ci_regress.json >/dev/null
+python3 - <<'EOF' 2>/dev/null || node -e "
+  const d = JSON.parse(require('fs').readFileSync('/tmp/ci_regress.json'));
+  if (!(d.null_rmi.rtt_ns.p50 > 0)) throw new Error('empty null-RMI histogram');
+" 2>/dev/null || grep -q '"p50"' /tmp/ci_regress.json
+import json
+d = json.load(open("/tmp/ci_regress.json"))
+assert d["table"] == "regress" and d["schema_version"] >= 2
+assert d["null_rmi"]["rtt_ns"]["p50"] > 0, "empty null-RMI histogram"
+assert d["experiments"], "no experiment cells"
+assert all("hists" in e for e in d["experiments"].values())
+EOF
+rm -f /tmp/ci_regress.json
+echo "regress quick gate OK"
+
+echo "==> metrics no-registry overhead assertion"
+# The registry must be zero-cost when absent: 10k disabled metric_observe
+# calls may add at most 150 ns each over the no-hooks baseline run.
+cargo bench -p mpmd-bench --bench metrics_overhead | tee /tmp/ci_metrics_bench.out
+awk '
+  /bench metrics\/no_hooks_baseline:/ { base = $3 }
+  /bench metrics\/observe_disabled_x10k:/ { dis = $3 }
+  END {
+    if (base == "" || dis == "") { print "missing bench lines"; exit 1 }
+    per = (dis - base) / 10000
+    printf "disabled hook: %.0f ns/op (budget 150)\n", per
+    exit (per < 150) ? 0 : 1
+  }' /tmp/ci_metrics_bench.out
+rm -f /tmp/ci_metrics_bench.out
+echo "metrics gating overhead OK"
+
 echo "==> all checks passed"

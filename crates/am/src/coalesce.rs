@@ -205,6 +205,9 @@ pub(crate) fn flush_all(ctx: &Ctx, st: &AmState, p: &NetProfile) {
 /// charged as one header plus per-sub-message marshalling.
 fn send_frame(ctx: &Ctx, st: &AmState, dst: usize, mut msgs: Vec<AmMsg>, p: &NetProfile) {
     let n = msgs.len();
+    // Occupancy distribution at flush time (singletons included: a median of
+    // 1 says the buffers never get the chance to amortize anything).
+    ctx.metric_observe("am.coalesce_occupancy", n as u64);
     if n == 1 {
         ctx.charge(Bucket::Net, p.send_charge(false));
         raw_send(ctx, st, dst, msgs.pop().expect("singleton vanished"), 0, p);

@@ -131,6 +131,8 @@ pub fn poll(ctx: &Ctx) -> usize {
     // Yield so every network event due at or before our clock is visible.
     ctx.poll_point();
     ctx.with_stats(|s| s.polls += 1);
+    // Queue-depth distribution at poll entry: how far reception lags.
+    ctx.metric_inbox_depth("am.inbox_depth");
     let ran = if ctx.faults_enabled() {
         crate::reliable::poll_reliable(ctx, &st, &p)
     } else {

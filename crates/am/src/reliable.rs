@@ -325,6 +325,10 @@ fn retransmit_scan(ctx: &Ctx, st: &AmState, p: &NetProfile) {
         transmit(ctx, dst, &pkt, p);
         let mut rel = st.rel.lock();
         if let Some(u) = rel.unacked.get_mut(&(dst, seq)) {
+            // Distribution of the backoff that governed this retransmission
+            // (recorded before doubling): how deep the protocol is into its
+            // exponential schedule when the wire misbehaves.
+            ctx.metric_observe("am.retransmit_backoff_ns", u.backoff);
             u.backoff = (u.backoff * 2).min(rto_max);
             u.next_due = ctx.now() + u.backoff;
         }

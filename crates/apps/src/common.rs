@@ -1,6 +1,8 @@
 //! Shared measurement plumbing for the applications.
 
-use mpmd_sim::{Bucket, CostModel, Ctx, Report, Sim, Snapshot, Stats, Time};
+use mpmd_sim::{
+    Bucket, CostModel, Ctx, MetricsRegistry, Report, Sim, Snapshot, Stats, Time, TraceConfig,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -51,6 +53,9 @@ pub struct AppBreakdown {
     pub runtime: Time,
     /// Raw counters over the region.
     pub counts: Stats,
+    /// Latency/occupancy distributions over the region, when the run had
+    /// metrics enabled ([`CostModel::with_metrics`]); `None` otherwise.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl AppBreakdown {
@@ -64,6 +69,7 @@ impl AppBreakdown {
             thread_sync: r.bucket_total(Bucket::ThreadSync),
             runtime: r.bucket_total(Bucket::Runtime),
             counts: r.total_stats(),
+            metrics: r.metrics.clone(),
         }
     }
 
@@ -106,19 +112,40 @@ where
     T: Send + 'static,
     F: Fn(&Ctx) -> Option<T> + Send + Sync + 'static,
 {
+    run_collect_full(procs, cost, None, body).0
+}
+
+/// [`run_collect`] that also hands back the whole-run [`Report`] (cumulative
+/// stats, metrics, and — when `trace` is given — the event trace for
+/// [`mpmd_sim::fold_stacks`] / [`mpmd_sim::phase_profile`]).
+pub fn run_collect_full<T, F>(
+    procs: usize,
+    cost: CostModel,
+    trace: Option<TraceConfig>,
+    body: F,
+) -> (T, Report)
+where
+    T: Send + 'static,
+    F: Fn(&Ctx) -> Option<T> + Send + Sync + 'static,
+{
     let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
     let s2 = Arc::clone(&slot);
-    Sim::new(procs).cost_model(cost).run(move |ctx| {
+    let mut sim = Sim::new(procs).cost_model(cost);
+    if let Some(tc) = trace {
+        sim = sim.tracing(tc);
+    }
+    let report = sim.run(move |ctx| {
         if let Some(v) = body(&ctx) {
             let prev = s2.lock().replace(v);
             assert!(prev.is_none(), "two nodes produced a result");
         }
     });
-    Arc::try_unwrap(slot)
+    let out = Arc::try_unwrap(slot)
         .ok()
         .expect("simulation still holds the result slot")
         .into_inner()
-        .expect("no node produced a result")
+        .expect("no node produced a result");
+    (out, report)
 }
 
 /// Bracket a measured region: all nodes call this with a closure; node 0
@@ -185,6 +212,7 @@ mod tests {
             thread_sync: 5,
             runtime: 10,
             counts: Stats::default(),
+            metrics: None,
         };
         assert_eq!(b.busy_total(), 50);
         assert_eq!(b.components(), [10, 20, 5, 5, 10]);

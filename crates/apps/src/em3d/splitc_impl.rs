@@ -3,8 +3,10 @@
 use super::graph::{Em3dParams, Em3dValues, Graph};
 use super::plan::{phase_plan, PhasePlan};
 use super::{Em3dVersion, EDGE_FLOPS};
-use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
-use mpmd_sim::{CostModel, Ctx};
+use crate::common::{
+    charge_flops, run_collect, run_collect_full, AppBreakdown, AppRun, RegionTimer,
+};
+use mpmd_sim::{CostModel, Ctx, TraceConfig, TraceLog};
 use mpmd_splitc as sc;
 use mpmd_splitc::GlobalPtr;
 
@@ -48,6 +50,20 @@ pub fn run_splitc_coalesced(
     run_collect(p.procs, cost, move |ctx| {
         body(ctx, &p, version, coalescing.clone())
     })
+}
+
+/// [`run_splitc`] with event tracing on: returns the run plus its
+/// [`TraceLog`], ready for [`mpmd_sim::fold_stacks`] /
+/// [`mpmd_sim::phase_profile`].
+pub fn run_splitc_traced(p: &Em3dParams, version: Em3dVersion) -> (AppRun<Em3dValues>, TraceLog) {
+    let p = p.clone();
+    let (run, report) = run_collect_full(
+        p.procs,
+        CostModel::default(),
+        Some(TraceConfig::new()),
+        move |ctx| body(ctx, &p, version, None),
+    );
+    (run, report.trace.expect("tracing was enabled"))
 }
 
 fn body(

@@ -34,14 +34,20 @@ impl Cell {
 fn breakdown_fields(b: &AppBreakdown) -> Vec<(&'static str, serde_json::Value)> {
     use serde::Serialize as _;
     let comps = b.components();
-    vec![
+    let mut f = vec![
         ("elapsed_ns", b.elapsed.to_value()),
         (
             "components_ns",
             crate::fmt::bucket_object(|bk| comps[bk.index()].to_value()),
         ),
         ("counts", b.counts.to_value()),
-    ]
+    ];
+    // Present only when the run had metrics on, so metrics-off reports are
+    // byte-identical to pre-registry output.
+    if let Some(m) = &b.metrics {
+        f.push(("metrics", m.to_value()));
+    }
+    f
 }
 
 impl JsonReport for Cell {
@@ -239,6 +245,67 @@ pub fn run_fig6_lu(scale: Scale, jobs: usize) -> (Cell, Cell) {
     let sc = cells.next().expect("missing split-c cell");
     let cc = cells.next().expect("missing cc++ cell");
     (sc, cc)
+}
+
+/// The profiling/regression suite: every application kernel at one
+/// representative configuration (EM3D's three versions at remote fraction
+/// 1.0, Water's versions at the scale's molecule count, and LU), Split-C and
+/// CC++/ThAM, run under an explicit cost model. `msgprofile` and `regress`
+/// pass `CostModel::default().with_metrics()` so every cell carries its
+/// latency histograms and src→dst traffic matrix; the config order (and
+/// therefore the output) is fixed for any `jobs`.
+pub fn run_profile_suite(scale: Scale, cost: CostModel, jobs: usize) -> Vec<Cell> {
+    let mut units: Vec<Unit<Cell>> = Vec::new();
+    for &v in &Em3dVersion::ALL {
+        let p = em3d_params(scale, 1.0);
+        let n_units = (Graphish::edges(&p) * p.steps) as u64;
+        let (p2, c1, c2) = (p.clone(), cost.clone(), cost.clone());
+        units.push(Box::new(move || Cell {
+            lang: Lang::SplitC,
+            label: v.label().to_string(),
+            breakdown: em3d::run_splitc_cost(&p, v, c1).breakdown,
+            units: n_units,
+        }));
+        units.push(Box::new(move || Cell {
+            lang: Lang::Ccxx,
+            label: v.label().to_string(),
+            breakdown: em3d::run_ccxx(&p2, v, CcxxConfig::tham(), c2).breakdown,
+            units: n_units,
+        }));
+    }
+    let wsize = if scale == Scale::Paper { 64 } else { 16 };
+    for &v in &WaterVersion::ALL {
+        let p = water_params(scale, wsize);
+        let n_units = (p.n_mol * (p.n_mol - 1) / 2 * p.steps) as u64;
+        let (p2, c1, c2) = (p.clone(), cost.clone(), cost.clone());
+        units.push(Box::new(move || Cell {
+            lang: Lang::SplitC,
+            label: v.label().to_string(),
+            breakdown: water::run_splitc_cost(&p, v, c1).breakdown,
+            units: n_units,
+        }));
+        units.push(Box::new(move || Cell {
+            lang: Lang::Ccxx,
+            label: v.label().to_string(),
+            breakdown: water::run_ccxx(&p2, v, CcxxConfig::tham(), c2).breakdown,
+            units: n_units,
+        }));
+    }
+    let p = lu_params(scale);
+    let (p2, c1, c2) = (p.clone(), cost.clone(), cost);
+    units.push(Box::new(move || Cell {
+        lang: Lang::SplitC,
+        label: "sc-lu".to_string(),
+        breakdown: lu::run_splitc_cost(&p, c1).breakdown,
+        units: 1,
+    }));
+    units.push(Box::new(move || Cell {
+        lang: Lang::Ccxx,
+        label: "cc-lu".to_string(),
+        breakdown: lu::run_ccxx(&p2, CcxxConfig::tham(), c2).breakdown,
+        units: 1,
+    }));
+    run_jobs(units, jobs)
 }
 
 /// CC++/Nexus vs CC++/ThAM ratios per application (the paper's §6
@@ -579,6 +646,7 @@ mod golden_tests {
             thread_sync: 444,
             runtime: 55,
             counts,
+            metrics: None,
         }
     }
 

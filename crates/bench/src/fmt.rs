@@ -1,7 +1,14 @@
 //! Plain-text table formatting for the experiment binaries, plus the shared
 //! `--json <path>` machine-readable output flag.
 
+use serde::Serialize;
 use std::path::{Path, PathBuf};
+
+/// Version of the `--json` report schema shared by every experiment binary.
+/// Every top-level report object carries it as `"schema_version"`
+/// (inserted by [`write_json`]); bump it when a field changes meaning or
+/// shape so downstream consumers can detect incompatible output.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Split a `--json <path>` flag off a raw argument list (everything after
 /// the program name), returning the remaining positional arguments and the
@@ -115,6 +122,8 @@ pub fn bucket_object(f: impl Fn(mpmd_sim::Bucket) -> serde_json::Value) -> serde
 
 /// Write a JSON value to `path` (creating parent directories), with a
 /// trailing newline. Used by the experiment binaries for `--json` output.
+/// Top-level objects are stamped with [`SCHEMA_VERSION`] as
+/// `"schema_version"` so every report self-identifies its format.
 pub fn write_json(path: &Path, value: &serde_json::Value) {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -122,6 +131,16 @@ pub fn write_json(path: &Path, value: &serde_json::Value) {
                 .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
         }
     }
+    let stamped;
+    let value = match value {
+        serde_json::Value::Object(m) => {
+            let mut m = m.clone();
+            m.insert("schema_version".to_string(), SCHEMA_VERSION.to_value());
+            stamped = serde_json::Value::Object(m);
+            &stamped
+        }
+        other => other,
+    };
     let mut text = serde_json::to_string_pretty(value).expect("JSON serialization failed");
     text.push('\n');
     std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));

@@ -9,4 +9,5 @@
 pub mod experiments;
 pub mod fmt;
 pub mod micro;
+pub mod regress;
 pub mod runner;

@@ -1,0 +1,266 @@
+//! Perf-regression gate: diff a freshly measured observability report
+//! against a committed baseline with per-metric tolerances.
+//!
+//! The `regress` binary builds a report (null-RMI round-trip histogram plus
+//! the [`crate::experiments::run_profile_suite`] application cells), writes
+//! it to `results/BENCH_observability.json`, and compares it here against
+//! `crates/bench/testdata/regress_baseline_{quick,paper}.json`. Every
+//! numeric leaf of the report is gated: the tolerance is chosen by the
+//! metric's name (quantiles are loose, config echoes are exact), and a
+//! metric present on only one side fails loudly — an incomparable baseline
+//! must be regenerated, never silently skipped. Wall-clock fields and raw
+//! bucket arrays are the deliberate exceptions: wall time is
+//! machine-dependent, and bucket arrays are already summarized by the gated
+//! count/sum/quantile fields.
+
+use crate::fmt::SCHEMA_VERSION;
+use std::collections::BTreeMap;
+
+/// One out-of-tolerance (or missing) metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Dotted path of the metric inside the report.
+    pub metric: String,
+    /// Baseline value (`None`: the metric is new, absent from the baseline).
+    pub baseline: Option<f64>,
+    /// Current value (`None`: the metric disappeared from the report).
+    pub current: Option<f64>,
+    /// Relative tolerance (percent) the comparison applied.
+    pub tol_pct: f64,
+}
+
+impl Regression {
+    pub fn describe(&self) -> String {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) => {
+                let pct = if b != 0.0 {
+                    (c - b) / b.abs() * 100.0
+                } else {
+                    f64::INFINITY
+                };
+                format!(
+                    "{}: baseline {b} -> current {c} ({pct:+.1}%, tolerance ±{}%)",
+                    self.metric, self.tol_pct
+                )
+            }
+            (None, Some(c)) => format!(
+                "{}: new metric (current {c}, absent from baseline — regenerate it)",
+                self.metric
+            ),
+            (Some(b), None) => format!("{}: metric disappeared (baseline {b})", self.metric),
+            (None, None) => unreachable!("regression without any value"),
+        }
+    }
+}
+
+/// Tolerance rule for one metric path: relative tolerance in percent plus an
+/// absolute floor below which differences never count (so a 2 ns wiggle on a
+/// near-zero component cannot trip a relative gate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    pub rel_pct: f64,
+    pub abs_floor: f64,
+}
+
+/// The per-metric tolerance, chosen by path. `None` exempts the leaf from
+/// gating entirely (wall-clock, schema bookkeeping).
+pub fn tolerance_for(path: &str) -> Option<Tolerance> {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf == "schema_version" || leaf.contains("wall") {
+        return None;
+    }
+    let t = |rel_pct, abs_floor| Some(Tolerance { rel_pct, abs_floor });
+    match leaf {
+        // Config echoes must match exactly or the runs are incomparable.
+        "iters" | "units" | "procs" => t(0.0, 0.0),
+        // Histogram quantiles: bucket-resolution values, loosest gate.
+        "p50" | "p90" | "p99" | "min" | "max" | "mean" => t(15.0, 2_000.0),
+        "sum" => t(15.0, 2_000.0),
+        "count" => t(5.0, 5.0),
+        "elapsed_ns" => t(5.0, 1_000.0),
+        _ if path.contains("components_ns") => t(10.0, 10_000.0),
+        _ if path.contains("counts") => t(5.0, 5.0),
+        _ => t(10.0, 10.0),
+    }
+}
+
+/// Flatten a report into `dotted.path -> value` over its numeric leaves.
+/// Raw histogram bucket arrays are skipped (their shape shifts as buckets
+/// appear; the count/sum/quantile summary is what the gate compares).
+pub fn flatten(value: &serde_json::Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &serde_json::Value, path: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        serde_json::Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                out.insert(path, f);
+            }
+        }
+        serde_json::Value::Object(m) => {
+            for (k, v) in m {
+                if k == "buckets" {
+                    continue;
+                }
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(v, p, out);
+            }
+        }
+        serde_json::Value::Array(a) => {
+            for (i, v) in a.iter().enumerate() {
+                walk(v, format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare a current report against a baseline. Returns the out-of-tolerance
+/// metrics (empty: the gate passes), or `Err` when the two reports are not
+/// comparable at all (missing or mismatched `schema_version`).
+pub fn compare(
+    current: &serde_json::Value,
+    baseline: &serde_json::Value,
+) -> Result<Vec<Regression>, String> {
+    let schema = |v: &serde_json::Value, who: &str| -> Result<u64, String> {
+        v.get("schema_version")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("{who} report carries no schema_version"))
+    };
+    let cur_schema = schema(current, "current")?;
+    let base_schema = schema(baseline, "baseline")?;
+    if cur_schema != base_schema || cur_schema != SCHEMA_VERSION {
+        return Err(format!(
+            "incomparable baseline: schema_version {base_schema} vs current \
+             {cur_schema} (gate built for {SCHEMA_VERSION}); regenerate the \
+             baseline with --update-baseline"
+        ));
+    }
+    let cur = flatten(current);
+    let base = flatten(baseline);
+    let mut regressions = Vec::new();
+    for path in cur.keys().chain(base.keys()) {
+        let Some(tol) = tolerance_for(path) else {
+            continue;
+        };
+        let (c, b) = (cur.get(path).copied(), base.get(path).copied());
+        let failed = match (b, c) {
+            (Some(b), Some(c)) => {
+                let allowed = (tol.rel_pct / 100.0 * b.abs()).max(tol.abs_floor);
+                (c - b).abs() > allowed
+            }
+            _ => true,
+        };
+        if failed && regressions.iter().all(|r: &Regression| &r.metric != path) {
+            regressions.push(Regression {
+                metric: path.clone(),
+                baseline: b,
+                current: c,
+                tol_pct: tol.rel_pct,
+            });
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    fn report(elapsed: u64, p99: u64) -> serde_json::Value {
+        let text = format!(
+            r#"{{"schema_version": {SCHEMA_VERSION},
+                 "wall_clock_secs": 12.5,
+                 "experiments": {{
+                   "split-c ghost": {{
+                     "elapsed_ns": {elapsed},
+                     "hists": {{"sc.split_op_ns":
+                       {{"count": 100, "sum": 5300000, "p50": 53000,
+                         "p90": 60000, "p99": {p99},
+                         "buckets": [[32768, 100]]}}}}
+                   }}
+                 }}}}"#
+        );
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(1_000_000, 65_000);
+        assert_eq!(compare(&r, &r).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn wall_clock_and_buckets_are_not_gated() {
+        let a = report(1_000_000, 65_000);
+        let f = flatten(&a);
+        assert!(f.keys().all(|k| !k.contains("buckets")), "{f:?}");
+        // wall_clock flattens but the tolerance exempts it.
+        assert_eq!(tolerance_for("wall_clock_secs"), None);
+        assert_eq!(tolerance_for("experiments.x.wall_secs"), None);
+    }
+
+    #[test]
+    fn perturbation_beyond_tolerance_is_flagged() {
+        let base = report(1_000_000, 65_000);
+        // elapsed +20% trips the 5% gate; p99 +10% stays inside 15%.
+        let cur = report(1_200_000, 71_500);
+        let regs = compare(&cur, &base).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].metric.ends_with("elapsed_ns"));
+        assert!(
+            regs[0].describe().contains("+20.0%"),
+            "{}",
+            regs[0].describe()
+        );
+    }
+
+    #[test]
+    fn tiny_absolute_wiggle_is_ignored() {
+        let base = report(1_000_000, 65_000);
+        let mut cur = report(1_000_000, 65_000);
+        // +500 ns on elapsed is far over 0.05% relative but under the
+        // 1000 ns absolute floor.
+        if let serde_json::Value::Object(m) = &mut cur {
+            if let Some(serde_json::Value::Object(e)) = m.get_mut("experiments") {
+                if let Some(serde_json::Value::Object(g)) = e.get_mut("split-c ghost") {
+                    g.insert("elapsed_ns".into(), 1_000_500u64.to_value());
+                }
+            }
+        }
+        assert_eq!(compare(&cur, &base).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn asymmetric_metrics_fail_loudly() {
+        let base = report(1_000_000, 65_000);
+        let mut cur = report(1_000_000, 65_000);
+        if let serde_json::Value::Object(m) = &mut cur {
+            m.insert("null_rmi_p50".into(), 53_000u64.to_value());
+        }
+        let regs = compare(&cur, &base).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "null_rmi_p50");
+        assert_eq!(regs[0].baseline, None);
+        assert!(regs[0].describe().contains("new metric"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error_not_a_diff() {
+        let cur = report(1_000_000, 65_000);
+        let mut base = report(1_000_000, 65_000);
+        if let serde_json::Value::Object(m) = &mut base {
+            m.insert("schema_version".into(), (SCHEMA_VERSION - 1).to_value());
+        }
+        let err = compare(&cur, &base).unwrap_err();
+        assert!(err.contains("incomparable baseline"), "{err}");
+    }
+}

@@ -13,6 +13,7 @@ const BINS: &[(&str, &str)] = &[
     ("fig6", env!("CARGO_BIN_EXE_fig6")),
     ("msgprofile", env!("CARGO_BIN_EXE_msgprofile")),
     ("nexus_cmp", env!("CARGO_BIN_EXE_nexus_cmp")),
+    ("regress", env!("CARGO_BIN_EXE_regress")),
     ("scaling", env!("CARGO_BIN_EXE_scaling")),
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table4", env!("CARGO_BIN_EXE_table4")),

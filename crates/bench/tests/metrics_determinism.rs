@@ -1,0 +1,132 @@
+//! Determinism of the metrics registry: the serialized histograms, counters
+//! and traffic matrices must be byte-identical across worker counts and
+//! repeated seeded runs — with and without fault injection — because every
+//! sample is integer virtual-time recorded under the kernel lock in
+//! simulation order.
+
+use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
+use mpmd_apps::water::{self, WaterParams, WaterVersion};
+use mpmd_bench::runner::{run_jobs, Unit};
+use mpmd_ccxx::CcxxConfig;
+use mpmd_sim::{CostModel, FaultModel, MetricsRegistry};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn registry_json(m: &MetricsRegistry) -> String {
+    serde_json::to_string(&serde::Serialize::to_value(m)).unwrap()
+}
+
+/// Run a small cross-runtime suite under `cost` on `jobs` workers and
+/// serialize every run's registry to one JSON blob.
+fn suite_metrics_json(cost: CostModel, jobs: usize) -> String {
+    let em3d_p = Em3dParams {
+        graph_nodes: 160,
+        degree: 8,
+        procs: 4,
+        steps: 2,
+        remote_frac: 1.0,
+        seed: 42,
+    };
+    let water_p = WaterParams {
+        n_mol: 16,
+        procs: 4,
+        steps: 1,
+        seed: 1997,
+        box_size: 8.0,
+    };
+    let (p1, c1) = (em3d_p.clone(), cost.clone());
+    let (p2, c2) = (em3d_p, cost.clone());
+    let (p3, c3) = (water_p, cost);
+    let units: Vec<Unit<Option<MetricsRegistry>>> = vec![
+        Box::new(move || {
+            em3d::run_splitc_cost(&p1, Em3dVersion::Ghost, c1)
+                .breakdown
+                .metrics
+        }),
+        Box::new(move || {
+            em3d::run_ccxx(&p2, Em3dVersion::Ghost, CcxxConfig::tham(), c2)
+                .breakdown
+                .metrics
+        }),
+        Box::new(move || {
+            water::run_splitc_cost(&p3, WaterVersion::Atomic, c3)
+                .breakdown
+                .metrics
+        }),
+    ];
+    run_jobs(units, jobs)
+        .iter()
+        .map(|m| registry_json(m.as_ref().expect("metrics were enabled")))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn metrics_json_is_jobs_invariant_and_repeatable() {
+    let cost = || CostModel::default().with_metrics();
+    let j1 = suite_metrics_json(cost(), 1);
+    let j8 = suite_metrics_json(cost(), 8);
+    assert_eq!(j1, j8, "metrics JSON differs between -j1 and -j8");
+    let again = suite_metrics_json(cost(), 8);
+    assert_eq!(j8, again, "metrics JSON differs across repeated runs");
+    assert!(j1.contains("sc.split_op_ns"), "{j1}");
+}
+
+#[test]
+fn metrics_json_is_deterministic_under_faults() {
+    let cost = || {
+        CostModel::default()
+            .with_metrics()
+            .with_faults(FaultModel::uniform(1997, 0.05, 0.025, 0.05))
+    };
+    let j1 = suite_metrics_json(cost(), 1);
+    let j8 = suite_metrics_json(cost(), 8);
+    assert_eq!(j1, j8, "faulty metrics JSON differs between -j1 and -j8");
+    let again = suite_metrics_json(cost(), 8);
+    assert_eq!(
+        j8, again,
+        "faulty metrics JSON differs across repeated runs"
+    );
+    // The lossy wire exercises the retransmit-backoff histogram.
+    assert!(j1.contains("am.retransmit_backoff_ns"), "{j1}");
+}
+
+/// End-to-end: the msgprofile binary (suite + metrics + traffic matrices)
+/// must emit byte-identical stdout and JSON for any worker count.
+#[test]
+fn msgprofile_is_jobs_invariant() {
+    let bin = env!("CARGO_BIN_EXE_msgprofile");
+    let run = |jobs: &str, tag: &str| -> (Vec<u8>, Vec<u8>) {
+        let json_path: PathBuf = std::env::temp_dir().join(format!("mpmd_metrics_{tag}.json"));
+        let _ = std::fs::remove_file(&json_path);
+        let out = Command::new(bin)
+            .args(["--quick", "-j", jobs, "--json"])
+            .arg(&json_path)
+            .output()
+            .unwrap_or_else(|e| panic!("spawning msgprofile: {e}"));
+        assert!(
+            out.status.success(),
+            "msgprofile failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read(&json_path).expect("msgprofile wrote JSON");
+        let _ = std::fs::remove_file(&json_path);
+        (out.stdout, json)
+    };
+    let (out_a, json_a) = run("1", "j1");
+    let (out_b, json_b) = run("8", "j8");
+    assert_eq!(
+        json_a, json_b,
+        "msgprofile JSON differs between -j1 and -j8"
+    );
+    assert_eq!(
+        out_a, out_b,
+        "msgprofile stdout differs between -j1 and -j8"
+    );
+    let text = String::from_utf8_lossy(&json_a);
+    assert!(text.contains("\"metrics\""), "runs carry no metrics block");
+    assert!(
+        text.contains("net.msgs_to"),
+        "no traffic matrix in registry"
+    );
+}

@@ -257,6 +257,9 @@ fn rmi_inner(
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
+    // Round-trip latency distribution, issue to reply-in-hand. Covers every
+    // call mode; the mode mix is whatever the application issued.
+    let rmi_t0 = ctx.metric_now();
     // "rmi.marshal" covers the initiator-side request construction: issue
     // overhead, stub-cache lookup, blocking plumbing and wire-image assembly.
     // (Argument serialization proper is charged in `MarshalBuf::push`, which
@@ -363,6 +366,9 @@ fn rmi_inner(
         }
     }
     ctx.span_end(sp_unmarshal);
+    if let Some(t0) = rmi_t0 {
+        ctx.metric_observe_since("ccxx.rmi_rtt_ns", t0);
+    }
     RmiRet {
         words: cell.words(),
         data,

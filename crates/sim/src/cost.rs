@@ -266,6 +266,12 @@ pub struct CostModel {
     /// Fault-injection model; `None` (the default) leaves the wire perfect
     /// and the AM layer's reliability machinery disabled.
     pub faults: Option<FaultModel>,
+    /// Install a [`MetricsRegistry`](crate::MetricsRegistry) for the run
+    /// (equivalent to [`Sim::metrics`](crate::Sim::metrics); carried here so
+    /// measurement harnesses can enable metrics through app entry points
+    /// that already accept a cost model). Off by default: the recording
+    /// hooks are then no-ops, exactly like the tracer's.
+    pub metrics: bool,
 }
 
 impl CostModel {
@@ -276,12 +282,19 @@ impl CostModel {
             reliability: ReliabilityCosts::free(),
             coalescing: CoalesceCosts::free(),
             faults: None,
+            metrics: false,
         }
     }
 
     /// This cost model with `faults` installed.
     pub fn with_faults(mut self, faults: FaultModel) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// This cost model with metrics collection enabled.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
         self
     }
 }

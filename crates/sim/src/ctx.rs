@@ -357,6 +357,79 @@ impl Ctx {
         self.inner.kernel.lock().tracer.is_some()
     }
 
+    /// Whether a metrics registry is installed (so callers can skip
+    /// computing observation values when metrics are off).
+    pub fn metrics_enabled(&self) -> bool {
+        self.inner.kernel.lock().metrics.is_some()
+    }
+
+    /// This node's current clock, but only when a metrics registry is
+    /// installed — the one-lock way to grab a latency-measurement start
+    /// timestamp that costs nothing (beyond the lock) when metrics are off.
+    /// Pair with [`Ctx::metric_observe_since`].
+    pub fn metric_now(&self) -> Option<Time> {
+        let k = self.inner.kernel.lock();
+        k.metrics.is_some().then(|| k.nodes[self.node].clock)
+    }
+
+    /// Record `v` into this node's histogram `name`. No-op when no registry
+    /// is installed.
+    pub fn metric_observe(&self, name: &'static str, v: u64) {
+        let mut k = self.inner.kernel.lock();
+        if let Some(m) = k.metrics.as_mut() {
+            m.observe(self.node, name, v);
+        }
+    }
+
+    /// Record the elapsed virtual time since `t0` (a timestamp from
+    /// [`Ctx::metric_now`]) into histogram `name`. No-op when no registry is
+    /// installed.
+    pub fn metric_observe_since(&self, name: &'static str, t0: Time) {
+        let mut k = self.inner.kernel.lock();
+        let now = k.nodes[self.node].clock;
+        if let Some(m) = k.metrics.as_mut() {
+            m.observe(self.node, name, now.saturating_sub(t0));
+        }
+    }
+
+    /// Record this node's current inbox depth into histogram `name` (depth
+    /// is read under the same lock acquisition). No-op when no registry is
+    /// installed.
+    pub fn metric_inbox_depth(&self, name: &'static str) {
+        let mut k = self.inner.kernel.lock();
+        let depth = k.nodes[self.node].inbox.len() as u64;
+        if let Some(m) = k.metrics.as_mut() {
+            m.observe(self.node, name, depth);
+        }
+    }
+
+    /// Add `delta` to this node's counter `name`. No-op when no registry is
+    /// installed.
+    pub fn metric_counter_add(&self, name: &'static str, delta: u64) {
+        let mut k = self.inner.kernel.lock();
+        if let Some(m) = k.metrics.as_mut() {
+            m.counter_add(self.node, name, delta);
+        }
+    }
+
+    /// Add `delta` to this node's keyed counter `name[key]` (e.g. per-peer
+    /// tallies). No-op when no registry is installed.
+    pub fn metric_keyed_add(&self, name: &'static str, key: u64, delta: u64) {
+        let mut k = self.inner.kernel.lock();
+        if let Some(m) = k.metrics.as_mut() {
+            m.keyed_add(self.node, name, key, delta);
+        }
+    }
+
+    /// Set this node's gauge `name` to `v`. No-op when no registry is
+    /// installed.
+    pub fn metric_gauge_set(&self, name: &'static str, v: u64) {
+        let mut k = self.inner.kernel.lock();
+        if let Some(m) = k.metrics.as_mut() {
+            m.gauge_set(self.node, name, v);
+        }
+    }
+
     /// Open a named span frame on this task. Returns the sentinel
     /// `SpanId(0)` when tracing is off (then [`Ctx::span_end`] is a no-op).
     ///

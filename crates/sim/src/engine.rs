@@ -48,6 +48,7 @@ pub struct Sim {
     nodes: usize,
     cost: CostModel,
     trace: Option<TraceConfig>,
+    metrics: bool,
 }
 
 impl Sim {
@@ -59,6 +60,7 @@ impl Sim {
             nodes,
             cost: CostModel::default(),
             trace: None,
+            metrics: false,
         }
     }
 
@@ -82,6 +84,24 @@ impl Sim {
     /// ```
     pub fn tracing(mut self, config: TraceConfig) -> Self {
         self.trace = Some(config);
+        self
+    }
+
+    /// Enable the metrics registry. The filled
+    /// [`MetricsRegistry`](crate::MetricsRegistry) is returned on
+    /// [`Report::metrics`](crate::Report::metrics) after the run.
+    ///
+    /// ```
+    /// use mpmd_sim::{Sim, Bucket};
+    ///
+    /// let report = Sim::new(2).metrics(true).run(|ctx| {
+    ///     ctx.metric_observe("demo.latency_ns", 1_000);
+    /// });
+    /// let m = report.metrics.expect("registry was installed");
+    /// assert_eq!(m.hist("demo.latency_ns").unwrap().count, 2);
+    /// ```
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
         self
     }
 
@@ -112,8 +132,9 @@ impl Sim {
         F: Fn(Ctx) + Send + Sync + 'static,
     {
         let faults = self.cost.faults.clone();
+        let metrics = self.metrics || self.cost.metrics;
         let inner = Arc::new(SimInner {
-            kernel: Mutex::new(Kernel::new(self.nodes, self.trace, faults)),
+            kernel: Mutex::new(Kernel::new(self.nodes, self.trace, metrics, faults)),
             pool: TaskPool::new(),
             gate: EngineGate::new(),
             cost: self.cost,
@@ -129,12 +150,14 @@ impl Sim {
         // cloning each Stats block — the kernel is done after this.
         let mut k = inner.kernel.lock();
         let trace = k.tracer.take().map(|t| t.finish());
+        let metrics = k.metrics.take();
         let nodes = std::mem::take(&mut k.nodes);
         drop(k);
         Report {
             clocks: nodes.iter().map(|n| n.clock).collect(),
             stats: nodes.into_iter().map(|n| n.stats).collect(),
             trace,
+            metrics,
         }
     }
 }
@@ -320,5 +343,6 @@ pub(crate) fn snapshot(inner: &SimInner) -> Snapshot {
     Snapshot {
         clocks: k.nodes.iter().map(|n| n.clock).collect(),
         stats: k.nodes.iter().map(|n| n.stats.clone()).collect(),
+        metrics: k.metrics.clone(),
     }
 }

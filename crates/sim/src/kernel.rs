@@ -6,6 +6,7 @@
 //! exists to satisfy the borrow checker across OS-thread boundaries.
 
 use crate::event::{Event, EventKind, Msg};
+use crate::metrics::MetricsRegistry;
 use crate::stats::Stats;
 use crate::task::{HandoffCell, TaskId};
 use crate::time::Time;
@@ -98,6 +99,9 @@ pub(crate) struct Kernel {
     /// Captured panic payload from a task body, re-raised by the engine.
     pub(crate) panic: Option<Box<dyn Any + Send>>,
     pub(crate) tracer: Option<Tracer>,
+    /// Installed metrics registry; `None` (the default) makes every
+    /// recording hook a no-op, mirroring the tracer's gating discipline.
+    pub(crate) metrics: Option<MetricsRegistry>,
     /// Installed fault model plus its seeded decision stream.
     pub(crate) faults: Option<FaultState>,
 }
@@ -162,6 +166,7 @@ impl Kernel {
     pub(crate) fn new(
         nodes: usize,
         trace: Option<TraceConfig>,
+        metrics: bool,
         faults: Option<crate::cost::FaultModel>,
     ) -> Self {
         Kernel {
@@ -175,6 +180,7 @@ impl Kernel {
             shutting_down: false,
             panic: None,
             tracer: trace.map(|cfg| Tracer::new(nodes, cfg)),
+            metrics: metrics.then(|| MetricsRegistry::new(nodes)),
             faults: faults.map(FaultState::new),
         }
     }
@@ -280,6 +286,10 @@ impl Kernel {
         if daemon {
             self.live_daemons += 1;
         }
+        if let Some(m) = self.metrics.as_mut() {
+            m.counter_add(node, "sched.tasks_spawned", 1);
+            m.gauge_set(node, "sched.live_tasks", self.live as u64);
+        }
         self.enqueue_ready_back(node, id);
         // Trace payloads are only built when a tracer is installed — the
         // name clone here is pure waste otherwise.
@@ -300,6 +310,12 @@ impl Kernel {
         self.nodes[src].stats.msgs_sent += 1;
         self.nodes[src].stats.bytes_sent += msg.wire_bytes as u64;
         self.nodes[src].stats.msg_size_hist[crate::stats::size_bucket(msg.wire_bytes)] += 1;
+        // Source-side traffic matrix (who sends what where): `msgprofile`
+        // and `regress` read these keyed counters back out of the registry.
+        if let Some(m) = self.metrics.as_mut() {
+            m.keyed_add(src, "net.msgs_to", dst as u64, 1);
+            m.keyed_add(src, "net.bytes_to", dst as u64, msg.wire_bytes as u64);
+        }
         let seq = self.next_seq();
         self.emit(
             src,
@@ -411,9 +427,13 @@ impl Kernel {
         rec.state = TaskState::Finished;
         let daemon = rec.daemon;
         let joiners = std::mem::take(&mut rec.joiners);
+        let node = rec.node;
         self.live -= 1;
         if daemon {
             self.live_daemons -= 1;
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.gauge_set(node, "sched.live_tasks", self.live as u64);
         }
         for j in joiners {
             if self.tasks[j.idx()].state == TaskState::Parked {

@@ -27,7 +27,9 @@ mod cost;
 mod ctx;
 mod engine;
 mod event;
+pub mod flame;
 mod kernel;
+pub mod metrics;
 mod report;
 mod stats;
 mod task;
@@ -38,7 +40,9 @@ pub use cost::{CoalesceCosts, CostModel, FaultModel, LinkFaults, ReliabilityCost
 pub use ctx::{Ctx, SpanGuard};
 pub use engine::Sim;
 pub use event::Msg;
+pub use flame::{fold_stacks, phase_profile, Phase};
 pub use kernel::FaultDecision;
+pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, HIST_BUCKETS};
 pub use report::{Report, Snapshot};
 pub use stats::{size_bucket, size_bucket_limit, Bucket, Stats, NUM_BUCKETS};
 pub use task::TaskId;

@@ -1,5 +1,6 @@
 //! End-of-run (and mid-run snapshot) reporting.
 
+use crate::metrics::MetricsRegistry;
 use crate::stats::{Bucket, Stats};
 use crate::time::{to_us, Time};
 use crate::trace::TraceLog;
@@ -11,6 +12,8 @@ use crate::trace::TraceLog;
 pub struct Snapshot {
     pub clocks: Vec<Time>,
     pub stats: Vec<Stats>,
+    /// Cumulative metrics at capture time, when a registry is installed.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Snapshot {
@@ -31,6 +34,10 @@ impl Snapshot {
                 .map(|(a, b)| b.since(a))
                 .collect(),
             trace: None,
+            metrics: match (&self.metrics, &later.metrics) {
+                (Some(a), Some(b)) => Some(b.since(a)),
+                _ => None,
+            },
         }
     }
 }
@@ -48,6 +55,11 @@ pub struct Report {
     /// ([`Snapshot::until`]) carry `None`; the full-run log stays on the
     /// final report.
     pub trace: Option<TraceLog>,
+    /// Metrics registry, present when the run used
+    /// [`Sim::metrics`](crate::Sim::metrics) (or a cost model with
+    /// [`CostModel::with_metrics`](crate::CostModel::with_metrics)).
+    /// Snapshot-interval reports carry the interval difference.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl Report {
@@ -138,6 +150,11 @@ impl serde::Serialize for Report {
             "bucket_totals_ns".to_string(),
             serde::Value::Object(buckets),
         );
+        // Only present when a registry was installed, so metrics-off runs
+        // keep byte-identical JSON output.
+        if let Some(m) = &self.metrics {
+            map.insert("metrics".to_string(), m.to_value());
+        }
         serde::Value::Object(map)
     }
 }
@@ -163,6 +180,7 @@ mod tests {
             clocks,
             stats,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -177,6 +195,7 @@ mod tests {
         let a = Snapshot {
             clocks: vec![100, 200],
             stats: vec![Stats::default(), Stats::default()],
+            metrics: None,
         };
         let s1 = Stats {
             msgs_sent: 7,
@@ -185,6 +204,7 @@ mod tests {
         let b = Snapshot {
             clocks: vec![150, 260],
             stats: vec![s1, Stats::default()],
+            metrics: None,
         };
         let r = a.until(&b);
         assert_eq!(r.clocks, vec![50, 60]);
@@ -202,6 +222,7 @@ mod tests {
             clocks: vec![100],
             stats: vec![st],
             trace: None,
+            metrics: None,
         };
         // residual = 100 - (30 + 20) = 50 (includes the 10 charged + 40 idle)
         assert_eq!(r.net_component(), 50);

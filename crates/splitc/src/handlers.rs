@@ -30,6 +30,9 @@ pub(crate) struct ScToken {
     pub(crate) cell: Option<Arc<ReplyCell>>,
     /// Split-phase bookkeeping: decremented when the reply arrives.
     pub(crate) pending: Option<Arc<PendingCounter>>,
+    /// Issue timestamp of a split-phase op (set only when metrics are on):
+    /// the reply handler turns it into the issue→completion latency.
+    pub(crate) issued: Option<mpmd_sim::Time>,
 }
 
 fn take_token(m: &mut AmMsg) -> ScToken {
@@ -182,6 +185,9 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
             let st = ScState::get(ctx);
             ctx.charge(Bucket::Runtime, st.costs.split_complete);
             p.complete();
+            if let Some(t0) = tok.issued {
+                ctx.metric_observe_since("sc.split_op_ns", t0);
+            }
         }
         if let Some(c) = &tok.cell {
             c.complete(m.args);
@@ -194,6 +200,9 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
             let st = ScState::get(ctx);
             ctx.charge(Bucket::Runtime, st.costs.split_complete);
             p.complete();
+            if let Some(t0) = tok.issued {
+                ctx.metric_observe_since("sc.split_op_ns", t0);
+            }
         }
         if let Some(c) = &tok.cell {
             c.complete_with_data(m.args, m.data.expect("data reply without payload"));

@@ -41,6 +41,8 @@ pub fn read(ctx: &Ctx, gp: GlobalPtr) -> f64 {
         return v;
     }
     let _sp = ctx.span("sc.read");
+    // End-to-end latency of the blocking access, issue to value-in-hand.
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
     am::endpoint(ctx)
@@ -50,11 +52,15 @@ pub fn read(ctx: &Ctx, gp: GlobalPtr) -> f64 {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.sync_read_ns", t0);
+    }
     f64::from_bits(cell.words()[0])
 }
 
@@ -68,6 +74,7 @@ pub fn write(ctx: &Ctx, gp: GlobalPtr, v: f64) {
         return;
     }
     let _sp = ctx.span("sc.write");
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
     am::endpoint(ctx)
@@ -77,11 +84,15 @@ pub fn write(ctx: &Ctx, gp: GlobalPtr, v: f64) {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.sync_write_ns", t0);
+    }
 }
 
 /// Synchronously read three consecutive doubles through a global pointer
@@ -96,6 +107,7 @@ pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
         return [r[gp.offset], r[gp.offset + 1], r[gp.offset + 2]];
     }
     let _sp = ctx.span("sc.read_vec3");
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.sync_access_issue);
     let cell = ReplyCell::new();
     am::endpoint(ctx)
@@ -105,11 +117,15 @@ pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.sync_access_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.sync_read_ns", t0);
+    }
     let w = cell.words();
     [
         f64::from_bits(w[0]),
@@ -134,6 +150,7 @@ pub fn atomic_add3(ctx: &Ctx, gp: GlobalPtr, deltas: [f64; 3]) {
         return;
     }
     let _sp = ctx.span("sc.atomic_add3");
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.atomic_issue);
     let cell = ReplyCell::new();
     am::endpoint(ctx)
@@ -148,11 +165,15 @@ pub fn atomic_add3(ctx: &Ctx, gp: GlobalPtr, deltas: [f64; 3]) {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.atomic_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.atomic_ns", t0);
+    }
 }
 
 /// Handle to a split-phase bulk read; data is available after [`sync`].
@@ -204,6 +225,7 @@ pub fn get_bulk(ctx: &Ctx, gp: GlobalPtr, len: usize) -> BulkGetHandle {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: Some(Arc::clone(&st.pending)),
+            issued: ctx.metric_now(),
         }) as am::Token)
         .send();
     BulkGetHandle { cell, local: None }
@@ -249,6 +271,7 @@ pub fn get(ctx: &Ctx, gp: GlobalPtr) -> GetHandle {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: Some(Arc::clone(&st.pending)),
+            issued: ctx.metric_now(),
         }) as am::Token)
         .send();
     GetHandle { cell }
@@ -274,6 +297,7 @@ pub fn put(ctx: &Ctx, gp: GlobalPtr, v: f64) {
         .token(Box::new(ScToken {
             cell: None,
             pending: Some(Arc::clone(&st.pending)),
+            issued: ctx.metric_now(),
         }) as am::Token)
         .send();
 }
@@ -317,6 +341,7 @@ pub fn bulk_read(ctx: &Ctx, gp: GlobalPtr, len: usize) -> Vec<f64> {
         return r[gp.offset..gp.offset + len].to_vec();
     }
     let _sp = ctx.span("sc.bulk_read");
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     let cell = ReplyCell::new();
     am::endpoint(ctx)
@@ -326,11 +351,15 @@ pub fn bulk_read(ctx: &Ctx, gp: GlobalPtr, len: usize) -> Vec<f64> {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.bulk_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.bulk_read_ns", t0);
+    }
     crate::state::bytes_to_f64s(&cell.take_data().expect("bulk read reply without data"))
 }
 
@@ -345,6 +374,7 @@ pub fn bulk_write(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
         return;
     }
     let _sp = ctx.span("sc.bulk_write");
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.bulk_issue);
     let cell = ReplyCell::new();
     am::endpoint(ctx)
@@ -355,11 +385,15 @@ pub fn bulk_write(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.bulk_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.bulk_write_ns", t0);
+    }
 }
 
 /// One-way bulk store (em3d-bulk and sc-lu's pivot pushes).
@@ -388,6 +422,7 @@ pub fn bulk_store(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
 pub fn atomic_rpc(ctx: &Ctx, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4] {
     let st = ScState::get(ctx);
     let _sp = ctx.span("sc.atomic");
+    let t0 = ctx.metric_now();
     ctx.charge(Bucket::Runtime, st.costs.atomic_issue);
     if node == ctx.node() {
         // Local atomic: a single-threaded node runs it directly.
@@ -407,11 +442,15 @@ pub fn atomic_rpc(ctx: &Ctx, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4
         .token(Box::new(ScToken {
             cell: Some(Arc::clone(&cell)),
             pending: None,
+            issued: None,
         }) as am::Token)
         .send();
     let c2 = Arc::clone(&cell);
     am::wait_until(ctx, move || c2.is_done());
     ctx.charge(Bucket::Runtime, st.costs.atomic_complete);
+    if let Some(t0) = t0 {
+        ctx.metric_observe_since("sc.atomic_ns", t0);
+    }
     cell.words()
 }
 

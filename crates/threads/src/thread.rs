@@ -40,6 +40,7 @@ where
     let cost = ctx.cost().threads.create;
     ctx.charge(Bucket::ThreadMgmt, cost);
     ctx.with_stats(|s| s.thread_creates += 1);
+    ctx.metric_observe("thr.create_ns", cost);
     Thread {
         id: ctx.spawn(name, f),
     }
@@ -57,6 +58,7 @@ pub fn charge_context_switch(ctx: &Ctx) {
     let cost = ctx.cost().threads.context_switch;
     ctx.charge(Bucket::ThreadMgmt, cost);
     ctx.with_stats(|s| s.context_switches += 1);
+    ctx.metric_observe("thr.switch_ns", cost);
 }
 
 /// Charge and count one synchronization operation (a lock, unlock, signal or
@@ -65,6 +67,7 @@ pub fn charge_sync_op(ctx: &Ctx) {
     let cost = ctx.cost().threads.sync_op;
     ctx.charge(Bucket::ThreadSync, cost);
     ctx.with_stats(|s| s.sync_ops += 1);
+    ctx.metric_observe("thr.sync_ns", cost);
 }
 
 #[cfg(test)]

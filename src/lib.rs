@@ -37,5 +37,8 @@ pub mod prelude {
     pub use mpmd_apps::lu::{LuOutput, LuParams};
     pub use mpmd_apps::water::{WaterOutput, WaterParams, WaterVersion};
     pub use mpmd_ccxx::CcxxConfig;
-    pub use mpmd_sim::{CoalesceCosts, CostModel, Ctx, FaultModel, Sim, Stats, Time};
+    pub use mpmd_sim::{
+        fold_stacks, phase_profile, CoalesceCosts, CostModel, Ctx, FaultModel, Histogram,
+        MetricsRegistry, Sim, Stats, Time,
+    };
 }
