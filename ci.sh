@@ -110,6 +110,28 @@ EOF
 rm -f /tmp/ci_regress.json
 echo "regress quick gate OK"
 
+echo "==> fastpath wall-clock gate (null-RMI throughput + quick fig5)"
+# Short-message fast path: null-RMI throughput (best of three wall-clock
+# reps) must stay within 10% of the committed results/BENCH_fastpath.json,
+# and the deterministic virtual RTT must match it exactly. The run refreshes
+# the results file in place; git diff shows the new numbers.
+./target/release/regress --fastpath
+echo "fastpath gate OK"
+
+echo "==> zero-allocation fast-path proof"
+# A counting global allocator brackets 1000 short-message round trips (must
+# be exactly 0 heap allocations) and 1000 AM bulk sends (bounded); the bench
+# aborts on regression.
+cargo bench -p mpmd-bench --bench alloc_count 2>/dev/null | grep '^alloc_count/'
+echo "alloc_count bounds OK"
+
+echo "==> clippy: no boxed returns on the fast path"
+# The zero-alloc path must not regrow Box-returning APIs in the touched
+# crates (sim, am, ccxx/splitc, bench).
+cargo clippy -p mpmd-sim -p mpmd-am -p mpmd-ccxx -p mpmd-splitc -p mpmd-bench \
+    --all-targets -- -D warnings -D clippy::unnecessary_box_returns
+echo "unnecessary_box_returns clean"
+
 echo "==> metrics no-registry overhead assertion"
 # The registry must be zero-cost when absent: 10k disabled metric_observe
 # calls may add at most 150 ns each over the no-hooks baseline run.

@@ -26,10 +26,11 @@
 //!
 //! **Ordering.** Appends keep program order inside a buffer, a flush sends
 //! the buffer before any later message to the same destination (bulk sends
-//! flush their destination first), and on a fault-free wire every
-//! coalesced-path frame's arrival is clamped to land strictly after the
-//! previous frame's on that link — so per-(src,dst) delivery order always
-//! equals program order. Under a fault model the aggregate travels as one
+//! flush their destination first), and on a fault-free wire every send on
+//! the coalesced path — aggregate frames, flushed singletons, *and* bulk
+//! messages — has its arrival clamped to land strictly after the previous
+//! send's on that link, so per-(src,dst) delivery order always equals
+//! program order even when a small message follows a large frame. Under a fault model the aggregate travels as one
 //! sequenced frame of the PR-3 reliable protocol (a retransmit re-sends the
 //! whole frame), and the per-link sequence space provides the ordering.
 
@@ -233,11 +234,20 @@ fn send_frame(ctx: &Ctx, st: &AmState, dst: usize, mut msgs: Vec<AmMsg>, p: &Net
     raw_send(ctx, st, dst, frame, data_len, p);
 }
 
-/// The wire leg of a flush. Reliable mode sequences the frame (per-link
+/// The wire leg of every coalesced-path send (flushed frames and, via
+/// `send_inner`, bulk messages). Reliable mode sequences the frame (per-link
 /// ordering comes from the protocol); on a fault-free wire the arrival is
-/// clamped past the previous frame's so variable frame sizes cannot reorder
-/// the link.
-fn raw_send(ctx: &Ctx, st: &AmState, dst: usize, msg: AmMsg, data_len: usize, p: &NetProfile) {
+/// clamped past the previous send's so variable sizes cannot reorder the
+/// link — without the clamp a small bulk message could overtake the large
+/// aggregate frame its own flush just emitted.
+pub(crate) fn raw_send(
+    ctx: &Ctx,
+    st: &AmState,
+    dst: usize,
+    msg: AmMsg,
+    data_len: usize,
+    p: &NetProfile,
+) {
     if ctx.faults_enabled() {
         crate::reliable::send(ctx, st, dst, msg, data_len, p);
         return;
@@ -255,7 +265,7 @@ fn raw_send(ctx: &Ctx, st: &AmState, dst: usize, msg: AmMsg, data_len: usize, p:
         }
         *floor = now + delay;
     }
-    ctx.send_msg(dst, SHORT_WIRE_BYTES + data_len, delay, Box::new(msg));
+    ctx.send_msg(dst, SHORT_WIRE_BYTES + data_len, delay, msg.into_payload());
 }
 
 /// Unpack and dispatch a received aggregate frame: one receive overhead for

@@ -39,6 +39,7 @@ pub use reply::{PendingCounter, ReplyCell};
 pub use state::{init, is_registered, profile, register, Handler, HandlerId};
 
 use bytes::Bytes;
+use mpmd_sim::Payload;
 
 /// A delivered active message, as seen by its handler.
 pub struct AmMsg {
@@ -52,6 +53,58 @@ pub struct AmMsg {
     pub data: Option<Bytes>,
     /// Opaque continuation (reply-buffer "address").
     pub token: Option<Token>,
+}
+
+impl AmMsg {
+    /// Lower to the simulator's wire payload. A short message travels fully
+    /// inline ([`Payload::Short`]) — the send allocates nothing; a bulk
+    /// message adds its reference-counted byte payload.
+    pub(crate) fn into_payload(self) -> Payload {
+        match self.data {
+            Some(data) => Payload::Bulk {
+                handler: self.handler,
+                args: self.args,
+                data,
+                token: self.token,
+            },
+            None => Payload::Short {
+                handler: self.handler,
+                args: self.args,
+                token: self.token,
+            },
+        }
+    }
+
+    /// Rebuild from a delivered wire payload (the sender's node id comes
+    /// from the message envelope).
+    pub(crate) fn from_payload(src: usize, p: Payload) -> AmMsg {
+        match p {
+            Payload::Short {
+                handler,
+                args,
+                token,
+            } => AmMsg {
+                src,
+                handler,
+                args,
+                data: None,
+                token,
+            },
+            Payload::Bulk {
+                handler,
+                args,
+                data,
+                token,
+            } => AmMsg {
+                src,
+                handler,
+                args,
+                data: Some(data),
+                token,
+            },
+            Payload::Any(_) => panic!("non-AM message in inbox"),
+        }
+    }
 }
 
 #[cfg(test)]

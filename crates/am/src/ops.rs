@@ -75,18 +75,28 @@ pub(crate) fn send_inner(
             return;
         }
         // A bulk message overtaking buffered shorts would break program
-        // order on this link: flush them first.
+        // order on this link: flush them first, then send on the same
+        // floor-clamped wire leg so the (small) bulk message cannot land
+        // before the (large) aggregate frame that flush just emitted.
         crate::coalesce::flush_dst(ctx, &st, dst, &p);
+        ctx.charge(Bucket::Net, p.send_charge(bulk));
+        crate::coalesce::raw_send(ctx, &st, dst, msg, bytes, &p);
+        if p.poll_on_send {
+            poll(ctx);
+        }
+        return;
     }
     ctx.charge(Bucket::Net, p.send_charge(bulk));
     if ctx.faults_enabled() {
         crate::reliable::send(ctx, &st, dst, msg, bytes, &p);
     } else {
+        // Allocation-free for short messages: the payload travels inline
+        // and the delivery event's body comes from the kernel's slab pool.
         ctx.send_msg(
             dst,
             SHORT_WIRE_BYTES + bytes,
             p.wire_delay(bytes),
-            Box::new(msg),
+            msg.into_payload(),
         );
     }
     if p.poll_on_send {
@@ -138,11 +148,8 @@ pub fn poll(ctx: &Ctx) -> usize {
     } else {
         let mut ran = 0;
         while let Some(m) = ctx.try_recv() {
-            let am = m
-                .payload
-                .downcast::<AmMsg>()
-                .expect("non-AM message in inbox");
-            ran += dispatch(ctx, &st, &p, *am);
+            let am = AmMsg::from_payload(m.src, m.payload);
+            ran += dispatch(ctx, &st, &p, am);
         }
         ran
     };

@@ -35,7 +35,7 @@
 use crate::profile::NetProfile;
 use crate::state::AmState;
 use crate::AmMsg;
-use mpmd_sim::{Bucket, Ctx, Time};
+use mpmd_sim::{Bucket, Ctx, Payload, Time};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -153,7 +153,7 @@ fn transmit(ctx: &Ctx, dst: usize, pkt: &Arc<RelPacket>, p: &NetProfile) {
             dst,
             pkt.wire_bytes,
             delay,
-            Box::new(RelFrame::Data(Arc::clone(pkt))),
+            Payload::any(RelFrame::Data(Arc::clone(pkt))),
         );
     }
     if d.duplicate {
@@ -162,7 +162,7 @@ fn transmit(ctx: &Ctx, dst: usize, pkt: &Arc<RelPacket>, p: &NetProfile) {
             dst,
             pkt.wire_bytes,
             delay,
-            Box::new(RelFrame::Data(Arc::clone(pkt))),
+            Payload::any(RelFrame::Data(Arc::clone(pkt))),
         );
     }
 }
@@ -181,7 +181,7 @@ fn send_ack(ctx: &Ctx, dst: usize, cum: u64, p: &NetProfile) {
             dst,
             SHORT_WIRE_BYTES,
             delay,
-            Box::new(RelFrame::Ack { cum }),
+            Payload::any(RelFrame::Ack { cum }),
         );
     }
     if d.duplicate {
@@ -190,7 +190,7 @@ fn send_ack(ctx: &Ctx, dst: usize, cum: u64, p: &NetProfile) {
             dst,
             SHORT_WIRE_BYTES,
             delay,
-            Box::new(RelFrame::Ack { cum }),
+            Payload::any(RelFrame::Ack { cum }),
         );
     }
 }

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mpmd_am as am;
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CallMode, CcxxConfig};
-use mpmd_sim::{Bucket, Sim};
+use mpmd_sim::{Bucket, Payload, Sim};
 use mpmd_splitc as sc;
 
 fn bench_engine(c: &mut Criterion) {
@@ -29,7 +29,7 @@ fn bench_engine(c: &mut Criterion) {
             Sim::new(2).run(|ctx| {
                 if ctx.node() == 0 {
                     for _ in 0..100 {
-                        ctx.send_msg(1, 8, 1_000, Box::new(0u64));
+                        ctx.send_msg(1, 8, 1_000, Payload::any(0u64));
                         ctx.park_for_inbox();
                         ctx.try_recv().unwrap();
                     }
@@ -37,7 +37,33 @@ fn bench_engine(c: &mut Criterion) {
                     for _ in 0..100 {
                         ctx.park_for_inbox();
                         ctx.try_recv().unwrap();
-                        ctx.send_msg(0, 8, 1_000, Box::new(0u64));
+                        ctx.send_msg(0, 8, 1_000, Payload::any(0u64));
+                    }
+                }
+            })
+        })
+    });
+    // Same round trip on the allocation-free inline path: handler id and
+    // argument words travel inside the event body (no boxing anywhere).
+    g.bench_function("short_ping_pong_100", |b| {
+        b.iter(|| {
+            Sim::new(2).run(|ctx| {
+                let short = || Payload::Short {
+                    handler: 0,
+                    args: [1, 2, 3, 4],
+                    token: None,
+                };
+                if ctx.node() == 0 {
+                    for _ in 0..100 {
+                        ctx.send_msg(1, 8, 1_000, short());
+                        ctx.park_for_inbox();
+                        ctx.try_recv().unwrap();
+                    }
+                } else {
+                    for _ in 0..100 {
+                        ctx.park_for_inbox();
+                        ctx.try_recv().unwrap();
+                        ctx.send_msg(0, 8, 1_000, short());
                     }
                 }
             })

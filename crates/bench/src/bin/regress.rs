@@ -10,10 +10,18 @@
 //! beyond its tolerance, or `2` when the baseline is missing or carries an
 //! incomparable `schema_version`.
 //!
+//! With `--fastpath` it instead gates the short-message fast path on wall
+//! clock: a null-RMI throughput microbenchmark (best of three reps) plus the
+//! quick Figure 5 suite, written to `results/BENCH_fastpath.json` and
+//! compared against the committed copy of that same file. It fails (exit 1)
+//! when short-message throughput drops more than 10% below the baseline, or
+//! when the virtual round-trip latency — which is deterministic — changes at
+//! all.
+//!
 //! Usage: `cargo run --release --bin regress -- [--quick] [-j N]
-//! [--update-baseline] [--json <path>]`
+//! [--fastpath] [--update-baseline] [--json <path>]`
 
-use mpmd_bench::experiments::{run_profile_suite, Cell, Scale};
+use mpmd_bench::experiments::{run_fig5, run_profile_suite, Cell, Scale};
 use mpmd_bench::fmt::{
     bucket_object, reject_unknown_args, render_table, take_json_flag, take_switch, write_json,
     SCHEMA_VERSION,
@@ -26,7 +34,15 @@ use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-const USAGE: &str = "regress [--quick] [-j N] [--update-baseline] [--json <path>]";
+const USAGE: &str = "regress [--quick] [-j N] [--fastpath] [--update-baseline] [--json <path>]";
+
+/// Null-RMI iterations per rep of the fast-path throughput microbenchmark.
+const FASTPATH_ITERS: usize = 2_000;
+/// Wall-clock reps; the best (fastest) rep is the gated number, which damps
+/// scheduler noise on loaded CI machines.
+const FASTPATH_REPS: usize = 3;
+/// Allowed relative drop in short-message throughput before the gate fails.
+const FASTPATH_TOLERANCE: f64 = 0.10;
 
 /// Round-trip latency distribution of null (0-word) Simple RMIs, straight
 /// from the registry's `ccxx.rmi_rtt_ns` histogram.
@@ -150,13 +166,119 @@ fn print_summary(iters: usize, rmi: &Histogram, cells: &[Cell]) {
     );
 }
 
+/// Wall-clock gate over the zero-allocation short-message path.
+///
+/// The committed `results/BENCH_fastpath.json` doubles as the baseline: the
+/// new report always overwrites it (so a green run refreshes the numbers a
+/// human sees), and the gate compares against the copy that was on disk when
+/// the run started.
+fn run_fastpath(jobs: usize, update: bool, json_out: Option<PathBuf>) {
+    eprintln!("regress: measuring the short-message fast path...");
+    let mut best_wall = f64::INFINITY;
+    let mut rtt = None;
+    for _ in 0..FASTPATH_REPS {
+        let t = Instant::now();
+        let h = null_rmi(FASTPATH_ITERS);
+        best_wall = best_wall.min(t.elapsed().as_secs_f64());
+        rtt = Some(h);
+    }
+    let rtt = rtt.expect("at least one rep ran");
+    let per_sec = FASTPATH_ITERS as f64 / best_wall;
+    let t = Instant::now();
+    let cells = run_fig5(Scale::Quick, &[0.1, 0.4, 0.7, 1.0], jobs);
+    let fig5_wall = t.elapsed().as_secs_f64();
+    let fig5_virtual: u64 = cells
+        .iter()
+        .map(|(_, _, sc, cc)| sc.breakdown.elapsed + cc.breakdown.elapsed)
+        .sum();
+
+    let mut m = serde_json::Map::new();
+    m.insert("table".into(), "fastpath".to_value());
+    m.insert("schema_version".into(), SCHEMA_VERSION.to_value());
+    let mut rm = serde_json::Map::new();
+    rm.insert("iters".into(), (FASTPATH_ITERS as u64).to_value());
+    rm.insert("reps".into(), (FASTPATH_REPS as u64).to_value());
+    rm.insert("best_wall_secs".into(), best_wall.to_value());
+    rm.insert("rmi_per_sec".into(), per_sec.to_value());
+    rm.insert("rtt_p50_ns".into(), rtt.p50().to_value());
+    rm.insert("rtt_p99_ns".into(), rtt.p99().to_value());
+    m.insert("null_rmi".into(), serde_json::Value::Object(rm));
+    let mut fm = serde_json::Map::new();
+    fm.insert("pairs".into(), (cells.len() as u64).to_value());
+    fm.insert("virtual_elapsed_ns".into(), fig5_virtual.to_value());
+    fm.insert("wall_secs".into(), fig5_wall.to_value());
+    m.insert("fig5_quick".into(), serde_json::Value::Object(fm));
+    let report = serde_json::Value::Object(m);
+
+    println!(
+        "fast path: {per_sec:.0} null RMIs/s wall (best of {FASTPATH_REPS}, \
+         p50 {:.1} µs virtual), fig5 quick suite {fig5_wall:.2}s wall",
+        to_us(rtt.p50()),
+    );
+
+    let out = json_out.unwrap_or_else(|| PathBuf::from("results/BENCH_fastpath.json"));
+    let prev: Option<serde_json::Value> = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok());
+    write_json(&out, &report);
+    if update {
+        eprintln!("fastpath baseline updated: {}", out.display());
+        return;
+    }
+    let Some(base) = prev else {
+        eprintln!(
+            "error: no committed fastpath baseline at {}; rerun with --update-baseline",
+            out.display()
+        );
+        std::process::exit(2);
+    };
+    let mut failed = false;
+    let base_per_sec = base["null_rmi"]["rmi_per_sec"].as_f64().unwrap_or(0.0);
+    if per_sec < base_per_sec * (1.0 - FASTPATH_TOLERANCE) {
+        eprintln!(
+            "regression: null-RMI throughput {per_sec:.0}/s is more than \
+             {:.0}% below the baseline {base_per_sec:.0}/s",
+            FASTPATH_TOLERANCE * 100.0
+        );
+        failed = true;
+    }
+    if let Some(base_p50) = base["null_rmi"]["rtt_p50_ns"].as_u64() {
+        if base_p50 != rtt.p50() {
+            eprintln!(
+                "regression: virtual null-RMI p50 RTT changed from {base_p50} ns \
+                 to {} ns (virtual time is deterministic; an intentional cost-model \
+                 change needs --update-baseline)",
+                rtt.p50()
+            );
+            failed = true;
+        }
+    }
+    if let Some(base_fig5) = base["fig5_quick"]["wall_secs"].as_f64() {
+        let ratio = fig5_wall / base_fig5;
+        eprintln!("fig5 quick wall vs baseline: {ratio:.2}x (informational)");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "fastpath: throughput within {:.0}% of the baseline in {}",
+        FASTPATH_TOLERANCE * 100.0,
+        out.display()
+    );
+}
+
 fn main() {
     let (rest, json_out) = take_json_flag(std::env::args().skip(1));
     let (rest, jobs) = take_jobs_flag(rest.into_iter());
     let (rest, scale) = Scale::take(rest);
     let (rest, update) = take_switch(rest, "--update-baseline");
+    let (rest, fastpath) = take_switch(rest, "--fastpath");
     reject_unknown_args(&rest, USAGE);
     let update = update || std::env::var_os("UPDATE_GOLDEN").is_some();
+    if fastpath {
+        run_fastpath(jobs, update, json_out);
+        return;
+    }
 
     eprintln!("regress: measuring the {scale:?}-scale observability suite...");
     let wall_all = Instant::now();

@@ -8,7 +8,7 @@ use mpmd_apps::em3d::{self, Em3dParams, Em3dVersion};
 use mpmd_apps::water::{self, WaterParams, WaterVersion};
 use mpmd_bench::runner::{run_jobs, Unit};
 use mpmd_ccxx::CcxxConfig;
-use mpmd_sim::{CostModel, FaultModel, MetricsRegistry};
+use mpmd_sim::{CostModel, FaultModel, MetricsRegistry, Payload, Sim};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -72,6 +72,84 @@ fn metrics_json_is_jobs_invariant_and_repeatable() {
     assert!(j1.contains("sc.split_op_ns"), "{j1}");
 }
 
+/// The event-pool counters are published into the registry on node 0 at
+/// teardown (app breakdowns snapshot an interval *before* teardown, so the
+/// counters show up in a run's final report, not in region metrics). They
+/// must be present and exactly repeatable.
+#[test]
+fn pool_counters_published_and_deterministic() {
+    let run = || {
+        let r = Sim::new(2).metrics(true).run(|ctx| {
+            let short = || Payload::Short {
+                handler: 1,
+                args: [0; 4],
+                token: None,
+            };
+            if ctx.node() == 0 {
+                for _ in 0..100 {
+                    ctx.send_msg(1, 8, 1_000, short());
+                    ctx.park_for_inbox();
+                    ctx.try_recv().unwrap();
+                }
+            } else {
+                for _ in 0..100 {
+                    ctx.park_for_inbox();
+                    ctx.try_recv().unwrap();
+                    ctx.send_msg(0, 8, 1_000, short());
+                }
+            }
+        });
+        registry_json(&r.metrics.expect("metrics were enabled"))
+    };
+    let a = run();
+    assert_eq!(a, run(), "pool counters differ across repeated runs");
+    assert!(a.contains("pool.recycled"), "{a}");
+    assert!(a.contains("pool.misses"), "{a}");
+}
+
+/// Full-run determinism over the pooled/sharded fast path: the breakdown
+/// (virtual times + raw counters) and registry JSON together must be
+/// byte-identical across worker counts and repeated runs of the same seed,
+/// for several seeds.
+#[test]
+fn report_and_registry_json_invariant_across_seeds_and_jobs() {
+    let run_json = |seed: u64, jobs: usize| -> String {
+        let p = Em3dParams {
+            graph_nodes: 160,
+            degree: 8,
+            procs: 4,
+            steps: 2,
+            remote_frac: 0.5,
+            seed,
+        };
+        let cost = CostModel::default().with_metrics();
+        let units: Vec<Unit<String>> = vec![Box::new(move || {
+            let b = em3d::run_splitc_cost(&p, Em3dVersion::Ghost, cost.clone()).breakdown;
+            format!(
+                "elapsed={} components={:?} counts={:?} metrics={}",
+                b.elapsed,
+                b.components(),
+                b.counts,
+                registry_json(b.metrics.as_ref().expect("metrics were enabled")),
+            )
+        })];
+        run_jobs(units, jobs).join("\n")
+    };
+    for seed in [7, 42, 1997] {
+        let a = run_jobs_pair(seed, &run_json);
+        assert_eq!(a.0, a.1, "seed {seed}: report differs between -j1 and -j8");
+        let again = run_json(seed, 8);
+        assert_eq!(a.1, again, "seed {seed}: report differs across repeats");
+    }
+    // Different seeds must actually produce different runs (the invariance
+    // above is not vacuous).
+    assert_ne!(run_json(7, 1), run_json(1997, 1));
+}
+
+fn run_jobs_pair(seed: u64, run_json: &dyn Fn(u64, usize) -> String) -> (String, String) {
+    (run_json(seed, 1), run_json(seed, 8))
+}
+
 #[test]
 fn metrics_json_is_deterministic_under_faults() {
     let cost = || {
@@ -129,4 +207,40 @@ fn msgprofile_is_jobs_invariant() {
         text.contains("net.msgs_to"),
         "no traffic matrix in registry"
     );
+}
+
+/// The task backend (userspace fibers vs OS threads, selected with
+/// `MPMD_SIM_BACKEND`) changes only how the baton is passed between task
+/// stacks — every scheduling decision is made by the same `decide()` on the
+/// same kernel state. The full msgprofile output must therefore be
+/// byte-identical across backends. (On targets without the fiber backend
+/// both runs use threads and the check is vacuous but still true.)
+#[test]
+fn msgprofile_is_backend_invariant() {
+    let bin = env!("CARGO_BIN_EXE_msgprofile");
+    let run = |backend: Option<&str>, tag: &str| -> (Vec<u8>, Vec<u8>) {
+        let json_path: PathBuf = std::env::temp_dir().join(format!("mpmd_backend_{tag}.json"));
+        let _ = std::fs::remove_file(&json_path);
+        let mut cmd = Command::new(bin);
+        cmd.args(["--quick", "-j", "2", "--json"]).arg(&json_path);
+        match backend {
+            Some(b) => cmd.env("MPMD_SIM_BACKEND", b),
+            None => cmd.env_remove("MPMD_SIM_BACKEND"),
+        };
+        let out = cmd
+            .output()
+            .unwrap_or_else(|e| panic!("spawning msgprofile: {e}"));
+        assert!(
+            out.status.success(),
+            "msgprofile failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read(&json_path).expect("msgprofile wrote JSON");
+        let _ = std::fs::remove_file(&json_path);
+        (out.stdout, json)
+    };
+    let (out_fib, json_fib) = run(None, "default");
+    let (out_thr, json_thr) = run(Some("threads"), "threads");
+    assert_eq!(json_fib, json_thr, "JSON differs between task backends");
+    assert_eq!(out_fib, out_thr, "stdout differs between task backends");
 }

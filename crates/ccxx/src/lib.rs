@@ -51,7 +51,7 @@ pub use mpmd_am::CoalesceConfig;
 pub use par::{par, parfor, prefetch};
 pub use pobj::{create_object, destroy_object, register_obj_method, rmi_obj, CxObjPtr};
 pub use rmi::{
-    register_method, register_method_full, rmi, rmi_program, CallMode, RmiArgs, RmiRet,
+    register_method, register_method_full, rmi, rmi_program, CallMode, RmiArgs, RmiRet, Words,
     DEFAULT_PROGRAM,
 };
 pub use runtime::{

@@ -63,12 +63,42 @@ impl CallMode {
     }
 }
 
+/// Up to four untyped word arguments, stored inline — building a request
+/// never heap-allocates for its words. Derefs to the populated prefix as a
+/// `[u64]` slice, so indexing and iteration read like the old `Vec<u64>`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Words {
+    buf: [u64; 4],
+    len: u8,
+}
+
+impl Words {
+    /// Copy in up to four words. Panics beyond four (the AM short-payload
+    /// limit, per the paper's 4-word request/reply format).
+    pub fn from_slice(s: &[u64]) -> Self {
+        assert!(s.len() <= 4, "word arguments are limited to 4");
+        let mut buf = [0u64; 4];
+        buf[..s.len()].copy_from_slice(s);
+        Words {
+            buf,
+            len: s.len() as u8,
+        }
+    }
+}
+
+impl std::ops::Deref for Words {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        &self.buf[..self.len as usize]
+    }
+}
+
 /// Arguments as seen by a method stub.
 pub struct RmiArgs {
     /// Calling node.
     pub src: usize,
-    /// Untyped word arguments (the 4-word AM payload).
-    pub words: Vec<u64>,
+    /// Untyped word arguments (the 4-word AM payload), inline.
+    pub words: Words,
     /// Marshalled argument bytes (unmarshal with
     /// [`crate::marshal::UnmarshalBuf`]).
     pub data: Option<Bytes>,
@@ -116,7 +146,7 @@ pub(crate) struct CxRequest {
     src: usize,
     mode: CallMode,
     target: Target,
-    words: Vec<u64>,
+    words: Words,
     data: Option<Bytes>,
     reply: Arc<ReplyCtl>,
     /// Target processor-object id (object methods; see [`crate::pobj`]).
@@ -253,7 +283,7 @@ fn rmi_inner(
     payload: Option<crate::marshal::MarshalBuf>,
     mode: CallMode,
 ) -> RmiRet {
-    assert!(words.len() <= 4, "word arguments are limited to 4");
+    let words = Words::from_slice(words);
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
@@ -304,7 +334,7 @@ fn rmi_inner(
         src: ctx.node(),
         mode,
         target,
-        words: words.to_vec(),
+        words,
         data: payload_bytes.clone(),
         reply,
         obj,

@@ -1,15 +1,24 @@
 //! Task-side API: everything a simulated task can do.
+//!
+//! Hot-path discipline: operations that only touch this node's data plane
+//! (clock reads, charges, inbox polls, typed singletons, stats) go straight
+//! to the node's shard — an atomic load or one per-node lock — and never
+//! take the kernel lock. Scheduling operations (yield, park, send, spawn)
+//! take the kernel lock as before. Disabled instruments (tracing, metrics)
+//! are gated on plain bools captured at `Sim::run`, so the off path costs a
+//! branch, not a lock.
 
 use crate::cost::CostModel;
 use crate::engine::{spawn_task, spawn_task_inner, switch_from_task, SimInner};
-use crate::event::Msg;
+use crate::event::{Msg, Payload};
 use crate::kernel::{FaultDecision, TaskState};
 use crate::report::Snapshot;
 use crate::stats::{Bucket, Stats};
-use crate::task::{HandoffCell, TaskId};
+use crate::task::{TaskCell, TaskId};
 use crate::time::Time;
 use crate::trace::{SpanId, TraceEvent};
 use std::any::Any;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
 /// Handle to the simulation held by a running task. Cheap to clone; a clone
@@ -21,7 +30,7 @@ pub struct Ctx {
     task: TaskId,
     /// This task's own handoff cell, cached here so blocking points don't
     /// re-fetch (and re-clone) it from the task table on every switch.
-    cell: Arc<HandoffCell>,
+    cell: Arc<TaskCell>,
 }
 
 impl Clone for Ctx {
@@ -40,7 +49,7 @@ impl Ctx {
         inner: Arc<SimInner>,
         node: usize,
         task: TaskId,
-        cell: Arc<HandoffCell>,
+        cell: Arc<TaskCell>,
     ) -> Self {
         Ctx {
             inner,
@@ -74,32 +83,39 @@ impl Ctx {
         &self.inner.cost
     }
 
-    /// Current virtual time on this node.
+    /// Current virtual time on this node. Lock-free: the clock is a per-node
+    /// atomic, written only by the logical thread holding the baton.
+    #[inline]
     pub fn now(&self) -> Time {
-        self.inner.kernel.lock().nodes[self.node].clock
+        self.inner.shards[self.node].clock.load(Relaxed)
     }
 
     /// Advance this node's clock by `ns`, attributing the time to `bucket`.
+    ///
+    /// Fast path: touches only this node's shard. The kernel lock is taken
+    /// only when other tasks sit in this node's ready queue (their heap
+    /// entry is keyed by the old clock and must be re-indexed) — rare on the
+    /// message fast path, where each node runs one task.
     pub fn charge(&self, bucket: Bucket, ns: Time) {
         if ns == 0 {
             return;
         }
-        let mut k = self.inner.kernel.lock();
-        let n = &mut k.nodes[self.node];
-        n.clock += ns;
-        n.stats.bucket_ns[bucket.index()] += ns;
-        // Other tasks may sit in this node's ready queue keyed by the old
-        // clock; re-index (no-op when the queue is empty, the common case).
-        k.touch_node(self.node);
-        if k.tracer.is_some() {
+        let sh = &self.inner.shards[self.node];
+        let new = sh.clock.load(Relaxed) + ns;
+        sh.clock.store(new, Relaxed);
+        sh.m.lock().stats.bucket_ns[bucket.index()] += ns;
+        if sh.has_ready.load(Relaxed) {
+            self.inner.kernel.lock().touch_node(self.node);
+        }
+        if self.inner.tracing_on {
+            let mut k = self.inner.kernel.lock();
             k.emit(self.node, self.task, TraceEvent::Charge { bucket, ns });
         }
     }
 
     /// Mutate this node's instrumentation counters.
     pub fn with_stats<R>(&self, f: impl FnOnce(&mut Stats) -> R) -> R {
-        let mut k = self.inner.kernel.lock();
-        f(&mut k.nodes[self.node].stats)
+        f(&mut self.inner.shards[self.node].m.lock().stats)
     }
 
     /// Spawn a new task on this node. Pure scheduling: the *cost* of thread
@@ -128,12 +144,12 @@ impl Ctx {
     /// before this node's clock, the reschedule is skipped entirely.
     pub fn yield_now(&self) {
         let mut k = self.inner.kernel.lock();
-        let my_clock = k.nodes[self.node].clock;
+        let my_clock = k.clock(self.node);
         let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
         let local_ready = !k.nodes[self.node].ready.is_empty();
         // Our own node can't have a live heap entry (ready is empty when
-        // local_ready is false), so any strictly-earlier entry is another
-        // node with runnable work.
+        // local_ready is false), so any earlier entry is another node with
+        // runnable work strictly behind our clock.
         let earlier_node = !local_ready && k.peek_min_runnable().is_some_and(|(_, c)| c < my_clock);
         if !event_due && !local_ready && !earlier_node {
             return;
@@ -176,11 +192,17 @@ impl Ctx {
     /// operations) and the CC++ polling thread.
     pub fn park_for_inbox(&self) {
         let mut k = self.inner.kernel.lock();
-        if !k.nodes[self.node].inbox.is_empty() {
+        if !self.inner.shards[self.node].m.lock().inbox.is_empty() {
             return;
         }
         k.tasks[self.task.idx()].state = TaskState::InboxWait;
-        k.nodes[self.node].inbox_waiters.push(self.task);
+        // The waiter list is kept duplicate-free here at park time: a task
+        // that parks, is woken by a timeout, and parks again must not be
+        // listed (and so woken) twice.
+        let w = &mut k.nodes[self.node].inbox_waiters;
+        if !w.contains(&self.task) {
+            w.push(self.task);
+        }
         k.emit(self.node, self.task, TraceEvent::Park);
         switch_from_task(&self.inner, k, self.task, &self.cell);
     }
@@ -192,14 +214,17 @@ impl Ctx {
     /// beneath the reliable-delivery layer's retransmit timers.
     pub fn park_for_inbox_until(&self, deadline: Time) {
         let mut k = self.inner.kernel.lock();
-        let n = &k.nodes[self.node];
-        if !n.inbox.is_empty() || n.clock >= deadline {
+        if !self.inner.shards[self.node].m.lock().inbox.is_empty() || k.clock(self.node) >= deadline
+        {
             return;
         }
         let gen = k.tasks[self.task.idx()].timeout_gen;
         k.post_timeout_wake(self.task, deadline, gen);
         k.tasks[self.task.idx()].state = TaskState::InboxWait;
-        k.nodes[self.node].inbox_waiters.push(self.task);
+        let w = &mut k.nodes[self.node].inbox_waiters;
+        if !w.contains(&self.task) {
+            w.push(self.task);
+        }
         k.emit(self.node, self.task, TraceEvent::Park);
         switch_from_task(&self.inner, k, self.task, &self.cell);
     }
@@ -242,14 +267,15 @@ impl Ctx {
     /// other ready tasks on this node — polling the network is not a thread
     /// switch in a non-preemptive system. The task hands control to the
     /// engine only when a due event exists or another node lags behind this
-    /// node's clock (and could still produce one), and resumes at the front
-    /// of its node's run queue.
+    /// node's clock (and could therefore still produce an event before it),
+    /// and resumes at the front of its node's run queue.
     pub fn poll_point(&self) {
         let mut k = self.inner.kernel.lock();
-        let my_clock = k.nodes[self.node].clock;
+        let my_clock = k.clock(self.node);
         let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
         // Any live heap entry for our own node carries our clock, never an
-        // earlier one, so a strictly-earlier minimum is always another node.
+        // earlier one, so an entry strictly below our clock is always
+        // another node.
         let earlier_node = k.peek_min_runnable().is_some_and(|(_, c)| c < my_clock);
         if !event_due && !earlier_node {
             return;
@@ -259,26 +285,24 @@ impl Ctx {
         switch_from_task(&self.inner, k, self.task, &self.cell);
     }
 
-    /// Take the oldest delivered message, if any.
+    /// Take the oldest delivered message, if any. Touches only this node's
+    /// shard (no kernel lock).
     pub fn try_recv(&self) -> Option<Msg> {
-        self.inner.kernel.lock().nodes[self.node].inbox.pop_front()
+        self.inner.shards[self.node].m.lock().inbox.pop_front()
     }
 
     /// Number of delivered, unconsumed messages.
     pub fn inbox_len(&self) -> usize {
-        self.inner.kernel.lock().nodes[self.node].inbox.len()
+        self.inner.shards[self.node].m.lock().inbox.len()
     }
 
     /// Send `payload` to node `dst`; it is delivered `delay` ns after this
     /// node's current clock. The messaging layer charges its own send
     /// overhead separately; `delay` models wire/switch time and must be > 0.
-    pub fn send_msg(
-        &self,
-        dst: usize,
-        wire_bytes: usize,
-        delay: Time,
-        payload: Box<dyn Any + Send>,
-    ) {
+    ///
+    /// A [`Payload::Short`] send allocates nothing: the four argument words
+    /// travel inline and the event body comes from the kernel's slab pool.
+    pub fn send_msg(&self, dst: usize, wire_bytes: usize, delay: Time, payload: Payload) {
         let mut k = self.inner.kernel.lock();
         k.post_deliver(
             dst,
@@ -295,7 +319,7 @@ impl Ctx {
     /// delivery delay in the ablation experiments).
     pub fn sleep(&self, ns: Time) {
         let mut k = self.inner.kernel.lock();
-        let at = k.nodes[self.node].clock + ns;
+        let at = k.clock(self.node) + ns;
         k.post_wake(self.task, at);
         k.tasks[self.task.idx()].state = TaskState::Parked;
         k.emit(self.node, self.task, TraceEvent::Park);
@@ -322,8 +346,8 @@ impl Ctx {
 
     /// Fetch (or lazily create) this node's singleton of type `T`. The
     /// runtime crates keep their per-node state (handler tables, memories,
-    /// stub caches) here. `init` runs under the kernel lock and must not call
-    /// back into the simulator.
+    /// stub caches) here. `init` runs under the node's shard lock and must
+    /// not call back into the simulator.
     pub fn node_data<T, F>(&self, init: F) -> Arc<T>
     where
         T: Send + Sync + 'static,
@@ -338,12 +362,17 @@ impl Ctx {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut k = self.inner.kernel.lock();
-        let slot = k.nodes[node]
+        let mut d = self.inner.shards[node].m.lock();
+        let slot = d
             .data
             .entry(std::any::TypeId::of::<T>())
-            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
-        Arc::downcast::<T>(Arc::clone(slot)).expect("node_data type confusion")
+            .or_insert_with(|| {
+                (
+                    Arc::new(init()) as Arc<dyn Any + Send + Sync>,
+                    std::any::type_name::<T>(),
+                )
+            });
+        Arc::downcast::<T>(Arc::clone(&slot.0)).expect("node_data type confusion")
     }
 
     /// Capture all node clocks/stats (quiesce with a barrier first).
@@ -352,29 +381,34 @@ impl Ctx {
     }
 
     /// Whether a tracer is installed (so callers can skip building event
-    /// payloads when tracing is off).
+    /// payloads when tracing is off). Lock-free.
+    #[inline]
     pub fn tracing_enabled(&self) -> bool {
-        self.inner.kernel.lock().tracer.is_some()
+        self.inner.tracing_on
     }
 
     /// Whether a metrics registry is installed (so callers can skip
-    /// computing observation values when metrics are off).
+    /// computing observation values when metrics are off). Lock-free.
+    #[inline]
     pub fn metrics_enabled(&self) -> bool {
-        self.inner.kernel.lock().metrics.is_some()
+        self.inner.metrics_on
     }
 
     /// This node's current clock, but only when a metrics registry is
-    /// installed — the one-lock way to grab a latency-measurement start
-    /// timestamp that costs nothing (beyond the lock) when metrics are off.
-    /// Pair with [`Ctx::metric_observe_since`].
+    /// installed — the lock-free way to grab a latency-measurement start
+    /// timestamp that costs a branch when metrics are off. Pair with
+    /// [`Ctx::metric_observe_since`].
+    #[inline]
     pub fn metric_now(&self) -> Option<Time> {
-        let k = self.inner.kernel.lock();
-        k.metrics.is_some().then(|| k.nodes[self.node].clock)
+        self.inner.metrics_on.then(|| self.now())
     }
 
-    /// Record `v` into this node's histogram `name`. No-op when no registry
-    /// is installed.
+    /// Record `v` into this node's histogram `name`. No-op (one branch, no
+    /// lock) when no registry is installed.
     pub fn metric_observe(&self, name: &'static str, v: u64) {
+        if !self.inner.metrics_on {
+            return;
+        }
         let mut k = self.inner.kernel.lock();
         if let Some(m) = k.metrics.as_mut() {
             m.observe(self.node, name, v);
@@ -385,19 +419,24 @@ impl Ctx {
     /// [`Ctx::metric_now`]) into histogram `name`. No-op when no registry is
     /// installed.
     pub fn metric_observe_since(&self, name: &'static str, t0: Time) {
+        if !self.inner.metrics_on {
+            return;
+        }
+        let now = self.now();
         let mut k = self.inner.kernel.lock();
-        let now = k.nodes[self.node].clock;
         if let Some(m) = k.metrics.as_mut() {
             m.observe(self.node, name, now.saturating_sub(t0));
         }
     }
 
-    /// Record this node's current inbox depth into histogram `name` (depth
-    /// is read under the same lock acquisition). No-op when no registry is
-    /// installed.
+    /// Record this node's current inbox depth into histogram `name`. No-op
+    /// when no registry is installed.
     pub fn metric_inbox_depth(&self, name: &'static str) {
+        if !self.inner.metrics_on {
+            return;
+        }
+        let depth = self.inner.shards[self.node].m.lock().inbox.len() as u64;
         let mut k = self.inner.kernel.lock();
-        let depth = k.nodes[self.node].inbox.len() as u64;
         if let Some(m) = k.metrics.as_mut() {
             m.observe(self.node, name, depth);
         }
@@ -406,6 +445,9 @@ impl Ctx {
     /// Add `delta` to this node's counter `name`. No-op when no registry is
     /// installed.
     pub fn metric_counter_add(&self, name: &'static str, delta: u64) {
+        if !self.inner.metrics_on {
+            return;
+        }
         let mut k = self.inner.kernel.lock();
         if let Some(m) = k.metrics.as_mut() {
             m.counter_add(self.node, name, delta);
@@ -415,6 +457,9 @@ impl Ctx {
     /// Add `delta` to this node's keyed counter `name[key]` (e.g. per-peer
     /// tallies). No-op when no registry is installed.
     pub fn metric_keyed_add(&self, name: &'static str, key: u64, delta: u64) {
+        if !self.inner.metrics_on {
+            return;
+        }
         let mut k = self.inner.kernel.lock();
         if let Some(m) = k.metrics.as_mut() {
             m.keyed_add(self.node, name, key, delta);
@@ -424,6 +469,9 @@ impl Ctx {
     /// Set this node's gauge `name` to `v`. No-op when no registry is
     /// installed.
     pub fn metric_gauge_set(&self, name: &'static str, v: u64) {
+        if !self.inner.metrics_on {
+            return;
+        }
         let mut k = self.inner.kernel.lock();
         if let Some(m) = k.metrics.as_mut() {
             m.gauge_set(self.node, name, v);
@@ -436,6 +484,9 @@ impl Ctx {
     /// Frames must strictly nest per task: ending any frame other than the
     /// innermost open one panics.
     pub fn span_start(&self, name: &str) -> SpanId {
+        if !self.inner.tracing_on {
+            return SpanId(0);
+        }
         let mut k = self.inner.kernel.lock();
         let Some(tr) = k.tracer.as_mut() else {
             return SpanId(0);
@@ -454,13 +505,11 @@ impl Ctx {
 
     /// Close a span frame opened by [`Ctx::span_start`].
     pub fn span_end(&self, id: SpanId) {
-        if !id.is_active() {
+        if !id.is_active() || !self.inner.tracing_on {
             return;
         }
         let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::SpanEnd { id });
-        }
+        k.emit(self.node, self.task, TraceEvent::SpanEnd { id });
     }
 
     /// RAII form of [`Ctx::span_start`] / [`Ctx::span_end`]: the frame closes
@@ -478,81 +527,89 @@ impl Ctx {
     /// receive overhead is charged, so the frame covers the handler's full
     /// cost.
     pub fn handler_start(&self, handler: u32) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::HandlerStart { handler });
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(self.node, self.task, TraceEvent::HandlerStart { handler });
     }
 
     /// Close the handler frame opened by [`Ctx::handler_start`].
     pub fn handler_end(&self, handler: u32) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::HandlerEnd { handler });
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(self.node, self.task, TraceEvent::HandlerEnd { handler });
     }
 
     /// Record a reliable-delivery retransmission (point event).
     pub fn trace_retransmit(&self, dst: usize, seq: u64) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::Retransmit { dst, seq });
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(self.node, self.task, TraceEvent::Retransmit { dst, seq });
     }
 
     /// Record a coalescing-layer flush (point event).
     pub fn trace_coalesce_flush(&self, dst: usize, msgs: u64, wire_bytes: usize) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(
-                self.node,
-                self.task,
-                TraceEvent::CoalesceFlush {
-                    dst,
-                    msgs,
-                    wire_bytes,
-                },
-            );
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(
+            self.node,
+            self.task,
+            TraceEvent::CoalesceFlush {
+                dst,
+                msgs,
+                wire_bytes,
+            },
+        );
     }
 
     /// Record a duplicate-suppression drop (point event).
     pub fn trace_dup_drop(&self, src: usize, seq: u64) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::DupDrop { src, seq });
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(self.node, self.task, TraceEvent::DupDrop { src, seq });
     }
 
     /// Record entry into a global barrier (point event).
     pub fn barrier_enter(&self, epoch: u64) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::BarrierEnter { epoch });
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(self.node, self.task, TraceEvent::BarrierEnter { epoch });
     }
 
     /// Record release from a global barrier (point event).
     pub fn barrier_exit(&self, epoch: u64) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(self.node, self.task, TraceEvent::BarrierExit { epoch });
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(self.node, self.task, TraceEvent::BarrierExit { epoch });
     }
 
     /// Debug marker: recorded as a [`TraceEvent::Mark`] (and printed to
     /// stderr when the stderr sink is enabled). No-op when tracing is off.
     pub fn trace(&self, msg: &str) {
-        let mut k = self.inner.kernel.lock();
-        if k.tracer.is_some() {
-            k.emit(
-                self.node,
-                self.task,
-                TraceEvent::Mark {
-                    text: msg.to_string(),
-                },
-            );
+        if !self.inner.tracing_on {
+            return;
         }
+        let mut k = self.inner.kernel.lock();
+        k.emit(
+            self.node,
+            self.task,
+            TraceEvent::Mark {
+                text: msg.to_string(),
+            },
+        );
     }
 }
 

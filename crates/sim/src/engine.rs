@@ -1,12 +1,11 @@
 //! The simulator front door ([`Sim`]) and the scheduling loop.
 //!
-//! Scheduling invariant: the simulation always advances the node with the
-//! smallest virtual clock among nodes that have runnable work, and applies
-//! every pending network event whose timestamp is `<=` that clock first.
-//! Together with the rule that tasks yield to the scheduler before observing
-//! their inbox (see `Ctx::poll_point`), this makes message visibility at poll
-//! points exact and the whole simulation a deterministic function of its
-//! inputs.
+//! Scheduling invariant: always advance the runnable node with the smallest
+//! virtual clock, applying every pending network event with a timestamp
+//! `<=` that clock first. Together with the rule that tasks yield to the
+//! scheduler before observing their inbox (see `Ctx::poll_point`), this
+//! makes message visibility at poll points exact and the whole simulation a
+//! deterministic function of its inputs.
 //!
 //! The *decision* function ([`decide`]) is pure kernel-state manipulation and
 //! runs on whichever OS thread holds the baton. A task reaching a blocking
@@ -18,19 +17,79 @@
 
 use crate::cost::CostModel;
 use crate::ctx::Ctx;
-use crate::kernel::{Kernel, TaskState};
+use crate::kernel::{Kernel, Shard, TaskState};
 use crate::report::{Report, Snapshot};
-use crate::task::{EngineGate, Handoff, HandoffCell, TaskId, TaskPool};
+use crate::task::{EngineGate, Handoff, HandoffCell, TaskCell, TaskId, TaskPool};
 use crate::trace::{TraceConfig, TraceEvent};
 use parking_lot::Mutex;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+
+/// Execution backend hosting the task stacks. Both implement the same baton
+/// protocol and make identical scheduling decisions, so a simulation's
+/// virtual-time results are byte-identical across backends; they differ only
+/// in what a baton handoff costs on the host.
+pub(crate) enum Backend {
+    /// One OS thread per live task, condvar handoffs (one futex wakeup per
+    /// simulated switch). The portable fallback.
+    Threads {
+        pool: Arc<TaskPool>,
+        gate: Arc<EngineGate>,
+    },
+    /// All tasks as userspace fibers on the `Sim::run` thread; a handoff is
+    /// a stack switch, no syscalls. Default where supported.
+    #[cfg(all(target_arch = "x86_64", unix))]
+    Fiber(crate::fiber::FiberRt),
+}
+
+impl Backend {
+    fn new() -> Backend {
+        #[cfg(all(target_arch = "x86_64", unix))]
+        {
+            if std::env::var_os("MPMD_SIM_BACKEND").is_none_or(|v| v != "threads") {
+                return Backend::Fiber(crate::fiber::FiberRt::new());
+            }
+        }
+        Backend::Threads {
+            pool: TaskPool::new(),
+            gate: EngineGate::new(),
+        }
+    }
+
+    fn new_cell(&self) -> TaskCell {
+        match self {
+            Backend::Threads { .. } => TaskCell::Threads(HandoffCell::new()),
+            #[cfg(all(target_arch = "x86_64", unix))]
+            Backend::Fiber(_) => TaskCell::Fiber(crate::fiber::FiberCell::empty()),
+        }
+    }
+}
 
 pub(crate) struct SimInner {
     pub(crate) kernel: Mutex<Kernel>,
-    pub(crate) pool: Arc<TaskPool>,
-    pub(crate) gate: Arc<EngineGate>,
+    /// Per-node data-plane shards, shared with the kernel. Task-side fast
+    /// paths (clock reads, charges, inbox polls, node data) go straight to
+    /// their node's shard without the kernel lock.
+    pub(crate) shards: Arc<Vec<Shard>>,
+    pub(crate) backend: Backend,
     pub(crate) cost: CostModel,
     pub(crate) num_nodes: usize,
+    /// Immutable for the run: lets trace/metric hooks bail out without
+    /// taking any lock when the instrument is not installed.
+    pub(crate) tracing_on: bool,
+    pub(crate) metrics_on: bool,
+}
+
+impl SimInner {
+    /// The fiber runtime of this simulation; panics under the threads
+    /// backend (only reachable from fiber-entry code).
+    #[cfg(all(target_arch = "x86_64", unix))]
+    pub(crate) fn fiber_rt(&self) -> &crate::fiber::FiberRt {
+        match &self.backend {
+            Backend::Fiber(rt) => rt,
+            Backend::Threads { .. } => panic!("fiber entry under the threads backend"),
+        }
+    }
 }
 
 /// Builder for a simulated multicomputer run.
@@ -133,12 +192,22 @@ impl Sim {
     {
         let faults = self.cost.faults.clone();
         let metrics = self.metrics || self.cost.metrics;
+        let tracing_on = self.trace.is_some();
+        let shards: Arc<Vec<Shard>> = Arc::new((0..self.nodes).map(|_| Shard::new()).collect());
         let inner = Arc::new(SimInner {
-            kernel: Mutex::new(Kernel::new(self.nodes, self.trace, metrics, faults)),
-            pool: TaskPool::new(),
-            gate: EngineGate::new(),
+            kernel: Mutex::new(Kernel::new(
+                self.nodes,
+                Arc::clone(&shards),
+                self.trace,
+                metrics,
+                faults,
+            )),
+            shards,
+            backend: Backend::new(),
             cost: self.cost,
             num_nodes: self.nodes,
+            tracing_on,
+            metrics_on: metrics,
         });
         let main = Arc::new(main);
         for node in 0..self.nodes {
@@ -146,16 +215,20 @@ impl Sim {
             spawn_task(&inner, node, "main".to_string(), move |ctx| f(ctx));
         }
         run_engine(&inner);
-        // Teardown: move the per-node state out of the kernel instead of
-        // cloning each Stats block — the kernel is done after this.
+        // Teardown: every task has finished, so the shards are quiescent;
+        // move each Stats block out instead of cloning it.
         let mut k = inner.kernel.lock();
+        k.publish_pool_metrics();
         let trace = k.tracer.take().map(|t| t.finish());
         let metrics = k.metrics.take();
-        let nodes = std::mem::take(&mut k.nodes);
         drop(k);
         Report {
-            clocks: nodes.iter().map(|n| n.clock).collect(),
-            stats: nodes.into_iter().map(|n| n.stats).collect(),
+            clocks: inner.shards.iter().map(|s| s.clock.load(Relaxed)).collect(),
+            stats: inner
+                .shards
+                .iter()
+                .map(|s| std::mem::take(&mut s.m.lock().stats))
+                .collect(),
             trace,
             metrics,
         }
@@ -182,7 +255,7 @@ pub(crate) fn spawn_task_inner<F>(
 where
     F: FnOnce(Ctx) + Send + 'static,
 {
-    let cell = HandoffCell::new();
+    let cell = Arc::new(inner.backend.new_cell());
     let id = inner
         .kernel
         .lock()
@@ -211,16 +284,27 @@ where
             Decision::Idle => Handoff::WakeGate,
         }
     });
-    inner.pool.dispatch(crate::task::Job {
-        cell,
-        body,
-        gate: Arc::clone(&inner.gate),
-    });
+    match &inner.backend {
+        Backend::Threads { pool, gate } => pool.dispatch(crate::task::Job {
+            cell,
+            body,
+            gate: Arc::clone(gate),
+        }),
+        #[cfg(all(target_arch = "x86_64", unix))]
+        Backend::Fiber(rt) => rt.prepare(
+            cell.fiber(),
+            Box::new(crate::fiber::FiberBody {
+                body,
+                inner: Arc::clone(inner),
+                cell: Arc::clone(&cell),
+            }),
+        ),
+    }
     id
 }
 
 enum Decision {
-    Run(TaskId, Arc<HandoffCell>),
+    Run(TaskId, Arc<TaskCell>),
     /// No runnable task: the run is complete if `live == 0`, deadlocked
     /// otherwise. The engine materializes the diagnosis.
     Idle,
@@ -241,8 +325,14 @@ pub(crate) fn run_engine(inner: &Arc<SimInner>) {
                 // Hand the baton to the task; it (and its successors) will
                 // hand off among themselves and wake us only for
                 // termination, deadlock, or panic propagation.
-                cell.resume_task();
-                inner.gate.sleep();
+                match &inner.backend {
+                    Backend::Threads { gate, .. } => {
+                        cell.thread().resume_task();
+                        gate.sleep();
+                    }
+                    #[cfg(all(target_arch = "x86_64", unix))]
+                    Backend::Fiber(rt) => rt.enter(cell.fiber()),
+                }
             }
             Decision::Idle => {
                 let mut k = inner.kernel.lock();
@@ -273,7 +363,7 @@ pub(crate) fn switch_from_task(
     inner: &Arc<SimInner>,
     mut k: parking_lot::MutexGuard<'_, Kernel>,
     me: TaskId,
-    my_cell: &HandoffCell,
+    my_cell: &TaskCell,
 ) {
     if k.panic.is_none() {
         match decide(&mut k) {
@@ -283,10 +373,19 @@ pub(crate) fn switch_from_task(
                 return;
             }
             Decision::Run(_, next) => {
-                my_cell.begin_yield();
-                drop(k);
-                next.resume_task();
-                my_cell.wait_for_turn();
+                match &inner.backend {
+                    Backend::Threads { .. } => {
+                        my_cell.thread().begin_yield();
+                        drop(k);
+                        next.thread().resume_task();
+                        my_cell.thread().wait_for_turn();
+                    }
+                    #[cfg(all(target_arch = "x86_64", unix))]
+                    Backend::Fiber(rt) => {
+                        drop(k);
+                        rt.yield_to(my_cell.fiber(), next.fiber());
+                    }
+                }
                 return;
             }
             Decision::Idle => {}
@@ -294,36 +393,46 @@ pub(crate) fn switch_from_task(
     }
     // Nothing runnable (deadlock diagnosis) or a panic is pending: the
     // engine sorts it out. On the deadlock path we are never resumed; the
-    // worker thread is detached at pool teardown.
-    my_cell.begin_yield();
-    drop(k);
-    inner.gate.wake();
-    my_cell.wait_for_turn();
+    // worker thread (or fiber stack) is reclaimed at teardown.
+    match &inner.backend {
+        Backend::Threads { gate, .. } => {
+            my_cell.thread().begin_yield();
+            drop(k);
+            gate.wake();
+            my_cell.thread().wait_for_turn();
+        }
+        #[cfg(all(target_arch = "x86_64", unix))]
+        Backend::Fiber(rt) => {
+            drop(k);
+            rt.yield_to_engine(my_cell.fiber());
+        }
+    }
 }
 
-/// Core scheduling choice: apply due events, then pick the min-clock runnable
-/// node's front task. Event application and the pick both happen under the
-/// one kernel lock acquisition of the caller.
+/// Core scheduling choice: apply due events, then pick a runnable task.
+///
+/// The pick is always the min-clock runnable node's front task (strict
+/// conservative order — exactly PR 2's policy, so schedules are
+/// bit-identical across substrate changes).
+///
+/// Event application and the pick both happen under the one kernel lock
+/// acquisition of the caller. Events are always applied in (time, seq) heap
+/// order; the policy only decides *how far* to drain before running a task.
 fn decide(k: &mut Kernel) -> Decision {
     loop {
-        let cand = k.peek_min_runnable();
-        let due = match (cand, k.events.peek()) {
+        let chosen = k.peek_min_runnable();
+        let due = match (chosen, k.events.peek()) {
             (Some((_, c)), Some(e)) => e.time <= c,
             (None, Some(_)) => true,
             (_, None) => false,
         };
         if due {
-            let e = k.events.pop().expect("peeked event vanished");
-            k.apply_event(e);
+            k.apply_next_event();
             continue;
         }
-        match cand {
+        match chosen {
             Some((node, _)) => {
-                let tid = k.nodes[node]
-                    .ready
-                    .pop_front()
-                    .expect("ready queue emptied");
-                k.touch_node(node);
+                let tid = k.pop_ready_front(node).expect("ready queue emptied");
                 debug_assert_eq!(k.tasks[tid.idx()].state, TaskState::Runnable);
                 k.tasks[tid.idx()].state = TaskState::Running;
                 k.emit(node, tid, TraceEvent::TaskSwitch);
@@ -340,9 +449,15 @@ fn decide(k: &mut Kernel) -> Decision {
 /// snapshot is meaningful.
 pub(crate) fn snapshot(inner: &SimInner) -> Snapshot {
     let k = inner.kernel.lock();
+    let metrics = k.metrics.clone();
+    drop(k);
     Snapshot {
-        clocks: k.nodes.iter().map(|n| n.clock).collect(),
-        stats: k.nodes.iter().map(|n| n.stats.clone()).collect(),
-        metrics: k.metrics.clone(),
+        clocks: inner.shards.iter().map(|s| s.clock.load(Relaxed)).collect(),
+        stats: inner
+            .shards
+            .iter()
+            .map(|s| s.m.lock().stats.clone())
+            .collect(),
+        metrics,
     }
 }

@@ -1,0 +1,367 @@
+//! Userspace stackful fibers: the zero-syscall baton backend.
+//!
+//! PR 2 cut the cost of a simulated context switch from two OS wakeups to
+//! one by handing the baton task-to-task. That one wakeup is still a futex
+//! round trip plus a kernel context switch — a few microseconds of `sys`
+//! time per switch, and paper-scale runs perform millions of switches. This
+//! module removes the OS from the path entirely: every task of a simulation
+//! runs as a *fiber* (a coroutine with its own call stack) hosted on the one
+//! OS thread that called `Sim::run`, and a baton handoff is a ~20-instruction
+//! userspace stack switch. The baton protocol is unchanged — at any instant
+//! exactly one of {engine, one task} executes — so scheduling decisions,
+//! event order, and therefore every virtual-time result are bit-for-bit
+//! identical to the OS-thread backend (which remains available as a
+//! fallback: non-x86-64 targets, or `MPMD_SIM_BACKEND=threads`).
+//!
+//! Mechanics: [`fiber_switch`](mpmd_fiber_switch) saves the callee-saved
+//! registers and the FP control words on the current stack, stores the stack
+//! pointer into the suspending context's cell, and restores the target
+//! context's stack pointer — the System V equivalent of the classic
+//! Boost.Context switch. A new fiber's stack is pre-seeded with a frame
+//! whose return address is a trampoline that invokes the task body; a
+//! finishing fiber performs a terminal switch after pushing its own stack
+//! onto the runtime's retired slot, and whichever context runs next reaps it
+//! (recycling the stack for future spawns — spawning is allocation-free
+//! after warm-up, the same slab discipline as the event pool).
+//!
+//! Safety rests entirely on the baton invariant: all fibers of one `Sim`
+//! run on one OS thread, one at a time, so the raw stack-pointer cells are
+//! never touched concurrently.
+
+use crate::task::{Handoff, TaskCell};
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Reserved bytes per fiber stack. Address space only — the backing pages
+/// are untouched until the task actually recurses into them, so deep stacks
+/// cost nothing for the shallow tasks that dominate (AM handlers, pumps).
+/// Matches the `std::thread` default so moving a body between backends
+/// cannot change its headroom.
+const STACK_SIZE: usize = 2 * 1024 * 1024;
+
+/// How many retired stacks the runtime keeps for reuse. Beyond this the
+/// surplus is returned to the allocator (a run that briefly spawned a huge
+/// task wave should not pin its high-water mark forever).
+const STACK_POOL_CAP: usize = 64;
+
+/// One fiber stack: an uninitialized heap block. Never read by Rust code —
+/// only the switch assembly and the code running on it touch the bytes.
+struct Stack(Box<[MaybeUninit<u8>]>);
+
+impl Stack {
+    fn new() -> Stack {
+        Stack(Box::new_uninit_slice(STACK_SIZE))
+    }
+
+    /// 16-byte-aligned one-past-the-end, per the System V stack discipline.
+    fn top(&self) -> usize {
+        (self.0.as_ptr() as usize + self.0.len()) & !15
+    }
+}
+
+// The switch routine and the entry trampoline. Layout contract with
+// `seed_frame` below, from the saved stack pointer upward:
+//
+//   [sp + 0]  mxcsr (4 bytes) | x87 control word (2 bytes) | pad
+//   [sp + 8]  r15, r14, r13, r12, rbx, rbp   (six 8-byte slots)
+//   [sp + 56] return address
+//
+// At the return address the stack pointer is `sp + 64`; frames are placed
+// so that value is ≡ 8 (mod 16), exactly as if the resumed code had been
+// reached by a `call`.
+core::arch::global_asm!(
+    ".text",
+    ".balign 16",
+    ".globl mpmd_fiber_switch",
+    ".hidden mpmd_fiber_switch",
+    ".type mpmd_fiber_switch,@function",
+    "mpmd_fiber_switch:",
+    // rdi: *mut usize — where to store the suspending context's rsp
+    // rsi: usize     — the resuming context's saved rsp
+    // rdx: usize     — value handed to the resumed context (in rax)
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "sub rsp, 8",
+    "stmxcsr [rsp]",
+    "fnstcw [rsp + 4]",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "ldmxcsr [rsp]",
+    "fldcw [rsp + 4]",
+    "add rsp, 8",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "mov rax, rdx",
+    "ret",
+    ".size mpmd_fiber_switch, . - mpmd_fiber_switch",
+    ".balign 16",
+    ".globl mpmd_fiber_start",
+    ".hidden mpmd_fiber_start",
+    ".type mpmd_fiber_start,@function",
+    "mpmd_fiber_start:",
+    // First entry into a fresh fiber: seed_frame parked the body pointer in
+    // the r12 slot. We arrive via `ret` with call-entry alignment
+    // (rsp ≡ 8 mod 16), so realign before issuing our own call.
+    // mpmd_fiber_entry never returns.
+    "sub rsp, 8",
+    "mov rdi, r12",
+    "call mpmd_fiber_entry",
+    "ud2",
+    ".size mpmd_fiber_start, . - mpmd_fiber_start",
+);
+
+extern "C" {
+    fn mpmd_fiber_switch(save: *mut usize, target: usize, arg: usize) -> usize;
+    fn mpmd_fiber_start();
+}
+
+/// Capture the current FP environment so a fresh fiber starts with the same
+/// rounding/precision modes as the code that spawned it.
+fn fp_env() -> (u32, u16) {
+    let mut mxcsr: u32 = 0;
+    let mut fcw: u16 = 0;
+    unsafe {
+        core::arch::asm!(
+            "stmxcsr [{m}]",
+            "fnstcw [{f}]",
+            m = in(reg) &mut mxcsr,
+            f = in(reg) &mut fcw,
+            options(nostack),
+        );
+    }
+    (mxcsr, fcw)
+}
+
+/// Per-task fiber context: the saved stack pointer while suspended, and the
+/// owned stack. Shared via `Arc` from the kernel task table; only ever
+/// touched by the simulation's single OS thread (baton invariant), hence
+/// the unsafe `Send`/`Sync`.
+pub(crate) struct FiberCell {
+    sp: Cell<usize>,
+    stack: UnsafeCell<Option<Stack>>,
+}
+
+unsafe impl Send for FiberCell {}
+unsafe impl Sync for FiberCell {}
+
+impl FiberCell {
+    pub(crate) fn empty() -> FiberCell {
+        FiberCell {
+            sp: Cell::new(0),
+            stack: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// Everything a fresh fiber needs: the task body (which performs all kernel
+/// bookkeeping and picks the successor) plus the handles for the terminal
+/// switch.
+pub(crate) struct FiberBody {
+    pub(crate) body: Box<dyn FnOnce() -> Handoff + Send>,
+    pub(crate) inner: Arc<crate::engine::SimInner>,
+    pub(crate) cell: Arc<TaskCell>,
+}
+
+/// Per-simulation fiber runtime: the engine context's slot, the retired
+/// stack awaiting reap, and the recycle pool.
+pub(crate) struct FiberRt {
+    /// The engine (OS-thread) context's saved rsp while a fiber runs.
+    engine_sp: Cell<usize>,
+    /// Stack of the fiber that just finished; freed/recycled by the next
+    /// context to run. At most one can be pending: every switch target
+    /// reaps before it can itself finish.
+    retired: Cell<Option<Stack>>,
+    free_stacks: UnsafeCell<Vec<Stack>>,
+}
+
+unsafe impl Send for FiberRt {}
+unsafe impl Sync for FiberRt {}
+
+impl FiberRt {
+    pub(crate) fn new() -> FiberRt {
+        FiberRt {
+            engine_sp: Cell::new(0),
+            retired: Cell::new(None),
+            // Reserved up front so recycling a retired stack never grows
+            // the vector — the reap path stays allocation-free.
+            free_stacks: UnsafeCell::new(Vec::with_capacity(STACK_POOL_CAP)),
+        }
+    }
+
+    /// Recycle (or free) the stack of the fiber that just terminal-switched
+    /// away. Called at every switch-in point, where that stack is
+    /// guaranteed quiescent.
+    pub(crate) fn reap(&self) {
+        if let Some(s) = self.retired.take() {
+            let free = unsafe { &mut *self.free_stacks.get() };
+            if free.len() < STACK_POOL_CAP {
+                free.push(s);
+            }
+        }
+    }
+
+    fn alloc_stack(&self) -> Stack {
+        let free = unsafe { &mut *self.free_stacks.get() };
+        free.pop().unwrap_or_else(Stack::new)
+    }
+
+    /// Prepare a suspended fiber: seed its stack so the first switch into
+    /// it runs `body`. No switch happens here.
+    pub(crate) fn prepare(&self, cell: &FiberCell, body: Box<FiberBody>) {
+        let stack = self.alloc_stack();
+        let sp = seed_frame(&stack, Box::into_raw(body));
+        cell.sp.set(sp);
+        unsafe { *cell.stack.get() = Some(stack) };
+    }
+
+    /// Engine context → fiber. Returns when some fiber switches back to the
+    /// engine (termination, deadlock, shutdown, panic).
+    pub(crate) fn enter(&self, target: &FiberCell) {
+        unsafe { mpmd_fiber_switch(self.engine_sp.as_ptr(), target.sp.get(), 0) };
+        self.reap();
+    }
+
+    /// Fiber → fiber baton handoff. Returns when this fiber is resumed.
+    pub(crate) fn yield_to(&self, me: &FiberCell, next: &FiberCell) {
+        unsafe { mpmd_fiber_switch(me.sp.as_ptr(), next.sp.get(), 0) };
+        self.reap();
+    }
+
+    /// Fiber → engine context. Returns if the engine later resumes us
+    /// (shutdown wakes for daemons); on the deadlock path it never does.
+    pub(crate) fn yield_to_engine(&self, me: &FiberCell) {
+        unsafe { mpmd_fiber_switch(me.sp.as_ptr(), self.engine_sp.get(), 0) };
+        self.reap();
+    }
+}
+
+/// Write the initial frame (see the layout contract above the assembly)
+/// and return the seeded stack pointer.
+fn seed_frame(stack: &Stack, body: *mut FiberBody) -> usize {
+    let top = stack.top();
+    // Frame is 64 bytes; the resumed "return" must land with rsp ≡ 8 mod 16.
+    let sp = top - 72;
+    debug_assert_eq!(sp % 16, 8);
+    let (mxcsr, fcw) = fp_env();
+    unsafe {
+        let p = sp as *mut u8;
+        (p as *mut u32).write(mxcsr);
+        (p.add(4) as *mut u16).write(fcw);
+        (p.add(8) as *mut usize).write(0); // r15
+        (p.add(16) as *mut usize).write(0); // r14
+        (p.add(24) as *mut usize).write(0); // r13
+        (p.add(32) as *mut usize).write(body as usize); // r12 → trampoline arg
+        (p.add(40) as *mut usize).write(0); // rbx
+        (p.add(48) as *mut usize).write(0); // rbp
+        (p.add(56) as *mut usize).write(mpmd_fiber_start as *const () as usize);
+        // ret
+    }
+    sp
+}
+
+/// Rust-side landing of the trampoline: run the task body, then perform its
+/// final baton movement and retire this fiber's stack. Mirrors the worker
+/// loop of the OS-thread backend, including the `catch_unwind` backstop so
+/// bookkeeping panics surface as an engine-side panic rather than a hang.
+#[no_mangle]
+extern "C" fn mpmd_fiber_entry(raw: *mut FiberBody) -> ! {
+    let fb = unsafe { Box::from_raw(raw) };
+    let FiberBody { body, inner, cell } = *fb;
+    let rt = inner.fiber_rt();
+    rt.reap();
+    let handoff = match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(h) => h,
+        Err(p) => {
+            let mut k = inner.kernel.lock();
+            if k.panic.is_none() {
+                k.panic = Some(p);
+            }
+            Handoff::WakeGate
+        }
+    };
+    let target_sp = match &handoff {
+        Handoff::Resume(next) => next.fiber().sp.get(),
+        Handoff::WakeGate => rt.engine_sp.get(),
+    };
+    // Move our stack into the retired slot; the switch target reaps it once
+    // we are definitely off it. (Ownership moves now, the memory stays put.)
+    let my_stack = unsafe { (*cell.fiber().stack.get()).take() };
+    rt.retired.set(my_stack);
+    // Release every handle while we can still run destructors. `rt` borrows
+    // `inner`, so re-read the raw engine/successor sp first (done above).
+    drop(handoff);
+    drop(cell);
+    drop(inner);
+    let mut scratch = 0usize;
+    unsafe { mpmd_fiber_switch(&mut scratch, target_sp, 0) };
+    // Nobody holds this context's sp; resuming it is impossible.
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The fiber machinery is exercised end-to-end by every engine test once
+    // the fiber backend is the platform default; these cover the raw
+    // primitive in isolation.
+
+    #[test]
+    fn raw_switch_round_trip() {
+        // Hand-roll a two-way switch without the engine: a fiber that adds
+        // to a counter, yields back, is resumed, and finishes. The
+        // return-address slot of the seeded frame is pointed straight at
+        // `entry` (seed_frame already leaves rsp with call-entry alignment
+        // there), bypassing the FiberBody trampoline.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        struct Raw {
+            main_sp: Cell<usize>,
+            fib_sp: Cell<usize>,
+        }
+        unsafe impl Sync for Raw {}
+        static RAW: Raw = Raw {
+            main_sp: Cell::new(0),
+            fib_sp: Cell::new(0),
+        };
+
+        extern "C" fn entry() {
+            HITS.fetch_add(1, Ordering::SeqCst);
+            unsafe { mpmd_fiber_switch(RAW.fib_sp.as_ptr(), RAW.main_sp.get(), 0) };
+            HITS.fetch_add(1, Ordering::SeqCst);
+            let mut scratch = 0usize;
+            unsafe { mpmd_fiber_switch(&mut scratch, RAW.main_sp.get(), 0) };
+            unreachable!()
+        }
+
+        let stack = Stack::new();
+        let sp = seed_frame(&stack, std::ptr::null_mut());
+        unsafe { ((sp + 56) as *mut usize).write(entry as *const () as usize) };
+        RAW.fib_sp.set(sp);
+        assert_eq!(HITS.load(Ordering::SeqCst), 0);
+        unsafe { mpmd_fiber_switch(RAW.main_sp.as_ptr(), RAW.fib_sp.get(), 0) };
+        assert_eq!(HITS.load(Ordering::SeqCst), 1);
+        unsafe { mpmd_fiber_switch(RAW.main_sp.as_ptr(), RAW.fib_sp.get(), 0) };
+        assert_eq!(HITS.load(Ordering::SeqCst), 2);
+        drop(stack); // fiber finished; its stack is quiescent
+    }
+
+    #[test]
+    fn stack_tops_are_aligned() {
+        for _ in 0..4 {
+            let s = Stack::new();
+            assert_eq!(s.top() % 16, 0);
+            assert!(s.top() - s.0.as_ptr() as usize <= STACK_SIZE);
+        }
+    }
+}

@@ -1,19 +1,35 @@
 //! The simulation kernel: task table, per-node state, and event application.
 //!
-//! The kernel is a passive data structure guarded by one mutex. It is touched
-//! by exactly one logical thread of control at a time (the engine, or the one
-//! task currently holding the baton), so the lock is always uncontended; it
-//! exists to satisfy the borrow checker across OS-thread boundaries.
+//! State is split along the data/control plane boundary:
+//!
+//! * **Shards** (one per node, [`Shard`]) hold everything the *message data
+//!   path* touches — the inbox, the stats block, the per-node typed
+//!   singletons — behind a per-node lock, plus the node's virtual clock as a
+//!   plain atomic. Delivery from node A to node B touches A's shard (send
+//!   accounting), the event heap, and B's shard; reading the clock takes no
+//!   lock at all.
+//! * The **kernel** proper holds scheduling state: the task table, ready
+//!   queues, the runnable-node index, the event heap, and the trace/metrics/
+//!   fault instruments. It is guarded by one mutex.
+//!
+//! Exactly one logical thread of control runs at a time (the engine, or the
+//! one task holding the baton), so every lock here is uncontended; they
+//! exist to satisfy the borrow checker across OS-thread boundaries. Lock
+//! order: kernel → shard (kernel methods lock shards; task-side fast paths
+//! take a shard lock *instead of* the kernel lock, never holding both).
 
-use crate::event::{Event, EventKind, Msg};
+use crate::event::{EventKey, EventKind, Msg};
 use crate::metrics::MetricsRegistry;
+use crate::pool::Pool;
 use crate::stats::Stats;
-use crate::task::{HandoffCell, TaskId};
+use crate::task::{TaskCell, TaskId};
 use crate::time::Time;
 use crate::trace::{TraceConfig, TraceEvent, TraceRecord, Tracer, NO_TASK};
+use parking_lot::Mutex;
 use std::any::{Any, TypeId};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 /// Scheduling state of a task.
@@ -34,7 +50,7 @@ pub(crate) enum TaskState {
 pub(crate) struct TaskRec {
     pub(crate) node: usize,
     pub(crate) state: TaskState,
-    pub(crate) cell: Arc<HandoffCell>,
+    pub(crate) cell: Arc<TaskCell>,
     pub(crate) name: String,
     /// Tasks parked in `join` on this task.
     pub(crate) joiners: Vec<TaskId>,
@@ -46,20 +62,51 @@ pub(crate) struct TaskRec {
     pub(crate) timeout_gen: u64,
 }
 
-pub(crate) struct NodeState {
-    /// This node's virtual clock.
-    pub(crate) clock: Time,
-    /// Tasks ready to run, in FIFO order.
-    pub(crate) ready: VecDeque<TaskId>,
+/// The data-plane half of a node, lockable independently of the scheduler.
+pub(crate) struct Shard {
+    /// This node's virtual clock. Written only by the logical thread holding
+    /// the baton; `Relaxed` suffices because every baton handoff goes
+    /// through a mutex (acquire/release) anyway.
+    pub(crate) clock: AtomicU64,
+    /// Mirror of "this node's ready queue is non-empty", maintained under
+    /// the kernel lock. Lets `Ctx::charge` skip the kernel entirely in the
+    /// common case (nothing to re-key).
+    pub(crate) has_ready: AtomicBool,
+    pub(crate) m: Mutex<ShardData>,
+}
+
+pub(crate) struct ShardData {
     /// Delivered but not yet polled messages.
     pub(crate) inbox: VecDeque<Msg>,
-    /// Tasks parked waiting for the inbox to become non-empty. May contain
-    /// stale entries (tasks woken by other means); filtered by state on wake.
-    pub(crate) inbox_waiters: Vec<TaskId>,
     /// Instrumentation.
     pub(crate) stats: Stats,
-    /// Per-node typed singletons (runtime state for the layered crates).
-    pub(crate) data: HashMap<TypeId, Arc<dyn Any + Send + Sync>>,
+    /// Per-node typed singletons (runtime state for the layered crates),
+    /// with the type name kept alongside for deterministic diagnostics.
+    pub(crate) data: HashMap<TypeId, (Arc<dyn Any + Send + Sync>, &'static str)>,
+}
+
+impl Shard {
+    pub(crate) fn new() -> Self {
+        Shard {
+            clock: AtomicU64::new(0),
+            has_ready: AtomicBool::new(false),
+            m: Mutex::new(ShardData {
+                inbox: VecDeque::new(),
+                stats: Stats::default(),
+                data: HashMap::new(),
+            }),
+        }
+    }
+}
+
+/// The scheduler's per-node state (guarded by the kernel lock).
+pub(crate) struct NodeState {
+    /// Tasks ready to run, in FIFO order.
+    pub(crate) ready: VecDeque<TaskId>,
+    /// Tasks parked waiting for the inbox to become non-empty. Deduplicated
+    /// at park time; entries whose task was woken by other means are skipped
+    /// (by state) at fire time.
+    pub(crate) inbox_waiters: Vec<TaskId>,
     /// Generation of this node's newest `run_heap` entry; older entries are
     /// stale and discarded lazily (see [`Kernel::touch_node`]).
     pub(crate) heap_gen: u64,
@@ -68,12 +115,8 @@ pub(crate) struct NodeState {
 impl NodeState {
     fn new() -> Self {
         NodeState {
-            clock: 0,
             ready: VecDeque::new(),
-            inbox: VecDeque::new(),
             inbox_waiters: Vec::new(),
-            stats: Stats::default(),
-            data: HashMap::new(),
             heap_gen: 0,
         }
     }
@@ -81,8 +124,15 @@ impl NodeState {
 
 pub(crate) struct Kernel {
     pub(crate) nodes: Vec<NodeState>,
+    /// Shared with `SimInner` so task-side fast paths reach shards without
+    /// the kernel lock.
+    pub(crate) shards: Arc<Vec<Shard>>,
     pub(crate) tasks: Vec<TaskRec>,
-    pub(crate) events: BinaryHeap<Event>,
+    /// Min-heap of event keys; bodies live in `event_pool`.
+    pub(crate) events: BinaryHeap<EventKey>,
+    /// Slab pool recycling event bodies (and the `Msg`s inside them) across
+    /// the run.
+    pub(crate) event_pool: Pool<EventKind>,
     /// Min-heap over *runnable* nodes keyed by `(clock, node, generation)`.
     /// Entries are invalidated lazily: an entry is live only if its
     /// generation matches the node's `heap_gen` and the node still has ready
@@ -104,6 +154,8 @@ pub(crate) struct Kernel {
     pub(crate) metrics: Option<MetricsRegistry>,
     /// Installed fault model plus its seeded decision stream.
     pub(crate) faults: Option<FaultState>,
+    /// Reusable buffer for draining `inbox_waiters` without allocating.
+    waiter_scratch: Vec<TaskId>,
 }
 
 /// The fault model's deterministic decision stream. All draws happen under
@@ -165,14 +217,18 @@ impl FaultState {
 impl Kernel {
     pub(crate) fn new(
         nodes: usize,
+        shards: Arc<Vec<Shard>>,
         trace: Option<TraceConfig>,
         metrics: bool,
         faults: Option<crate::cost::FaultModel>,
     ) -> Self {
+        debug_assert_eq!(shards.len(), nodes);
         Kernel {
             nodes: (0..nodes).map(|_| NodeState::new()).collect(),
+            shards,
             tasks: Vec::new(),
             events: BinaryHeap::new(),
+            event_pool: Pool::new(),
             run_heap: BinaryHeap::new(),
             seq: 0,
             live: 0,
@@ -182,6 +238,22 @@ impl Kernel {
             tracer: trace.map(|cfg| Tracer::new(nodes, cfg)),
             metrics: metrics.then(|| MetricsRegistry::new(nodes)),
             faults: faults.map(FaultState::new),
+            waiter_scratch: Vec::new(),
+        }
+    }
+
+    /// Node `i`'s virtual clock.
+    #[inline]
+    pub(crate) fn clock(&self, i: usize) -> Time {
+        self.shards[i].clock.load(Relaxed)
+    }
+
+    /// Raise node `i`'s clock to at least `t`.
+    #[inline]
+    fn raise_clock(&self, i: usize, t: Time) {
+        let sh = &self.shards[i];
+        if t > sh.clock.load(Relaxed) {
+            sh.clock.store(t, Relaxed);
         }
     }
 
@@ -212,10 +284,11 @@ impl Kernel {
     /// node has runnable work, and is a cheap no-op when it does not.
     #[inline]
     pub(crate) fn touch_node(&mut self, i: usize) {
-        let n = &mut self.nodes[i];
-        if !n.ready.is_empty() {
+        if !self.nodes[i].ready.is_empty() {
+            let clock = self.clock(i);
+            let n = &mut self.nodes[i];
             n.heap_gen += 1;
-            self.run_heap.push(Reverse((n.clock, i, n.heap_gen)));
+            self.run_heap.push(Reverse((clock, i, n.heap_gen)));
         }
     }
 
@@ -227,7 +300,7 @@ impl Kernel {
         while let Some(&Reverse((clock, i, gen))) = self.run_heap.peek() {
             let n = &self.nodes[i];
             if gen == n.heap_gen && !n.ready.is_empty() {
-                debug_assert_eq!(clock, n.clock, "stale clock survived touch_node");
+                debug_assert_eq!(clock, self.clock(i), "stale clock survived touch_node");
                 return Some((i, clock));
             }
             self.run_heap.pop();
@@ -239,6 +312,7 @@ impl Kernel {
     #[inline]
     pub(crate) fn enqueue_ready_back(&mut self, node: usize, t: TaskId) {
         self.nodes[node].ready.push_back(t);
+        self.shards[node].has_ready.store(true, Relaxed);
         self.touch_node(node);
     }
 
@@ -247,7 +321,20 @@ impl Kernel {
     #[inline]
     pub(crate) fn enqueue_ready_front(&mut self, node: usize, t: TaskId) {
         self.nodes[node].ready.push_front(t);
+        self.shards[node].has_ready.store(true, Relaxed);
         self.touch_node(node);
+    }
+
+    /// Pop the front of `node`'s ready queue, maintaining the `has_ready`
+    /// mirror and the runnable-node index.
+    #[inline]
+    pub(crate) fn pop_ready_front(&mut self, node: usize) -> Option<TaskId> {
+        let t = self.nodes[node].ready.pop_front();
+        self.shards[node]
+            .has_ready
+            .store(!self.nodes[node].ready.is_empty(), Relaxed);
+        self.touch_node(node);
+        t
     }
 
     /// Emit a trace record stamped with `node`'s current clock. No-op when
@@ -255,7 +342,7 @@ impl Kernel {
     pub(crate) fn emit(&mut self, node: usize, task: TaskId, event: TraceEvent) {
         if let Some(tr) = self.tracer.as_mut() {
             tr.record(TraceRecord {
-                time: self.nodes[node].clock,
+                time: self.shards[node].clock.load(Relaxed),
                 node,
                 task,
                 event,
@@ -268,7 +355,7 @@ impl Kernel {
         &mut self,
         node: usize,
         name: String,
-        cell: Arc<HandoffCell>,
+        cell: Arc<TaskCell>,
         daemon: bool,
     ) -> TaskId {
         assert!(node < self.nodes.len(), "spawn on nonexistent node {node}");
@@ -306,40 +393,46 @@ impl Kernel {
         assert!(delay > 0, "message delay must be positive (causality)");
         assert!(dst < self.nodes.len(), "send to nonexistent node {dst}");
         let src = msg.src;
-        let at = self.nodes[src].clock + delay;
-        self.nodes[src].stats.msgs_sent += 1;
-        self.nodes[src].stats.bytes_sent += msg.wire_bytes as u64;
-        self.nodes[src].stats.msg_size_hist[crate::stats::size_bucket(msg.wire_bytes)] += 1;
+        let at = self.clock(src) + delay;
+        {
+            let mut sh = self.shards[src].m.lock();
+            sh.stats.msgs_sent += 1;
+            sh.stats.bytes_sent += msg.wire_bytes as u64;
+            sh.stats.msg_size_hist[crate::stats::size_bucket(msg.wire_bytes)] += 1;
+        }
         // Source-side traffic matrix (who sends what where): `msgprofile`
         // and `regress` read these keyed counters back out of the registry.
         if let Some(m) = self.metrics.as_mut() {
             m.keyed_add(src, "net.msgs_to", dst as u64, 1);
             m.keyed_add(src, "net.bytes_to", dst as u64, msg.wire_bytes as u64);
         }
+        let wire_bytes = msg.wire_bytes;
         let seq = self.next_seq();
         self.emit(
             src,
             NO_TASK,
             TraceEvent::MsgSend {
                 dst,
-                wire_bytes: msg.wire_bytes,
+                wire_bytes,
                 arrives: at,
             },
         );
-        self.events.push(Event {
+        let body = self.event_pool.alloc(EventKind::Deliver { node: dst, msg });
+        self.events.push(EventKey {
             time: at,
             seq,
-            kind: EventKind::Deliver { node: dst, msg },
+            body,
         });
     }
 
     /// Schedule a wake event for `task` at absolute time `at`.
     pub(crate) fn post_wake(&mut self, task: TaskId, at: Time) {
         let seq = self.next_seq();
-        self.events.push(Event {
+        let body = self.event_pool.alloc(EventKind::Wake { task });
+        self.events.push(EventKey {
             time: at,
             seq,
-            kind: EventKind::Wake { task },
+            body,
         });
     }
 
@@ -347,10 +440,11 @@ impl Kernel {
     /// task's timeout generation stays at `gen`.
     pub(crate) fn post_timeout_wake(&mut self, task: TaskId, at: Time, gen: u64) {
         let seq = self.next_seq();
-        self.events.push(Event {
+        let body = self.event_pool.alloc(EventKind::TimeoutWake { task, gen });
+        self.events.push(EventKey {
             time: at,
             seq,
-            kind: EventKind::TimeoutWake { task, gen },
+            body,
         });
     }
 
@@ -359,32 +453,49 @@ impl Kernel {
         self.seq
     }
 
-    /// Apply one event. Only called by the engine when every node with ready
-    /// work has `clock >= event.time`, which keeps clock bumps causal.
-    pub(crate) fn apply_event(&mut self, ev: Event) {
-        match ev.kind {
+    /// Pop and apply the earliest event. Only called by the engine when the
+    /// scheduling policy says it is due, which keeps clock bumps causal.
+    pub(crate) fn apply_next_event(&mut self) {
+        let key = self.events.pop().expect("apply_next_event on empty heap");
+        let kind = self.event_pool.take(key.body);
+        self.apply_event(key.time, kind);
+    }
+
+    fn apply_event(&mut self, time: Time, kind: EventKind) {
+        match kind {
             EventKind::Deliver { node, msg } => {
                 let (src, wire_bytes) = (msg.src, msg.wire_bytes);
-                let n = &mut self.nodes[node];
-                n.stats.msgs_received += 1;
-                n.inbox.push_back(msg);
-                n.clock = n.clock.max(ev.time);
+                {
+                    let mut sh = self.shards[node].m.lock();
+                    sh.stats.msgs_received += 1;
+                    sh.inbox.push_back(msg);
+                }
+                self.raise_clock(node, time);
                 // The clock may have moved under tasks already in the ready
                 // queue; re-key the node before (possibly) waking waiters.
                 self.touch_node(node);
                 self.emit(node, NO_TASK, TraceEvent::MsgDeliver { src, wire_bytes });
-                let n = &mut self.nodes[node];
-                let waiters = std::mem::take(&mut n.inbox_waiters);
-                for t in waiters {
+                // Wake the inbox waiters, reusing the scratch buffer so the
+                // drain allocates nothing. The list is duplicate-free (park
+                // dedupes); the state check skips stale entries for tasks
+                // woken by other means (unpark, timeout) since they parked.
+                let waiters = std::mem::replace(
+                    &mut self.nodes[node].inbox_waiters,
+                    std::mem::take(&mut self.waiter_scratch),
+                );
+                for &t in &waiters {
                     if self.tasks[t.idx()].state == TaskState::InboxWait {
                         self.make_runnable(t);
                     }
                 }
+                let mut waiters = waiters;
+                waiters.clear();
+                self.waiter_scratch = waiters;
             }
             EventKind::Wake { task } => {
                 if self.tasks[task.idx()].state == TaskState::Parked {
                     let node = self.tasks[task.idx()].node;
-                    self.nodes[node].clock = self.nodes[node].clock.max(ev.time);
+                    self.raise_clock(node, time);
                     self.make_runnable(task);
                 }
             }
@@ -394,7 +505,7 @@ impl Kernel {
                 // this deadline; any intervening wake bumped the generation.
                 if rec.state == TaskState::InboxWait && rec.timeout_gen == gen {
                     let node = rec.node;
-                    self.nodes[node].clock = self.nodes[node].clock.max(ev.time);
+                    self.raise_clock(node, time);
                     self.make_runnable(task);
                 }
             }
@@ -421,7 +532,7 @@ impl Kernel {
     /// clock (cross-node joins model a zero-cost completion notification and
     /// are only used by test scaffolding; real runtimes use messages).
     pub(crate) fn finish_task(&mut self, t: TaskId) {
-        let finish_clock = self.nodes[self.tasks[t.idx()].node].clock;
+        let finish_clock = self.clock(self.tasks[t.idx()].node);
         let rec = &mut self.tasks[t.idx()];
         debug_assert_ne!(rec.state, TaskState::Finished, "double finish");
         rec.state = TaskState::Finished;
@@ -438,21 +549,39 @@ impl Kernel {
         for j in joiners {
             if self.tasks[j.idx()].state == TaskState::Parked {
                 let jn = self.tasks[j.idx()].node;
-                self.nodes[jn].clock = self.nodes[jn].clock.max(finish_clock);
+                self.raise_clock(jn, finish_clock);
                 self.make_runnable(j);
             }
         }
     }
 
+    /// Publish the event pool's recycling counters into the metrics
+    /// registry (machine-wide totals, attributed to node 0). Called once at
+    /// teardown; deterministic because event alloc/free order is fixed by
+    /// the schedule.
+    pub(crate) fn publish_pool_metrics(&mut self) {
+        if let Some(m) = self.metrics.as_mut() {
+            m.counter_add(0, "pool.recycled", self.event_pool.recycled);
+            m.counter_add(0, "pool.misses", self.event_pool.misses);
+        }
+    }
+
     /// Human-readable dump of unfinished tasks, for deadlock diagnostics.
+    /// Deterministic: nodes and tasks print in index order, and each node's
+    /// typed-singleton list is sorted by type name (the underlying map
+    /// iterates in arbitrary order).
     pub(crate) fn dump_live(&self) -> String {
         let mut s = String::new();
-        for (i, n) in self.nodes.iter().enumerate() {
+        for (i, sh) in self.shards.iter().enumerate() {
+            let d = sh.m.lock();
+            let mut names: Vec<&'static str> = d.data.values().map(|&(_, name)| name).collect();
+            names.sort_unstable();
             s.push_str(&format!(
-                "node {i}: clock={}ns inbox={} ready={}\n",
-                n.clock,
-                n.inbox.len(),
-                n.ready.len()
+                "node {i}: clock={}ns inbox={} ready={} data=[{}]\n",
+                sh.clock.load(Relaxed),
+                d.inbox.len(),
+                self.nodes[i].ready.len(),
+                names.join(", ")
             ));
         }
         for (i, t) in self.tasks.iter().enumerate() {

@@ -27,9 +27,12 @@ mod cost;
 mod ctx;
 mod engine;
 mod event;
+#[cfg(all(target_arch = "x86_64", unix))]
+mod fiber;
 pub mod flame;
 mod kernel;
 pub mod metrics;
+mod pool;
 mod report;
 mod stats;
 mod task;
@@ -39,7 +42,7 @@ pub mod trace;
 pub use cost::{CoalesceCosts, CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
 pub use ctx::{Ctx, SpanGuard};
 pub use engine::Sim;
-pub use event::Msg;
+pub use event::{Msg, Payload};
 pub use flame::{fold_stacks, phase_profile, Phase};
 pub use kernel::FaultDecision;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, HIST_BUCKETS};
@@ -93,7 +96,7 @@ mod tests {
         let r = Sim::new(2).run(|ctx| {
             if ctx.node() == 0 {
                 ctx.charge(Bucket::Cpu, 1_000);
-                ctx.send_msg(1, 16, 5_000, Box::new(42u64));
+                ctx.send_msg(1, 16, 5_000, Payload::any(42u64));
             } else {
                 ctx.park_for_inbox();
                 let m = ctx.try_recv().expect("message should be in inbox");
@@ -113,7 +116,7 @@ mod tests {
         // each way and no other charges ends both clocks at 20us.
         let r = Sim::new(2).run(|ctx| {
             if ctx.node() == 0 {
-                ctx.send_msg(1, 8, 10_000, Box::new(()));
+                ctx.send_msg(1, 8, 10_000, Payload::any(()));
                 ctx.park_for_inbox();
                 ctx.try_recv().unwrap();
                 assert_eq!(ctx.now(), 20_000);
@@ -121,7 +124,7 @@ mod tests {
                 ctx.park_for_inbox();
                 ctx.try_recv().unwrap();
                 assert_eq!(ctx.now(), 10_000);
-                ctx.send_msg(0, 8, 10_000, Box::new(()));
+                ctx.send_msg(0, 8, 10_000, Payload::any(()));
             }
         });
         assert_eq!(r.elapsed(), 20_000);
@@ -232,7 +235,7 @@ mod tests {
             if ctx.node() == 0 {
                 for d in 1..n {
                     ctx.charge(Bucket::Cpu, 100);
-                    ctx.send_msg(d, 8, 1_000, Box::new(d as u64));
+                    ctx.send_msg(d, 8, 1_000, Payload::any(d as u64));
                 }
             } else {
                 ctx.park_for_inbox();
@@ -288,7 +291,7 @@ mod tests {
         let r = Sim::new(2).run(|ctx| {
             if ctx.node() == 0 {
                 ctx.charge(Bucket::Cpu, 10_000);
-                ctx.send_msg(1, 8, 100, Box::new(()));
+                ctx.send_msg(1, 8, 100, Payload::any(()));
             } else {
                 // waits for the message; charge happens after arrival
                 ctx.park_for_inbox();

@@ -35,6 +35,35 @@ impl TaskId {
     }
 }
 
+/// Per-task baton context, one variant per execution backend. A simulation
+/// uses exactly one backend for all its tasks (chosen at `Sim::run`), so a
+/// cell handed to the wrong backend is a logic error and panics.
+pub(crate) enum TaskCell {
+    /// OS-thread backend: condvar handoff cell.
+    Threads(HandoffCell),
+    /// Userspace-fiber backend: saved stack pointer + owned stack.
+    #[cfg(all(target_arch = "x86_64", unix))]
+    Fiber(crate::fiber::FiberCell),
+}
+
+impl TaskCell {
+    pub(crate) fn thread(&self) -> &HandoffCell {
+        match self {
+            TaskCell::Threads(c) => c,
+            #[cfg(all(target_arch = "x86_64", unix))]
+            TaskCell::Fiber(_) => panic!("fiber cell used by the threads backend"),
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", unix))]
+    pub(crate) fn fiber(&self) -> &crate::fiber::FiberCell {
+        match self {
+            TaskCell::Fiber(c) => c,
+            TaskCell::Threads(_) => panic!("threads cell used by the fiber backend"),
+        }
+    }
+}
+
 /// Whose turn it is to run on a given task's handoff cell.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 enum Turn {
@@ -49,11 +78,11 @@ pub(crate) struct HandoffCell {
 }
 
 impl HandoffCell {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(HandoffCell {
+    pub(crate) fn new() -> Self {
+        HandoffCell {
             turn: Mutex::new(Turn::Engine),
             cv: Condvar::new(),
-        })
+        }
     }
 
     /// Hand the baton to the task parked on this cell. Does not block; called
@@ -125,7 +154,7 @@ impl EngineGate {
 /// for a fresh spawn instead of creating a new one.
 pub(crate) enum Handoff {
     /// Hand the baton to this task.
-    Resume(Arc<HandoffCell>),
+    Resume(Arc<TaskCell>),
     /// Nothing runnable (or a panic to propagate): wake the engine.
     WakeGate,
 }
@@ -137,7 +166,7 @@ pub(crate) enum Handoff {
 /// should the body itself panic through (then nobody else will ever wake the
 /// engine).
 pub(crate) struct Job {
-    pub(crate) cell: Arc<HandoffCell>,
+    pub(crate) cell: Arc<TaskCell>,
     pub(crate) body: Box<dyn FnOnce() -> Handoff + Send>,
     pub(crate) gate: Arc<EngineGate>,
 }
@@ -251,7 +280,7 @@ fn worker_loop(slot: Arc<WorkerSlot>) {
         match cmd {
             WorkerCmd::Shutdown => return,
             WorkerCmd::Run(job) => {
-                job.cell.wait_for_turn();
+                job.cell.thread().wait_for_turn();
                 // The body is responsible for all kernel bookkeeping,
                 // including panic capture and picking the hand-off target.
                 // `catch_unwind` is a backstop so a worker never dies holding
@@ -264,7 +293,7 @@ fn worker_loop(slot: Arc<WorkerSlot>) {
                 let handoff = catch_unwind(AssertUnwindSafe(job.body));
                 slot.busy.store(false, Ordering::Release);
                 match handoff {
-                    Ok(Handoff::Resume(cell)) => cell.resume_task(),
+                    Ok(Handoff::Resume(cell)) => cell.thread().resume_task(),
                     Ok(Handoff::WakeGate) | Err(_) => job.gate.wake(),
                 }
             }
@@ -280,7 +309,7 @@ mod tests {
 
     #[test]
     fn handoff_round_trip() {
-        let cell = HandoffCell::new();
+        let cell = Arc::new(HandoffCell::new());
         let gate = EngineGate::new();
         let (c2, g2) = (Arc::clone(&cell), Arc::clone(&gate));
         let hits = Arc::new(AtomicUsize::new(0));
@@ -317,7 +346,7 @@ mod tests {
         cell.wait_for_turn(); // returns immediately again
     }
 
-    fn idle_job(cell: &Arc<HandoffCell>, gate: &Arc<EngineGate>) -> Job {
+    fn idle_job(cell: &Arc<TaskCell>, gate: &Arc<EngineGate>) -> Job {
         Job {
             cell: Arc::clone(cell),
             body: Box::new(|| Handoff::WakeGate),
@@ -330,9 +359,9 @@ mod tests {
         let pool = TaskPool::new();
         let gate = EngineGate::new();
         for _ in 0..16 {
-            let cell = HandoffCell::new();
+            let cell = Arc::new(TaskCell::Threads(HandoffCell::new()));
             pool.dispatch(idle_job(&cell, &gate));
-            cell.resume_task();
+            cell.thread().resume_task();
             // Give the worker a moment to mark itself idle so the next
             // dispatch can reuse it.
             for _ in 0..1000 {
@@ -360,12 +389,12 @@ mod tests {
         let gate = EngineGate::new();
         let mut cells = Vec::new();
         for _ in 0..8 {
-            let cell = HandoffCell::new();
+            let cell = Arc::new(TaskCell::Threads(HandoffCell::new()));
             pool.dispatch(idle_job(&cell, &gate));
             cells.push(cell);
         }
         for c in cells {
-            c.resume_task();
+            c.thread().resume_task();
         }
         assert_eq!(pool.worker_count(), 8);
     }
@@ -374,13 +403,13 @@ mod tests {
     fn worker_panic_wakes_the_gate() {
         let pool = TaskPool::new();
         let gate = EngineGate::new();
-        let cell = HandoffCell::new();
+        let cell = Arc::new(TaskCell::Threads(HandoffCell::new()));
         pool.dispatch(Job {
             cell: Arc::clone(&cell),
             body: Box::new(|| panic!("task body panicked")),
             gate: Arc::clone(&gate),
         });
-        cell.resume_task();
+        cell.thread().resume_task();
         // The backstop must wake the gate even though the body panicked.
         gate.sleep();
     }

@@ -1,0 +1,101 @@
+//! Proof of the zero-allocation short-message fast path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up phase (event-pool slabs, inbox/ready/waiter capacities, fiber
+//! stacks), a steady-state run of short AM round trips must perform **zero**
+//! heap allocations: argument words travel inline in [`Payload::Short`],
+//! event bodies come from the kernel's slab pool, and baton handoffs reuse
+//! pooled stacks (fiber backend) or parked OS threads (threads backend).
+//!
+//! Everything lives in a single `#[test]` so no sibling test thread can
+//! allocate concurrently and pollute the counter.
+
+use mpmd_sim::{Payload, Sim};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+const WARMUP: usize = 50;
+const MEASURED: usize = 1_000;
+
+fn short() -> Payload {
+    Payload::Short {
+        handler: 7,
+        args: [1, 2, 3, 4],
+        token: None,
+    }
+}
+
+/// One short-message round trip: node 0 sends, node 1 receives and replies.
+fn round_trips(ctx: &mpmd_sim::Ctx, n: usize) {
+    if ctx.node() == 0 {
+        for _ in 0..n {
+            ctx.send_msg(1, 8, 1_000, short());
+            ctx.park_for_inbox();
+            let m = ctx.try_recv().unwrap();
+            assert!(matches!(m.payload, Payload::Short { handler: 7, .. }));
+        }
+    } else {
+        for _ in 0..n {
+            ctx.park_for_inbox();
+            ctx.try_recv().unwrap();
+            ctx.send_msg(0, 8, 1_000, short());
+        }
+    }
+}
+
+#[test]
+fn short_message_round_trip_allocates_nothing() {
+    // The ping-pong is self-synchronizing and the whole simulation runs one
+    // task at a time, so every allocation anywhere in the process between
+    // node 0's bracketing reads lands in the measured delta.
+    static MEASURED_DELTA: AtomicU64 = AtomicU64::new(u64::MAX);
+    let r = Sim::new(2).run(|ctx| {
+        // Warm-up: grows the event-pool slab, inbox and waiter-list
+        // capacities, and (on the fiber backend) the recycled stack pool.
+        round_trips(&ctx, WARMUP);
+        if ctx.node() == 0 {
+            let before = ALLOCS.load(Relaxed);
+            round_trips(&ctx, MEASURED);
+            let after = ALLOCS.load(Relaxed);
+            MEASURED_DELTA.store(after - before, Relaxed);
+        } else {
+            round_trips(&ctx, MEASURED);
+        }
+    });
+    assert_eq!(r.stats[0].msgs_sent as usize, WARMUP + MEASURED);
+    assert_eq!(
+        MEASURED_DELTA.load(Relaxed),
+        0,
+        "short-message round trips must not allocate ({} allocations \
+         across {MEASURED} round trips)",
+        MEASURED_DELTA.load(Relaxed)
+    );
+}

@@ -43,7 +43,12 @@ fn run_program(nodes: usize, actions: Vec<Action>) -> Report {
             match a {
                 Action::Charge(ns) => ctx.charge(Bucket::Cpu, *ns),
                 Action::SendNext(delay) => {
-                    ctx.send_msg((ctx.node() + 1) % ctx.nodes(), 8, *delay, Box::new(0u8));
+                    ctx.send_msg(
+                        (ctx.node() + 1) % ctx.nodes(),
+                        8,
+                        *delay,
+                        mpmd_sim::Payload::any(0u8),
+                    );
                 }
                 Action::RecvOne => {} // receives happen at the end
                 Action::SpawnCharge(ns) => {
@@ -129,7 +134,7 @@ proptest! {
         Sim::new(2).run(move |ctx| {
             if ctx.node() == 0 {
                 for i in 0..count as u64 {
-                    ctx.send_msg(1, 8, delay, Box::new(i));
+                    ctx.send_msg(1, 8, delay, mpmd_sim::Payload::any(i));
                 }
             } else {
                 let mut got = 0;
