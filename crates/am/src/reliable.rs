@@ -88,6 +88,11 @@ pub(crate) struct RelState {
     unacked: BTreeMap<(usize, u64), Unacked>,
     /// Incoming link state per source.
     recv: HashMap<usize, RecvChannel>,
+    /// Highest cumulative ack sent per source. `next_expected` only grows,
+    /// so the acks we emit must be monotone per link; the protocol asserts
+    /// it on every ack (a regression here would silently wedge the sender's
+    /// retransmit buffer).
+    sent_cum: HashMap<usize, u64>,
 }
 
 /// Sequence, buffer and transmit one application message (the reliable
@@ -101,12 +106,19 @@ pub(crate) fn send(
     data_len: usize,
     p: &NetProfile,
 ) {
-    let rto = ctx
-        .cost()
-        .faults
-        .as_ref()
-        .expect("reliable send without a fault model")
-        .rto_initial;
+    let Some(faults) = ctx.cost().faults.as_ref() else {
+        // No fault model means a reliable wire: sequencing and retransmit
+        // machinery would add nothing, so degrade to a plain send instead of
+        // aborting the experiment over the misconfiguration.
+        ctx.send_msg(
+            dst,
+            SHORT_WIRE_BYTES + data_len,
+            p.wire_delay(data_len),
+            msg.into_payload(),
+        );
+        return;
+    };
+    let rto = faults.rto_initial;
     let pkt = {
         let mut rel = st.rel.lock();
         let seq = rel.next_seq.entry(dst).or_insert(0);
@@ -223,6 +235,12 @@ pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
                 let src = m.src;
                 let seq = pkt.seq;
                 touched.insert(src);
+                // A consumed body behind a fresh sequence number should be
+                // impossible (the seq check identifies duplicates before the
+                // body is looked at); if it ever happens, the window still
+                // advances and the hole is counted as a duplicate drop
+                // instead of poisoning the whole run with a panic.
+                let mut stale_takes = 0u64;
                 let action = {
                     let mut rel = st.rel.lock();
                     let ch = rel.recv.entry(src).or_default();
@@ -237,24 +255,26 @@ pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
                             }
                         }
                     } else {
-                        let mut out = vec![pkt
-                            .msg
-                            .lock()
-                            .take()
-                            .expect("in-order packet already consumed")];
+                        let mut out = Vec::new();
+                        match pkt.msg.lock().take() {
+                            Some(am) => out.push(am),
+                            None => stale_takes += 1,
+                        }
                         ch.next_expected += 1;
                         while let Some(b) = ch.buffer.remove(&ch.next_expected) {
-                            out.push(
-                                b.msg
-                                    .lock()
-                                    .take()
-                                    .expect("buffered packet already consumed"),
-                            );
+                            match b.msg.lock().take() {
+                                Some(am) => out.push(am),
+                                None => stale_takes += 1,
+                            }
                             ch.next_expected += 1;
                         }
                         Action::Deliver(out)
                     }
                 };
+                if stale_takes > 0 {
+                    ctx.with_stats(|s| s.dup_drops += stale_takes);
+                    ctx.trace_dup_drop(src, seq);
+                }
                 match action {
                     Action::Deliver(msgs) => {
                         for am in msgs {
@@ -286,7 +306,16 @@ pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
     // duplicates and out-of-order arrivals is what lets the sender clear
     // its buffer after a lost ack.
     for src in touched {
-        let cum = st.rel.lock().recv.get(&src).map_or(0, |c| c.next_expected);
+        let cum = {
+            let mut rel = st.rel.lock();
+            let cum = rel.recv.get(&src).map_or(0, |c| c.next_expected);
+            let prev = rel.sent_cum.insert(src, cum);
+            assert!(
+                prev.is_none_or(|p| cum >= p),
+                "cumulative ack to node {src} went backwards: {prev:?} -> {cum}"
+            );
+            cum
+        };
         send_ack(ctx, src, cum, p);
     }
     retransmit_scan(ctx, st, p);
@@ -310,12 +339,13 @@ fn retransmit_scan(ctx: &Ctx, st: &AmState, p: &NetProfile) {
         return;
     }
     let rc = ctx.cost().reliability.clone();
-    let rto_max = ctx
-        .cost()
-        .faults
-        .as_ref()
-        .expect("retransmit scan without a fault model")
-        .rto_max;
+    // Unacked packets can only exist if sends went through the reliable
+    // path, which requires a fault model — but if the CostModel was swapped
+    // out from under us, skip the scan rather than abort.
+    let Some(faults) = ctx.cost().faults.as_ref() else {
+        return;
+    };
+    let rto_max = faults.rto_max;
     ctx.with_stats(|s| s.timeouts += 1);
     ctx.charge(Bucket::Net, rc.timeout_check);
     for ((dst, seq), pkt) in due {

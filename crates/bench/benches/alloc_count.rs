@@ -9,6 +9,14 @@
 //! alloc_count/<scenario>: <allocs> allocs / <ops> ops
 //! ```
 //!
+//! Counts are kept **per thread** (const-initialized native TLS, so the
+//! counter bump never itself allocates): helper threads — criterion's own,
+//! or a test harness's main thread lazily initializing its blocking-recv
+//! channel `Context` — must not be able to race spurious allocations into
+//! the measured window (see `crates/sim/tests/alloc_count.rs` for the
+//! full story). Under the fiber backend the whole simulation runs on the
+//! measuring thread, so coverage of the simulator is total.
+//!
 //! Asserted bounds (the process aborts on regression, failing `cargo bench`):
 //! * raw short-message round trip — **0** allocations;
 //! * AM bulk send — bounded (the payload buffer and its transfer frames),
@@ -18,25 +26,36 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mpmd_am as am;
 use mpmd_sim::{Payload, Sim};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 struct Counting;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
+        bump();
         unsafe { System.alloc(l) }
     }
 
     unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
+        bump();
         unsafe { System.alloc_zeroed(l) }
     }
 
     unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
+        bump();
         unsafe { System.realloc(p, l, n) }
     }
 
@@ -80,9 +99,9 @@ fn count_short_round_trips() -> u64 {
         };
         trips(WARMUP);
         if ctx.node() == 0 {
-            let before = ALLOCS.load(Relaxed);
+            let before = thread_allocs();
             trips(OPS);
-            DELTA.store(ALLOCS.load(Relaxed) - before, Relaxed);
+            DELTA.store(thread_allocs() - before, Relaxed);
         } else {
             trips(OPS);
         }
@@ -112,11 +131,11 @@ fn count_bulk_sends() -> u64 {
             for _ in 0..WARMUP {
                 send_one();
             }
-            let before = ALLOCS.load(Relaxed);
+            let before = thread_allocs();
             for _ in 0..OPS {
                 send_one();
             }
-            DELTA.store(ALLOCS.load(Relaxed) - before, Relaxed);
+            DELTA.store(thread_allocs() - before, Relaxed);
         }
         am::barrier(&ctx);
     });

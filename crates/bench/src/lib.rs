@@ -7,6 +7,7 @@
 //! `-j` flag) in [`runner`].
 
 pub mod experiments;
+pub mod explore;
 pub mod fmt;
 pub mod micro;
 pub mod regress;

@@ -8,6 +8,7 @@ use std::process::Command;
 const BINS: &[(&str, &str)] = &[
     ("ablation", env!("CARGO_BIN_EXE_ablation")),
     ("claims", env!("CARGO_BIN_EXE_claims")),
+    ("explore", env!("CARGO_BIN_EXE_explore")),
     ("faults", env!("CARGO_BIN_EXE_faults")),
     ("fig5", env!("CARGO_BIN_EXE_fig5")),
     ("fig6", env!("CARGO_BIN_EXE_fig6")),
@@ -55,6 +56,33 @@ fn pathless_json_is_rejected_by_every_binary() {
         let err = String::from_utf8_lossy(&out.stderr);
         assert!(err.contains("usage"), "{name} printed no usage: {err}");
     }
+}
+
+/// An unrecognized `MPMD_SIM_BACKEND` value must fail fast with an error
+/// naming the valid backends — not silently fall back to a default (the
+/// pre-fix behavior, which made backend typos unfalsifiable in CI).
+#[test]
+fn bogus_backend_env_is_rejected_with_valid_values_listed() {
+    let exe = env!("CARGO_BIN_EXE_explore");
+    let out = Command::new(exe)
+        .env("MPMD_SIM_BACKEND", "bogus")
+        .args(["--quick", "--seeds", "1"])
+        .output()
+        .expect("running explore");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "explore ran despite MPMD_SIM_BACKEND=bogus"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("bogus"),
+        "error does not echo the bad value: {err}"
+    );
+    assert!(
+        err.contains("threads") && err.contains("fibers"),
+        "error does not list the valid backends: {err}"
+    );
 }
 
 #[test]

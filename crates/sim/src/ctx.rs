@@ -103,19 +103,19 @@ impl Ctx {
         let sh = &self.inner.shards[self.node];
         let new = sh.clock.load(Relaxed) + ns;
         sh.clock.store(new, Relaxed);
-        sh.m.lock().stats.bucket_ns[bucket.index()] += ns;
+        sh.lock_data().stats.bucket_ns[bucket.index()] += ns;
         if sh.has_ready.load(Relaxed) {
-            self.inner.kernel.lock().touch_node(self.node);
+            self.inner.lock_kernel().touch_node(self.node);
         }
         if self.inner.tracing_on {
-            let mut k = self.inner.kernel.lock();
+            let mut k = self.inner.lock_kernel();
             k.emit(self.node, self.task, TraceEvent::Charge { bucket, ns });
         }
     }
 
     /// Mutate this node's instrumentation counters.
     pub fn with_stats<R>(&self, f: impl FnOnce(&mut Stats) -> R) -> R {
-        f(&mut self.inner.shards[self.node].m.lock().stats)
+        f(&mut self.inner.shards[self.node].lock_data().stats)
     }
 
     /// Spawn a new task on this node. Pure scheduling: the *cost* of thread
@@ -143,7 +143,7 @@ impl Ctx {
     /// Includes a fast path: if no event and no other task could possibly run
     /// before this node's clock, the reschedule is skipped entirely.
     pub fn yield_now(&self) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         let my_clock = k.clock(self.node);
         let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
         let local_ready = !k.nodes[self.node].ready.is_empty();
@@ -152,7 +152,12 @@ impl Ctx {
         // runnable work strictly behind our clock.
         let earlier_node = !local_ready && k.peek_min_runnable().is_some_and(|(_, c)| c < my_clock);
         if !event_due && !local_ready && !earlier_node {
-            return;
+            // Exploration hook: the oracle may force the skipped slow path
+            // anyway (requeue + reschedule at unchanged virtual time), which
+            // must be invisible in the results.
+            if !k.oracle_forces_slow_path() {
+                return;
+            }
         }
         k.tasks[self.task.idx()].state = TaskState::Runnable;
         k.enqueue_ready_back(self.node, self.task);
@@ -161,7 +166,7 @@ impl Ctx {
 
     /// Park this task until [`Ctx::unpark`] (or a timer) wakes it.
     pub fn park(&self) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.tasks[self.task.idx()].state = TaskState::Parked;
         k.emit(self.node, self.task, TraceEvent::Park);
         switch_from_task(&self.inner, k, self.task, &self.cell);
@@ -171,7 +176,7 @@ impl Ctx {
     /// node* (threads and their synchronization live within one address
     /// space; cross-node wake-ups travel as messages).
     pub fn unpark(&self, t: TaskId) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         let rec = &k.tasks[t.idx()];
         assert_eq!(
             rec.node, self.node,
@@ -191,8 +196,8 @@ impl Ctx {
     /// beneath both Split-C's spin-polling (which costs nothing in thread
     /// operations) and the CC++ polling thread.
     pub fn park_for_inbox(&self) {
-        let mut k = self.inner.kernel.lock();
-        if !self.inner.shards[self.node].m.lock().inbox.is_empty() {
+        let mut k = self.inner.lock_kernel();
+        if !self.inner.shards[self.node].lock_data().inbox.is_empty() {
             return;
         }
         k.tasks[self.task.idx()].state = TaskState::InboxWait;
@@ -213,8 +218,9 @@ impl Ctx {
     /// non-empty or the deadline has passed. This is the blocking primitive
     /// beneath the reliable-delivery layer's retransmit timers.
     pub fn park_for_inbox_until(&self, deadline: Time) {
-        let mut k = self.inner.kernel.lock();
-        if !self.inner.shards[self.node].m.lock().inbox.is_empty() || k.clock(self.node) >= deadline
+        let mut k = self.inner.lock_kernel();
+        if !self.inner.shards[self.node].lock_data().inbox.is_empty()
+            || k.clock(self.node) >= deadline
         {
             return;
         }
@@ -240,13 +246,13 @@ impl Ctx {
     /// from the seeded fault stream. Panics when no fault model is installed
     /// (callers gate on [`Ctx::faults_enabled`]).
     pub fn fault_decision(&self, dst: usize) -> FaultDecision {
-        self.inner.kernel.lock().fault_decision(self.node, dst)
+        self.inner.lock_kernel().fault_decision(self.node, dst)
     }
 
     /// Whether the engine has begun shutdown because only daemon tasks
     /// remain. Daemons must exit promptly once this turns true.
     pub fn shutting_down(&self) -> bool {
-        self.inner.kernel.lock().shutting_down
+        self.inner.lock_kernel().shutting_down
     }
 
     /// Spawn a background *daemon* task on this node. Daemons are excluded
@@ -270,7 +276,7 @@ impl Ctx {
     /// node's clock (and could therefore still produce an event before it),
     /// and resumes at the front of its node's run queue.
     pub fn poll_point(&self) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         let my_clock = k.clock(self.node);
         let event_due = k.events.peek().is_some_and(|e| e.time <= my_clock);
         // Any live heap entry for our own node carries our clock, never an
@@ -278,7 +284,11 @@ impl Ctx {
         // another node.
         let earlier_node = k.peek_min_runnable().is_some_and(|(_, c)| c < my_clock);
         if !event_due && !earlier_node {
-            return;
+            // Exploration hook: see `yield_now`. Resuming at the front of
+            // the run queue keeps the forced detour schedule-neutral.
+            if !k.oracle_forces_slow_path() {
+                return;
+            }
         }
         k.tasks[self.task.idx()].state = TaskState::Runnable;
         k.enqueue_ready_front(self.node, self.task);
@@ -288,12 +298,12 @@ impl Ctx {
     /// Take the oldest delivered message, if any. Touches only this node's
     /// shard (no kernel lock).
     pub fn try_recv(&self) -> Option<Msg> {
-        self.inner.shards[self.node].m.lock().inbox.pop_front()
+        self.inner.shards[self.node].lock_data().inbox.pop_front()
     }
 
     /// Number of delivered, unconsumed messages.
     pub fn inbox_len(&self) -> usize {
-        self.inner.shards[self.node].m.lock().inbox.len()
+        self.inner.shards[self.node].lock_data().inbox.len()
     }
 
     /// Send `payload` to node `dst`; it is delivered `delay` ns after this
@@ -303,7 +313,7 @@ impl Ctx {
     /// A [`Payload::Short`] send allocates nothing: the four argument words
     /// travel inline and the event body comes from the kernel's slab pool.
     pub fn send_msg(&self, dst: usize, wire_bytes: usize, delay: Time, payload: Payload) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.post_deliver(
             dst,
             Msg {
@@ -318,7 +328,7 @@ impl Ctx {
     /// Park for `ns` of virtual time (a timer; models e.g. interrupt
     /// delivery delay in the ablation experiments).
     pub fn sleep(&self, ns: Time) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         let at = k.clock(self.node) + ns;
         k.post_wake(self.task, at);
         k.tasks[self.task.idx()].state = TaskState::Parked;
@@ -329,7 +339,7 @@ impl Ctx {
     /// Block until task `t` finishes. No modeled cost (the threads package
     /// wraps this with its accounting).
     pub fn join(&self, t: TaskId) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         if k.tasks[t.idx()].state == TaskState::Finished {
             return;
         }
@@ -341,7 +351,7 @@ impl Ctx {
 
     /// Whether task `t` has finished.
     pub fn is_finished(&self, t: TaskId) -> bool {
-        self.inner.kernel.lock().tasks[t.idx()].state == TaskState::Finished
+        self.inner.lock_kernel().tasks[t.idx()].state == TaskState::Finished
     }
 
     /// Fetch (or lazily create) this node's singleton of type `T`. The
@@ -362,7 +372,7 @@ impl Ctx {
         T: Send + Sync + 'static,
         F: FnOnce() -> T,
     {
-        let mut d = self.inner.shards[node].m.lock();
+        let mut d = self.inner.shards[node].lock_data();
         let slot = d
             .data
             .entry(std::any::TypeId::of::<T>())
@@ -409,7 +419,7 @@ impl Ctx {
         if !self.inner.metrics_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         if let Some(m) = k.metrics.as_mut() {
             m.observe(self.node, name, v);
         }
@@ -423,7 +433,7 @@ impl Ctx {
             return;
         }
         let now = self.now();
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         if let Some(m) = k.metrics.as_mut() {
             m.observe(self.node, name, now.saturating_sub(t0));
         }
@@ -435,8 +445,8 @@ impl Ctx {
         if !self.inner.metrics_on {
             return;
         }
-        let depth = self.inner.shards[self.node].m.lock().inbox.len() as u64;
-        let mut k = self.inner.kernel.lock();
+        let depth = self.inner.shards[self.node].lock_data().inbox.len() as u64;
+        let mut k = self.inner.lock_kernel();
         if let Some(m) = k.metrics.as_mut() {
             m.observe(self.node, name, depth);
         }
@@ -448,7 +458,7 @@ impl Ctx {
         if !self.inner.metrics_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         if let Some(m) = k.metrics.as_mut() {
             m.counter_add(self.node, name, delta);
         }
@@ -460,7 +470,7 @@ impl Ctx {
         if !self.inner.metrics_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         if let Some(m) = k.metrics.as_mut() {
             m.keyed_add(self.node, name, key, delta);
         }
@@ -472,7 +482,7 @@ impl Ctx {
         if !self.inner.metrics_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         if let Some(m) = k.metrics.as_mut() {
             m.gauge_set(self.node, name, v);
         }
@@ -487,7 +497,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return SpanId(0);
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         let Some(tr) = k.tracer.as_mut() else {
             return SpanId(0);
         };
@@ -508,7 +518,7 @@ impl Ctx {
         if !id.is_active() || !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::SpanEnd { id });
     }
 
@@ -530,7 +540,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::HandlerStart { handler });
     }
 
@@ -539,7 +549,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::HandlerEnd { handler });
     }
 
@@ -548,7 +558,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::Retransmit { dst, seq });
     }
 
@@ -557,7 +567,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(
             self.node,
             self.task,
@@ -574,7 +584,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::DupDrop { src, seq });
     }
 
@@ -583,7 +593,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::BarrierEnter { epoch });
     }
 
@@ -592,7 +602,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(self.node, self.task, TraceEvent::BarrierExit { epoch });
     }
 
@@ -602,7 +612,7 @@ impl Ctx {
         if !self.inner.tracing_on {
             return;
         }
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.lock_kernel();
         k.emit(
             self.node,
             self.task,

@@ -17,6 +17,7 @@
 
 use crate::cost::CostModel;
 use crate::ctx::Ctx;
+use crate::explore::ScheduleOracle;
 use crate::kernel::{Kernel, Shard, TaskState};
 use crate::report::{Report, Snapshot};
 use crate::task::{EngineGate, Handoff, HandoffCell, TaskCell, TaskId, TaskPool};
@@ -24,6 +25,45 @@ use crate::trace::{TraceConfig, TraceEvent};
 use parking_lot::Mutex;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+
+/// Which execution backend hosts the task stacks. The choice affects only
+/// host-side cost; simulation results are byte-identical across backends.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Consult `MPMD_SIM_BACKEND` (`threads` / `fibers`); unset picks the
+    /// platform default (fibers where supported, threads otherwise).
+    /// Unrecognized values are rejected with an error naming the valid ones.
+    #[default]
+    Auto,
+    /// One OS thread per task.
+    Threads,
+    /// Userspace fibers (x86_64 unix only; selecting it elsewhere panics).
+    Fibers,
+}
+
+/// Parse an `MPMD_SIM_BACKEND` value. `None` (unset) means the platform
+/// default. Kept separate from the env read so it is unit-testable.
+pub(crate) fn parse_backend_env(v: Option<&str>) -> Result<BackendKind, String> {
+    match v {
+        None => Ok(BackendKind::Auto),
+        Some("threads") => Ok(BackendKind::Threads),
+        Some("fibers") => Ok(BackendKind::Fibers),
+        Some(other) => Err(format!(
+            "MPMD_SIM_BACKEND={other:?} is not a recognized backend; \
+             valid values are \"threads\" and \"fibers\" (unset it for the platform default)"
+        )),
+    }
+}
+
+/// Resolve the backend requested via `MPMD_SIM_BACKEND`, rejecting
+/// unrecognized values. Binaries call this at startup to turn a bad
+/// environment into a usage error instead of a mid-run panic; `Sim::run`
+/// enforces the same check either way.
+pub fn backend_from_env() -> Result<BackendKind, String> {
+    let v = std::env::var_os("MPMD_SIM_BACKEND");
+    let s = v.as_ref().map(|v| v.to_string_lossy().into_owned());
+    parse_backend_env(s.as_deref())
+}
 
 /// Execution backend hosting the task stacks. Both implement the same baton
 /// protocol and make identical scheduling decisions, so a simulation's
@@ -38,28 +78,58 @@ pub(crate) enum Backend {
     },
     /// All tasks as userspace fibers on the `Sim::run` thread; a handoff is
     /// a stack switch, no syscalls. Default where supported.
-    #[cfg(all(target_arch = "x86_64", unix))]
+    #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
     Fiber(crate::fiber::FiberRt),
 }
 
 impl Backend {
-    fn new() -> Backend {
-        #[cfg(all(target_arch = "x86_64", unix))]
-        {
-            if std::env::var_os("MPMD_SIM_BACKEND").is_none_or(|v| v != "threads") {
-                return Backend::Fiber(crate::fiber::FiberRt::new());
-            }
-        }
-        Backend::Threads {
+    fn new(kind: BackendKind) -> Backend {
+        let kind = match kind {
+            // The env var only steers the default; an explicit builder
+            // choice wins (and a malformed env var still errors, so a bad
+            // configuration never silently changes the backend).
+            BackendKind::Auto => match backend_from_env() {
+                Ok(k) => k,
+                Err(e) => panic!("{e}"),
+            },
+            k => k,
+        };
+        let threads = || Backend::Threads {
             pool: TaskPool::new(),
             gate: EngineGate::new(),
+        };
+        match kind {
+            BackendKind::Threads => threads(),
+            BackendKind::Fibers => {
+                #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
+                {
+                    Backend::Fiber(crate::fiber::FiberRt::new())
+                }
+                #[cfg(not(all(target_arch = "x86_64", unix, not(mpmd_no_fibers))))]
+                {
+                    panic!(
+                        "the fiber backend is not supported on this target; \
+                         use MPMD_SIM_BACKEND=threads or Sim::backend(BackendKind::Threads)"
+                    )
+                }
+            }
+            BackendKind::Auto => {
+                #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
+                {
+                    Backend::Fiber(crate::fiber::FiberRt::new())
+                }
+                #[cfg(not(all(target_arch = "x86_64", unix, not(mpmd_no_fibers))))]
+                {
+                    threads()
+                }
+            }
         }
     }
 
     fn new_cell(&self) -> TaskCell {
         match self {
             Backend::Threads { .. } => TaskCell::Threads(HandoffCell::new()),
-            #[cfg(all(target_arch = "x86_64", unix))]
+            #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
             Backend::Fiber(_) => TaskCell::Fiber(crate::fiber::FiberCell::empty()),
         }
     }
@@ -81,14 +151,48 @@ pub(crate) struct SimInner {
 }
 
 impl SimInner {
+    /// Lock the kernel, registering with the lock-order witness (debug
+    /// builds assert that no shard lock is held and the kernel lock is not
+    /// re-entered). All kernel locking must go through here.
+    #[inline]
+    pub(crate) fn lock_kernel(&self) -> KernelGuard<'_> {
+        crate::witness::kernel_acquire();
+        KernelGuard(self.kernel.lock())
+    }
+
     /// The fiber runtime of this simulation; panics under the threads
     /// backend (only reachable from fiber-entry code).
-    #[cfg(all(target_arch = "x86_64", unix))]
+    #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
     pub(crate) fn fiber_rt(&self) -> &crate::fiber::FiberRt {
         match &self.backend {
             Backend::Fiber(rt) => rt,
             Backend::Threads { .. } => panic!("fiber entry under the threads backend"),
         }
+    }
+}
+
+/// Witness-tracked guard over the [`Kernel`].
+pub(crate) struct KernelGuard<'a>(parking_lot::MutexGuard<'a, Kernel>);
+
+impl std::ops::Deref for KernelGuard<'_> {
+    type Target = Kernel;
+    #[inline]
+    fn deref(&self) -> &Kernel {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for KernelGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Kernel {
+        &mut self.0
+    }
+}
+
+impl Drop for KernelGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        crate::witness::kernel_release();
     }
 }
 
@@ -108,6 +212,8 @@ pub struct Sim {
     cost: CostModel,
     trace: Option<TraceConfig>,
     metrics: bool,
+    backend: BackendKind,
+    oracle: Option<Box<dyn ScheduleOracle>>,
 }
 
 impl Sim {
@@ -120,7 +226,26 @@ impl Sim {
             cost: CostModel::default(),
             trace: None,
             metrics: false,
+            backend: BackendKind::Auto,
+            oracle: None,
         }
+    }
+
+    /// Select the execution backend explicitly, overriding
+    /// `MPMD_SIM_BACKEND`. The default ([`BackendKind::Auto`]) consults the
+    /// environment and rejects unrecognized values.
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
+    }
+
+    /// Install a [`ScheduleOracle`] to perturb the engine's don't-care
+    /// scheduling decisions (exploration harness; see the
+    /// [`explore`](crate::explore) module). Without one, every decision
+    /// takes the baseline path.
+    pub fn schedule_oracle(mut self, oracle: Box<dyn ScheduleOracle>) -> Self {
+        self.oracle = Some(oracle);
+        self
     }
 
     /// Override the cost model.
@@ -201,9 +326,10 @@ impl Sim {
                 self.trace,
                 metrics,
                 faults,
+                self.oracle,
             )),
             shards,
-            backend: Backend::new(),
+            backend: Backend::new(self.backend),
             cost: self.cost,
             num_nodes: self.nodes,
             tracing_on,
@@ -217,7 +343,17 @@ impl Sim {
         run_engine(&inner);
         // Teardown: every task has finished, so the shards are quiescent;
         // move each Stats block out instead of cloning it.
-        let mut k = inner.kernel.lock();
+        let mut k = inner.lock_kernel();
+        // Structural pool invariant: pending heap keys and live pool bodies
+        // are in bijection. Events may legally remain pending at a clean
+        // termination (e.g. a delivery to a node whose tasks all finished),
+        // but every live body must be reachable from exactly one key — a
+        // mismatch means a leaked or double-freed event slot.
+        assert_eq!(
+            k.events.len(),
+            k.event_pool.in_use(),
+            "event pool/heap bijection broken at teardown"
+        );
         k.publish_pool_metrics();
         let trace = k.tracer.take().map(|t| t.finish());
         let metrics = k.metrics.take();
@@ -227,7 +363,7 @@ impl Sim {
             stats: inner
                 .shards
                 .iter()
-                .map(|s| std::mem::take(&mut s.m.lock().stats))
+                .map(|s| std::mem::take(&mut s.lock_data().stats))
                 .collect(),
             trace,
             metrics,
@@ -257,14 +393,13 @@ where
 {
     let cell = Arc::new(inner.backend.new_cell());
     let id = inner
-        .kernel
-        .lock()
+        .lock_kernel()
         .register_task(node, name, Arc::clone(&cell), daemon);
     let ctx = Ctx::new(Arc::clone(inner), node, id, Arc::clone(&cell));
     let inner2 = Arc::clone(inner);
     let body = Box::new(move || {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(ctx)));
-        let mut k = inner2.kernel.lock();
+        let mut k = inner2.lock_kernel();
         k.finish_task(id);
         if let Err(p) = result {
             if k.panic.is_none() {
@@ -290,7 +425,7 @@ where
             body,
             gate: Arc::clone(gate),
         }),
-        #[cfg(all(target_arch = "x86_64", unix))]
+        #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
         Backend::Fiber(rt) => rt.prepare(
             cell.fiber(),
             Box::new(crate::fiber::FiberBody {
@@ -313,7 +448,7 @@ enum Decision {
 pub(crate) fn run_engine(inner: &Arc<SimInner>) {
     loop {
         let decision = {
-            let mut k = inner.kernel.lock();
+            let mut k = inner.lock_kernel();
             if let Some(p) = k.panic.take() {
                 drop(k);
                 std::panic::resume_unwind(p);
@@ -330,12 +465,12 @@ pub(crate) fn run_engine(inner: &Arc<SimInner>) {
                         cell.thread().resume_task();
                         gate.sleep();
                     }
-                    #[cfg(all(target_arch = "x86_64", unix))]
+                    #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
                     Backend::Fiber(rt) => rt.enter(cell.fiber()),
                 }
             }
             Decision::Idle => {
-                let mut k = inner.kernel.lock();
+                let mut k = inner.lock_kernel();
                 if k.live == 0 {
                     return;
                 }
@@ -361,7 +496,7 @@ pub(crate) fn run_engine(inner: &Arc<SimInner>) {
 /// handoff happens at all. Returns once the calling task is resumed.
 pub(crate) fn switch_from_task(
     inner: &Arc<SimInner>,
-    mut k: parking_lot::MutexGuard<'_, Kernel>,
+    mut k: KernelGuard<'_>,
     me: TaskId,
     my_cell: &TaskCell,
 ) {
@@ -380,7 +515,7 @@ pub(crate) fn switch_from_task(
                         next.thread().resume_task();
                         my_cell.thread().wait_for_turn();
                     }
-                    #[cfg(all(target_arch = "x86_64", unix))]
+                    #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
                     Backend::Fiber(rt) => {
                         drop(k);
                         rt.yield_to(my_cell.fiber(), next.fiber());
@@ -401,7 +536,7 @@ pub(crate) fn switch_from_task(
             gate.wake();
             my_cell.thread().wait_for_turn();
         }
-        #[cfg(all(target_arch = "x86_64", unix))]
+        #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
         Backend::Fiber(rt) => {
             drop(k);
             rt.yield_to_engine(my_cell.fiber());
@@ -418,7 +553,23 @@ pub(crate) fn switch_from_task(
 /// Event application and the pick both happen under the one kernel lock
 /// acquisition of the caller. Events are always applied in (time, seq) heap
 /// order; the policy only decides *how far* to drain before running a task.
+///
+/// With a [`ScheduleOracle`] installed, the two don't-care choices inside
+/// the loop — which tied head-time event to apply, which clock-tied node to
+/// run — are delegated to it (see the [`explore`](crate::explore) module).
+/// The oracle is temporarily moved out of the kernel so it can be consulted
+/// while kernel methods take `&mut self`.
 fn decide(k: &mut Kernel) -> Decision {
+    if k.oracle.is_some() {
+        let mut oracle = k.oracle.take().expect("oracle vanished");
+        let d = decide_inner(k, Some(&mut *oracle));
+        k.oracle = Some(oracle);
+        return d;
+    }
+    decide_inner(k, None)
+}
+
+fn decide_inner(k: &mut Kernel, mut oracle: Option<&mut dyn ScheduleOracle>) -> Decision {
     loop {
         let chosen = k.peek_min_runnable();
         let due = match (chosen, k.events.peek()) {
@@ -427,11 +578,18 @@ fn decide(k: &mut Kernel) -> Decision {
             (_, None) => false,
         };
         if due {
-            k.apply_next_event();
+            match oracle.as_deref_mut() {
+                Some(o) => k.apply_next_event_choice(o),
+                None => k.apply_next_event(),
+            }
             continue;
         }
         match chosen {
-            Some((node, _)) => {
+            Some((node, clock)) => {
+                let node = match oracle.as_deref_mut() {
+                    Some(o) => k.choose_tied_node(node, clock, o),
+                    None => node,
+                };
                 let tid = k.pop_ready_front(node).expect("ready queue emptied");
                 debug_assert_eq!(k.tasks[tid.idx()].state, TaskState::Runnable);
                 k.tasks[tid.idx()].state = TaskState::Running;
@@ -448,7 +606,7 @@ fn decide(k: &mut Kernel) -> Decision {
 /// [`Ctx::snapshot`]; callers should quiesce (e.g. barrier) first so the
 /// snapshot is meaningful.
 pub(crate) fn snapshot(inner: &SimInner) -> Snapshot {
-    let k = inner.kernel.lock();
+    let k = inner.lock_kernel();
     let metrics = k.metrics.clone();
     drop(k);
     Snapshot {
@@ -456,8 +614,25 @@ pub(crate) fn snapshot(inner: &SimInner) -> Snapshot {
         stats: inner
             .shards
             .iter()
-            .map(|s| s.m.lock().stats.clone())
+            .map(|s| s.lock_data().stats.clone())
             .collect(),
         metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_env_parsing_is_strict() {
+        assert_eq!(parse_backend_env(None), Ok(BackendKind::Auto));
+        assert_eq!(parse_backend_env(Some("threads")), Ok(BackendKind::Threads));
+        assert_eq!(parse_backend_env(Some("fibers")), Ok(BackendKind::Fibers));
+        for bad in ["", "fiber", "thread", "Threads", "FIBERS", "bogus"] {
+            let err = parse_backend_env(Some(bad)).expect_err(bad);
+            assert!(err.contains("not a recognized backend"), "{err}");
+            assert!(err.contains("threads") && err.contains("fibers"), "{err}");
+        }
     }
 }

@@ -282,7 +282,7 @@ extern "C" fn mpmd_fiber_entry(raw: *mut FiberBody) -> ! {
     let handoff = match catch_unwind(AssertUnwindSafe(body)) {
         Ok(h) => h,
         Err(p) => {
-            let mut k = inner.kernel.lock();
+            let mut k = inner.lock_kernel();
             if k.panic.is_none() {
                 k.panic = Some(p);
             }
@@ -363,5 +363,58 @@ mod tests {
             assert_eq!(s.top() % 16, 0);
             assert!(s.top() - s.0.as_ptr() as usize <= STACK_SIZE);
         }
+    }
+
+    #[test]
+    fn reap_caps_the_stack_pool() {
+        // Push well past the cap through the retire/reap cycle: the pool
+        // must stop at STACK_POOL_CAP and release the surplus.
+        let rt = FiberRt::new();
+        for i in 0..STACK_POOL_CAP + 8 {
+            rt.retired.set(Some(Stack::new()));
+            rt.reap();
+            let free = unsafe { &*rt.free_stacks.get() };
+            assert_eq!(free.len(), (i + 1).min(STACK_POOL_CAP));
+            assert!(free.capacity() >= free.len(), "reap grew the pool vec");
+        }
+        // Allocation drains the pool before hitting the allocator.
+        for i in (0..STACK_POOL_CAP).rev() {
+            let s = rt.alloc_stack();
+            assert_eq!(unsafe { &*rt.free_stacks.get() }.len(), i);
+            drop(s);
+        }
+        // Empty pool: reap of nothing is a no-op, alloc falls back to fresh.
+        rt.reap();
+        assert_eq!(unsafe { &*rt.free_stacks.get() }.len(), 0);
+        let _ = rt.alloc_stack();
+    }
+
+    #[test]
+    fn task_waves_past_pool_cap_are_backend_identical() {
+        // Three waves of more-than-cap concurrently live tasks: wave one
+        // allocates past the pool, its completion retires more stacks than
+        // the pool keeps, and later waves run on the recycled mix. Results
+        // must not depend on any of that — nor on the backend.
+        fn run(kind: crate::BackendKind) -> crate::Report {
+            crate::Sim::new(2).backend(kind).run(|ctx| {
+                for wave in 0..3u64 {
+                    let handles: Vec<_> = (0..STACK_POOL_CAP + 10)
+                        .map(|i| {
+                            ctx.spawn("wave-worker", move |c| {
+                                c.charge(crate::Bucket::Cpu, wave * 7 + (i as u64 % 5) + 1);
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        ctx.join(h);
+                    }
+                }
+            })
+        }
+        let fibers = run(crate::BackendKind::Fibers);
+        let threads = run(crate::BackendKind::Threads);
+        assert_eq!(fibers.clocks, threads.clocks);
+        assert_eq!(fibers.stats, threads.stats);
+        assert!(fibers.clocks[0] > 0);
     }
 }

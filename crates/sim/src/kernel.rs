@@ -19,8 +19,9 @@
 //! take a shard lock *instead of* the kernel lock, never holding both).
 
 use crate::event::{EventKey, EventKind, Msg};
+use crate::explore::{ChoicePoint, ScheduleOracle};
 use crate::metrics::MetricsRegistry;
-use crate::pool::Pool;
+use crate::pool::{Handle, Pool};
 use crate::stats::Stats;
 use crate::task::{TaskCell, TaskId};
 use crate::time::Time;
@@ -97,6 +98,40 @@ impl Shard {
             }),
         }
     }
+
+    /// Lock the data-plane half, registering with the lock-order witness
+    /// (debug builds assert kernel → shard order and no nested shard locks).
+    /// All shard locking must go through here.
+    #[inline]
+    pub(crate) fn lock_data(&self) -> ShardGuard<'_> {
+        crate::witness::shard_acquire();
+        ShardGuard(self.m.lock())
+    }
+}
+
+/// Witness-tracked guard over a shard's [`ShardData`].
+pub(crate) struct ShardGuard<'a>(parking_lot::MutexGuard<'a, ShardData>);
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = ShardData;
+    #[inline]
+    fn deref(&self) -> &ShardData {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut ShardData {
+        &mut self.0
+    }
+}
+
+impl Drop for ShardGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        crate::witness::shard_release();
+    }
 }
 
 /// The scheduler's per-node state (guarded by the kernel lock).
@@ -154,8 +189,18 @@ pub(crate) struct Kernel {
     pub(crate) metrics: Option<MetricsRegistry>,
     /// Installed fault model plus its seeded decision stream.
     pub(crate) faults: Option<FaultState>,
+    /// Installed schedule oracle (exploration harness). `None` — the default
+    /// — keeps every decision on the baseline path with a single branch of
+    /// overhead per decision point.
+    pub(crate) oracle: Option<Box<dyn ScheduleOracle>>,
     /// Reusable buffer for draining `inbox_waiters` without allocating.
     waiter_scratch: Vec<TaskId>,
+    /// Reusable buffer of head-time event keys (oracle event-tie choice).
+    tie_scratch: Vec<EventKey>,
+    /// Reusable buffer of permutable-event candidate indices.
+    cand_scratch: Vec<u32>,
+    /// Reusable buffer of clock-tied runnable node indices.
+    node_scratch: Vec<u32>,
 }
 
 /// The fault model's deterministic decision stream. All draws happen under
@@ -221,6 +266,7 @@ impl Kernel {
         trace: Option<TraceConfig>,
         metrics: bool,
         faults: Option<crate::cost::FaultModel>,
+        oracle: Option<Box<dyn ScheduleOracle>>,
     ) -> Self {
         debug_assert_eq!(shards.len(), nodes);
         Kernel {
@@ -238,7 +284,11 @@ impl Kernel {
             tracer: trace.map(|cfg| Tracer::new(nodes, cfg)),
             metrics: metrics.then(|| MetricsRegistry::new(nodes)),
             faults: faults.map(FaultState::new),
+            oracle,
             waiter_scratch: Vec::new(),
+            tie_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            node_scratch: Vec::new(),
         }
     }
 
@@ -395,7 +445,7 @@ impl Kernel {
         let src = msg.src;
         let at = self.clock(src) + delay;
         {
-            let mut sh = self.shards[src].m.lock();
+            let mut sh = self.shards[src].lock_data();
             sh.stats.msgs_sent += 1;
             sh.stats.bytes_sent += msg.wire_bytes as u64;
             sh.stats.msg_size_hist[crate::stats::size_bucket(msg.wire_bytes)] += 1;
@@ -461,12 +511,118 @@ impl Kernel {
         self.apply_event(key.time, kind);
     }
 
+    /// The node a pending event acts on: delivery target, or the woken
+    /// task's home node.
+    fn event_target_node(&self, body: Handle) -> usize {
+        match *self.event_pool.peek(body) {
+            EventKind::Deliver { node, .. } => node,
+            EventKind::Wake { task } | EventKind::TimeoutWake { task, .. } => {
+                self.tasks[task.idx()].node
+            }
+        }
+    }
+
+    /// Oracle-perturbed variant of [`apply_next_event`]: among the events
+    /// tied at the head timestamp, let the oracle pick which to apply first
+    /// — restricted to *legal* candidates. Two same-time events commute only
+    /// when they target different nodes; events on one node fill a single
+    /// inbox or FIFO ready queue, so their relative sequence order is
+    /// observable and must be preserved. Candidates are therefore the first
+    /// pending event of each distinct target node, in sequence order, making
+    /// index 0 the baseline pick.
+    ///
+    /// [`apply_next_event`]: Kernel::apply_next_event
+    pub(crate) fn apply_next_event_choice(&mut self, oracle: &mut dyn ScheduleOracle) {
+        let head_time = self
+            .events
+            .peek()
+            .expect("apply_next_event_choice on empty heap")
+            .time;
+        let mut ties = std::mem::take(&mut self.tie_scratch);
+        debug_assert!(ties.is_empty());
+        while self.events.peek().is_some_and(|e| e.time == head_time) {
+            ties.push(self.events.pop().expect("peeked event vanished"));
+        }
+        // Heap pops at one timestamp come out in ascending sequence order.
+        debug_assert!(ties.windows(2).all(|w| w[0].seq < w[1].seq));
+        let pick = if ties.len() > 1 {
+            let mut cands = std::mem::take(&mut self.cand_scratch);
+            debug_assert!(cands.is_empty());
+            'outer: for (i, e) in ties.iter().enumerate() {
+                let node = self.event_target_node(e.body);
+                for prev in &ties[..i] {
+                    if self.event_target_node(prev.body) == node {
+                        continue 'outer;
+                    }
+                }
+                cands.push(u32::try_from(i).expect("tie index overflow"));
+            }
+            let c = if cands.len() > 1 {
+                oracle.choose(ChoicePoint::EventTie, cands.len()) % cands.len()
+            } else {
+                0
+            };
+            let picked = cands[c] as usize;
+            cands.clear();
+            self.cand_scratch = cands;
+            picked
+        } else {
+            0
+        };
+        let key = ties.remove(pick);
+        for e in ties.drain(..) {
+            self.events.push(e);
+        }
+        self.tie_scratch = ties;
+        let kind = self.event_pool.take(key.body);
+        self.apply_event(key.time, kind);
+    }
+
+    /// Oracle-perturbed runnable-node pick: collect every node tied with the
+    /// baseline choice (`best`, the lowest-index node at the minimum clock
+    /// `clock`) and let the oracle choose among them. Candidates are in
+    /// ascending node order, so index 0 reproduces the baseline.
+    pub(crate) fn choose_tied_node(
+        &mut self,
+        best: usize,
+        clock: Time,
+        oracle: &mut dyn ScheduleOracle,
+    ) -> usize {
+        let mut ties = std::mem::take(&mut self.node_scratch);
+        debug_assert!(ties.is_empty());
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].ready.is_empty() && self.clock(i) == clock {
+                ties.push(u32::try_from(i).expect("node index overflow"));
+            }
+        }
+        debug_assert_eq!(ties.first(), Some(&(best as u32)));
+        let pick = if ties.len() > 1 {
+            ties[oracle.choose(ChoicePoint::NodeTie, ties.len()) % ties.len()] as usize
+        } else {
+            best
+        };
+        ties.clear();
+        self.node_scratch = ties;
+        pick
+    }
+
+    /// Ask the installed oracle (if any) whether a poll/yield fast path that
+    /// would skip rescheduling should take the slow path anyway. The forced
+    /// slow path is result-invisible — it requeues the running task and
+    /// re-enters the scheduler at an unchanged virtual time.
+    pub(crate) fn oracle_forces_slow_path(&mut self) -> bool {
+        match self.oracle.as_mut() {
+            Some(o) => o.choose(ChoicePoint::SlowPath, 2) != 0,
+            None => false,
+        }
+    }
+
     fn apply_event(&mut self, time: Time, kind: EventKind) {
         match kind {
             EventKind::Deliver { node, msg } => {
                 let (src, wire_bytes) = (msg.src, msg.wire_bytes);
                 {
-                    let mut sh = self.shards[node].m.lock();
+                    let mut sh = self.shards[node].lock_data();
                     sh.stats.msgs_received += 1;
                     sh.inbox.push_back(msg);
                 }
@@ -573,7 +729,7 @@ impl Kernel {
     pub(crate) fn dump_live(&self) -> String {
         let mut s = String::new();
         for (i, sh) in self.shards.iter().enumerate() {
-            let d = sh.m.lock();
+            let d = sh.lock_data();
             let mut names: Vec<&'static str> = d.data.values().map(|&(_, name)| name).collect();
             names.sort_unstable();
             s.push_str(&format!(

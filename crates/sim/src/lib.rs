@@ -27,7 +27,8 @@ mod cost;
 mod ctx;
 mod engine;
 mod event;
-#[cfg(all(target_arch = "x86_64", unix))]
+pub mod explore;
+#[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
 mod fiber;
 pub mod flame;
 mod kernel;
@@ -38,11 +39,13 @@ mod stats;
 mod task;
 pub mod time;
 pub mod trace;
+mod witness;
 
 pub use cost::{CoalesceCosts, CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
 pub use ctx::{Ctx, SpanGuard};
-pub use engine::Sim;
+pub use engine::{backend_from_env, BackendKind, Sim};
 pub use event::{Msg, Payload};
+pub use explore::{shrink, ChoicePoint, OracleSpec, RecordedTrace, ScheduleOracle, TraceOracle};
 pub use flame::{fold_stacks, phase_profile, Phase};
 pub use kernel::FaultDecision;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics, HIST_BUCKETS};

@@ -76,8 +76,17 @@ impl<T> Pool<T> {
         v
     }
 
-    /// Live (allocated, not yet taken) values.
-    #[cfg(test)]
+    /// Borrow the value without retiring the slot. Panics on a stale handle
+    /// (generation mismatch) or an already-taken slot.
+    pub(crate) fn peek(&self, h: Handle) -> &T {
+        let slot = &self.slots[h.idx as usize];
+        assert_eq!(slot.gen, h.gen, "stale pool handle");
+        slot.val.as_ref().expect("pool slot already taken")
+    }
+
+    /// Live (allocated, not yet taken) values. The engine asserts at
+    /// teardown that this matches the number of pending heap keys — every
+    /// live body is reachable from exactly one key.
     pub(crate) fn in_use(&self) -> usize {
         self.slots.len() - self.free.len()
     }

@@ -42,7 +42,7 @@ pub(crate) enum TaskCell {
     /// OS-thread backend: condvar handoff cell.
     Threads(HandoffCell),
     /// Userspace-fiber backend: saved stack pointer + owned stack.
-    #[cfg(all(target_arch = "x86_64", unix))]
+    #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
     Fiber(crate::fiber::FiberCell),
 }
 
@@ -50,12 +50,12 @@ impl TaskCell {
     pub(crate) fn thread(&self) -> &HandoffCell {
         match self {
             TaskCell::Threads(c) => c,
-            #[cfg(all(target_arch = "x86_64", unix))]
+            #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
             TaskCell::Fiber(_) => panic!("fiber cell used by the threads backend"),
         }
     }
 
-    #[cfg(all(target_arch = "x86_64", unix))]
+    #[cfg(all(target_arch = "x86_64", unix, not(mpmd_no_fibers)))]
     pub(crate) fn fiber(&self) -> &crate::fiber::FiberCell {
         match self {
             TaskCell::Fiber(c) => c,

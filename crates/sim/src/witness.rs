@@ -1,0 +1,83 @@
+//! Debug-build lock-ordering witness for the kernel/shard lock hierarchy.
+//!
+//! The documented order (see `kernel.rs`) is **kernel → shard**: kernel
+//! methods may lock shards, task-side fast paths take a shard lock *instead
+//! of* the kernel lock, and no path ever takes two shard locks at once or
+//! acquires the kernel lock while holding a shard. Because exactly one
+//! logical thread of control runs at a time and no lock is ever held across
+//! a baton switch, per-OS-thread depth counters are a sound witness: any
+//! inversion shows up as an acquire on the same OS thread that already holds
+//! the other lock.
+//!
+//! All acquisition goes through `SimInner::lock_kernel` / `Shard::lock_data`
+//! so the witness cannot be bypassed. Release builds compile the hooks to
+//! nothing.
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::Cell;
+
+    thread_local! {
+        static KERNEL_DEPTH: Cell<u32> = const { Cell::new(0) };
+        static SHARD_DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    pub(crate) fn kernel_acquire() {
+        SHARD_DEPTH.with(|s| {
+            assert_eq!(
+                s.get(),
+                0,
+                "lock-order inversion: kernel lock requested while holding a shard lock \
+                 (documented order is kernel -> shard)"
+            );
+        });
+        KERNEL_DEPTH.with(|k| {
+            assert_eq!(
+                k.get(),
+                0,
+                "kernel lock re-entered on one logical thread (self-deadlock)"
+            );
+            k.set(k.get() + 1);
+        });
+    }
+
+    pub(crate) fn kernel_release() {
+        KERNEL_DEPTH.with(|k| {
+            debug_assert!(k.get() > 0, "kernel lock released without acquire");
+            k.set(k.get() - 1);
+        });
+    }
+
+    pub(crate) fn shard_acquire() {
+        SHARD_DEPTH.with(|s| {
+            assert_eq!(
+                s.get(),
+                0,
+                "two shard locks held at once on one logical thread \
+                 (shard locks must never nest)"
+            );
+            s.set(s.get() + 1);
+        });
+    }
+
+    pub(crate) fn shard_release() {
+        SHARD_DEPTH.with(|s| {
+            debug_assert!(s.get() > 0, "shard lock released without acquire");
+            s.set(s.get() - 1);
+        });
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    #[inline(always)]
+    pub(crate) fn kernel_acquire() {}
+    #[inline(always)]
+    pub(crate) fn kernel_release() {}
+    #[inline(always)]
+    pub(crate) fn shard_acquire() {}
+    #[inline(always)]
+    pub(crate) fn shard_release() {}
+}
+
+pub(crate) use imp::{kernel_acquire, kernel_release, shard_acquire, shard_release};
