@@ -52,6 +52,49 @@ cmp /tmp/ci_fig5_j1.out /tmp/ci_fig5_jn.out
 rm -f /tmp/ci_fig5_j1.json /tmp/ci_fig5_jn.json /tmp/ci_fig5_j1.out /tmp/ci_fig5_jn.out
 echo "fig5 -j1 vs -j$(nproc) identical"
 
+echo "==> sim-path byte-identity gate (repeat runs of the deterministic benches)"
+# The Fabric refactor must keep the simulator path bit-exact: every
+# deterministic bench emits byte-identical JSON on a repeat run. (fig5 is
+# covered by the -j cmp above; faults cmps its own pair below; regress is
+# excluded because its report embeds wall-clock fields.)
+./target/release/table4 50 --json /tmp/ci_ident_a.json >/dev/null
+./target/release/table4 50 --json /tmp/ci_ident_b.json >/dev/null
+cmp /tmp/ci_ident_a.json /tmp/ci_ident_b.json
+./target/release/msgprofile --quick -j 1 --json /tmp/ci_ident_a.json >/dev/null
+./target/release/msgprofile --quick -j 1 --json /tmp/ci_ident_b.json >/dev/null
+cmp /tmp/ci_ident_a.json /tmp/ci_ident_b.json
+./target/release/ablation 25 --coalescing --json /tmp/ci_ident_a.json >/dev/null
+./target/release/ablation 25 --coalescing --json /tmp/ci_ident_b.json >/dev/null
+cmp /tmp/ci_ident_a.json /tmp/ci_ident_b.json
+rm -f /tmp/ci_ident_a.json /tmp/ci_ident_b.json
+echo "table4 / msgprofile / ablation byte-identical across runs"
+
+echo "==> LocalFabric smoke (wall-clock backend: null-RMI + barrier ring)"
+# Real-hardware mode: null-RMI and a 4-thread barrier ring on OS threads
+# over the sharded rings. The binary asserts completion (no lost round
+# trips or barrier rounds) and nonzero wall-clock histograms, and checks
+# em3d ghost fields bit-match a simulator run of the same parameters.
+./target/release/local --rmi-iters 500 --barriers 200 --json /tmp/ci_local.json
+python3 - <<'EOF' 2>/dev/null || node -e "
+  const d = JSON.parse(require('fs').readFileSync('/tmp/ci_local.json'));
+  if (d.null_rmi.rtt_wall.count !== 500) throw new Error('lost null-RMI round trips');
+  if (!(d.null_rmi.rtt_wall.p50_ns > 0)) throw new Error('empty wall RTT histogram');
+  if (d.barrier_ring.latency_wall.count !== 200) throw new Error('lost barrier rounds');
+  if (!(d.barrier_ring.latency_wall.p50_ns > 0)) throw new Error('empty barrier histogram');
+  if (!d.em3d_ghost.matches_sim) throw new Error('em3d diverged between fabrics');
+" 2>/dev/null || grep -q '"matches_sim": true' /tmp/ci_local.json
+import json
+d = json.load(open("/tmp/ci_local.json"))
+assert d["table"] == "local"
+assert d["null_rmi"]["rtt_wall"]["count"] == 500, "lost null-RMI round trips"
+assert d["null_rmi"]["rtt_wall"]["p50_ns"] > 0, "empty wall-clock RTT histogram"
+assert d["barrier_ring"]["latency_wall"]["count"] == 200, "lost barrier rounds"
+assert d["barrier_ring"]["latency_wall"]["p50_ns"] > 0, "empty barrier histogram"
+assert d["em3d_ghost"]["matches_sim"], "em3d diverged between fabrics"
+EOF
+rm -f /tmp/ci_local.json
+echo "LocalFabric smoke OK"
+
 echo "==> faults smoke test (reliable delivery under a lossy wire)"
 # Nonzero fault rates must leave application results bitwise identical to
 # the fault-free baseline (the binary exits nonzero on divergence), produce

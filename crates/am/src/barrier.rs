@@ -11,7 +11,7 @@ use crate::endpoint::endpoint;
 use crate::ops::wait_until;
 use crate::state::{register, AmState, HandlerId};
 use crate::AmMsg;
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 use std::sync::atomic::Ordering;
 
 /// Handler ids reserved by the AM layer itself.
@@ -20,11 +20,11 @@ pub const H_BARRIER_RELEASE: HandlerId = 2;
 
 /// Register the barrier handlers on this node. Called from runtime
 /// initialization (`splitc::init` / `ccxx` startup) on every node.
-pub fn register_barrier_handlers(ctx: &Ctx) {
-    register(ctx, H_BARRIER_ARRIVE, |ctx, m: AmMsg| {
+pub fn register_barrier_handlers<F: Fabric>(ctx: &F) {
+    register(ctx, H_BARRIER_ARRIVE, |ctx: &F, m: AmMsg| {
         note_arrival(ctx, m.args[0]);
     });
-    register(ctx, H_BARRIER_RELEASE, |ctx, m: AmMsg| {
+    register(ctx, H_BARRIER_RELEASE, |ctx: &F, m: AmMsg| {
         let st = AmState::get(ctx);
         st.barrier_release_gen
             .fetch_max(m.args[0], Ordering::AcqRel);
@@ -32,7 +32,7 @@ pub fn register_barrier_handlers(ctx: &Ctx) {
 }
 
 /// Record one arrival of `gen` on node 0; release everyone when complete.
-fn note_arrival(ctx: &Ctx, gen: u64) {
+fn note_arrival<F: Fabric>(ctx: &F, gen: u64) {
     debug_assert_eq!(ctx.node(), 0, "barrier arrivals are collected on node 0");
     let st = AmState::get(ctx);
     let complete = {
@@ -59,7 +59,7 @@ fn note_arrival(ctx: &Ctx, gen: u64) {
 }
 
 /// Enter the barrier and wait until all nodes have entered it.
-pub fn barrier(ctx: &Ctx) {
+pub fn barrier<F: Fabric>(ctx: &F) {
     let st = AmState::get(ctx);
     let gen = st.barrier_my_gen.fetch_add(1, Ordering::AcqRel) + 1;
     ctx.barrier_enter(gen);

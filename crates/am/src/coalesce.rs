@@ -38,7 +38,8 @@ use crate::ops::SHORT_WIRE_BYTES;
 use crate::profile::NetProfile;
 use crate::state::{lookup, AmState};
 use crate::{AmMsg, HandlerId};
-use mpmd_sim::{us, Bucket, Ctx, Time};
+use mpmd_fabric::Fabric;
+use mpmd_sim::{us, Bucket, Time};
 use std::collections::BTreeMap;
 
 /// Handler id of the aggregate frame (reserved AM-internal range; the frame
@@ -102,7 +103,7 @@ struct Batch(Vec<AmMsg>);
 /// initialization (the `CcxxConfig::coalescing` field or
 /// `splitc::init_coalesced`); calling again with a different config panics,
 /// mirroring [`init`](crate::init).
-pub fn enable_coalescing(ctx: &Ctx, cfg: CoalesceConfig) {
+pub fn enable_coalescing<F: Fabric>(ctx: &F, cfg: CoalesceConfig) {
     assert!(cfg.max_msgs >= 1, "max_msgs must be at least 1");
     assert!(
         cfg.max_bytes >= SUB_WIRE_BYTES,
@@ -126,11 +127,11 @@ pub fn enable_coalescing(ctx: &Ctx, cfg: CoalesceConfig) {
 }
 
 /// Whether this node's endpoint coalesces short sends.
-pub fn coalescing_enabled(ctx: &Ctx) -> bool {
+pub fn coalescing_enabled<F: Fabric>(ctx: &F) -> bool {
     AmState::get(ctx).coalesce.lock().is_some()
 }
 
-pub(crate) fn enabled(st: &AmState) -> bool {
+pub(crate) fn enabled<F: Fabric>(st: &AmState<F>) -> bool {
     st.coalesce.lock().is_some()
 }
 
@@ -138,7 +139,7 @@ pub(crate) fn enabled(st: &AmState) -> bool {
 /// branch of `send_inner`; nothing is charged here). Flushes — and then
 /// polls, standing in for the skipped poll-on-send — when the append
 /// tripped a buffer bound.
-pub(crate) fn append(ctx: &Ctx, st: &AmState, dst: usize, msg: AmMsg, p: &NetProfile) {
+pub(crate) fn append<F: Fabric>(ctx: &F, st: &AmState<F>, dst: usize, msg: AmMsg, p: &NetProfile) {
     let flush_now = {
         let mut co = st.coalesce.lock();
         let cs = co.as_mut().expect("append without coalescing enabled");
@@ -165,7 +166,7 @@ pub(crate) fn append(ctx: &Ctx, st: &AmState, dst: usize, msg: AmMsg, p: &NetPro
 }
 
 /// Flush one destination's buffer, if non-empty.
-pub(crate) fn flush_dst(ctx: &Ctx, st: &AmState, dst: usize, p: &NetProfile) {
+pub(crate) fn flush_dst<F: Fabric>(ctx: &F, st: &AmState<F>, dst: usize, p: &NetProfile) {
     let msgs = {
         let mut co = st.coalesce.lock();
         let Some(cs) = co.as_mut() else { return };
@@ -183,7 +184,7 @@ pub(crate) fn flush_dst(ctx: &Ctx, st: &AmState, dst: usize, p: &NetProfile) {
 /// Flush every destination's buffer (the mandatory flush points: poll entry
 /// and exit, explicit [`flush`](crate::flush)). A no-op — lock, check, drop
 /// — when coalescing is disabled or all buffers are empty.
-pub(crate) fn flush_all(ctx: &Ctx, st: &AmState, p: &NetProfile) {
+pub(crate) fn flush_all<F: Fabric>(ctx: &F, st: &AmState<F>, p: &NetProfile) {
     let pending: Vec<(usize, Vec<AmMsg>)> = {
         let mut co = st.coalesce.lock();
         let Some(cs) = co.as_mut() else { return };
@@ -204,7 +205,13 @@ pub(crate) fn flush_all(ctx: &Ctx, st: &AmState, p: &NetProfile) {
 /// Put one flushed buffer on the wire. A singleton goes out exactly like an
 /// uncoalesced short send; two or more messages become one aggregate frame
 /// charged as one header plus per-sub-message marshalling.
-fn send_frame(ctx: &Ctx, st: &AmState, dst: usize, mut msgs: Vec<AmMsg>, p: &NetProfile) {
+fn send_frame<F: Fabric>(
+    ctx: &F,
+    st: &AmState<F>,
+    dst: usize,
+    mut msgs: Vec<AmMsg>,
+    p: &NetProfile,
+) {
     let n = msgs.len();
     // Occupancy distribution at flush time (singletons included: a median of
     // 1 says the buffers never get the chance to amortize anything).
@@ -240,9 +247,9 @@ fn send_frame(ctx: &Ctx, st: &AmState, dst: usize, mut msgs: Vec<AmMsg>, p: &Net
 /// clamped past the previous send's so variable sizes cannot reorder the
 /// link — without the clamp a small bulk message could overtake the large
 /// aggregate frame its own flush just emitted.
-pub(crate) fn raw_send(
-    ctx: &Ctx,
-    st: &AmState,
+pub(crate) fn raw_send<F: Fabric>(
+    ctx: &F,
+    st: &AmState<F>,
     dst: usize,
     msg: AmMsg,
     data_len: usize,
@@ -271,7 +278,12 @@ pub(crate) fn raw_send(
 /// Unpack and dispatch a received aggregate frame: one receive overhead for
 /// the frame, then per sub-message the unmarshal cost and the normal
 /// handler accounting. Returns the number of handlers run.
-pub(crate) fn dispatch_batch(ctx: &Ctx, st: &AmState, p: &NetProfile, frame: AmMsg) -> usize {
+pub(crate) fn dispatch_batch<F: Fabric>(
+    ctx: &F,
+    st: &AmState<F>,
+    p: &NetProfile,
+    frame: AmMsg,
+) -> usize {
     let batch = frame
         .token
         .expect("aggregate frame without a batch token")

@@ -13,29 +13,37 @@
 //! ep.to(dst).handler(H_Z).bulk(bytes).send();
 //! ```
 //!
-//! The free functions remain as `#[deprecated]` shims for one release.
+//! The builder is the sole send API; the old free functions are gone. The
+//! endpoint is generic over the [`Fabric`] carrying it, so the same
+//! runtime code drives both the simulator and the wall-clock backend.
 
 use crate::ops;
 use crate::state::HandlerId;
 use crate::Token;
 use bytes::Bytes;
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 
 /// A handle on this node's Active-Message endpoint. Cheap to construct (it
 /// borrows the task context); obtain one per scope with [`endpoint`].
-#[derive(Clone, Copy)]
-pub struct Endpoint<'c> {
-    ctx: &'c Ctx,
+pub struct Endpoint<'c, F: Fabric> {
+    ctx: &'c F,
 }
 
+impl<F: Fabric> Clone for Endpoint<'_, F> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<F: Fabric> Copy for Endpoint<'_, F> {}
+
 /// This node's endpoint, as seen from the calling task.
-pub fn endpoint(ctx: &Ctx) -> Endpoint<'_> {
+pub fn endpoint<F: Fabric>(ctx: &F) -> Endpoint<'_, F> {
     Endpoint { ctx }
 }
 
-impl<'c> Endpoint<'c> {
+impl<'c, F: Fabric> Endpoint<'c, F> {
     /// Start building a send to `dst`.
-    pub fn to(&self, dst: usize) -> SendBuilder<'c> {
+    pub fn to(&self, dst: usize) -> SendBuilder<'c, F> {
         SendBuilder {
             ctx: self.ctx,
             dst,
@@ -66,7 +74,7 @@ impl<'c> Endpoint<'c> {
         self.ctx.node()
     }
 
-    /// Number of nodes in the simulation.
+    /// Number of nodes in the machine.
     pub fn nodes(&self) -> usize {
         self.ctx.nodes()
     }
@@ -76,8 +84,8 @@ impl<'c> Endpoint<'c> {
 /// words, a bulk payload, or a continuation token, then call
 /// [`send`](SendBuilder::send).
 #[must_use = "a send builder does nothing until .send() is called"]
-pub struct SendBuilder<'c> {
-    ctx: &'c Ctx,
+pub struct SendBuilder<'c, F: Fabric> {
+    ctx: &'c F,
     dst: usize,
     handler: Option<HandlerId>,
     args: [u64; 4],
@@ -85,7 +93,7 @@ pub struct SendBuilder<'c> {
     token: Option<Token>,
 }
 
-impl SendBuilder<'_> {
+impl<F: Fabric> SendBuilder<'_, F> {
     /// Destination handler id (mandatory).
     pub fn handler(mut self, h: HandlerId) -> Self {
         self.handler = Some(h);

@@ -16,8 +16,10 @@
 //! adaptive per-destination [message coalescing](coalesce) ([`CoalesceConfig`])
 //! that aggregates short sends into one wire frame per destination.
 //!
-//! The positional free functions ([`request`] / [`request_bulk`]) are
-//! deprecated shims over the builder, kept for one release.
+//! The whole layer is generic over a [`mpmd_fabric::Fabric`]: the same
+//! runtime code runs on the discrete-event simulator
+//! ([`mpmd_fabric::SimFabric`]) and on real OS threads with wall-clock
+//! timing ([`mpmd_fabric::LocalFabric`]).
 
 mod barrier;
 pub mod coalesce;
@@ -32,8 +34,6 @@ pub use barrier::{barrier, register_barrier_handlers, H_BARRIER_ARRIVE, H_BARRIE
 pub use coalesce::{coalescing_enabled, enable_coalescing, CoalesceConfig, SUB_WIRE_BYTES};
 pub use endpoint::{endpoint, Endpoint, SendBuilder};
 pub use ops::{flush, poll, wait_until, Token, SHORT_WIRE_BYTES};
-#[allow(deprecated)]
-pub use ops::{request, request_bulk};
 pub use profile::NetProfile;
 pub use reply::{PendingCounter, ReplyCell};
 pub use state::{init, is_registered, profile, register, Handler, HandlerId};
@@ -389,32 +389,6 @@ mod tests {
             "elapsed = {} µs",
             to_us(r.elapsed())
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_functions_still_send() {
-        // Out-of-tree code gets one release of the positional shims.
-        Sim::new(2).run(|ctx| {
-            setup(&ctx, NetProfile::sp_am_splitc());
-            let seen = Arc::new(AtomicU64::new(0));
-            let s2 = Arc::clone(&seen);
-            register(&ctx, H_SINK, move |_ctx, m| {
-                s2.fetch_add(
-                    m.args[0] + m.data.as_ref().map_or(0, |d| d.len() as u64),
-                    Ordering::SeqCst,
-                );
-            });
-            barrier(&ctx);
-            if ctx.node() == 0 {
-                request(&ctx, 1, H_SINK, [5, 0, 0, 0], None);
-                request_bulk(&ctx, 1, H_SINK, [0; 4], Bytes::from(vec![0u8; 16]), None);
-            }
-            barrier(&ctx);
-            if ctx.node() == 1 {
-                assert_eq!(seen.load(Ordering::SeqCst), 21);
-            }
-        });
     }
 
     /// One-directional burst with per-node stats: the workhorse for the

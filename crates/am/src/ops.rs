@@ -1,9 +1,14 @@
 //! Sending, polling and waiting.
+//!
+//! The sole public send API is the builder: see
+//! [`endpoint`](crate::endpoint::endpoint) and
+//! [`SendBuilder`](crate::endpoint::SendBuilder).
 
 use crate::state::{lookup, AmState, HandlerId, PollGuard};
 use crate::AmMsg;
 use bytes::Bytes;
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 use std::any::Any;
 
 /// Opaque continuation carried by a message (e.g. an `Arc<ReplyCell>`),
@@ -13,36 +18,8 @@ pub type Token = Box<dyn Any + Send>;
 /// Modeled header size of every active message (routing + handler id + args).
 pub const SHORT_WIRE_BYTES: usize = 48;
 
-/// Send a short (4-word) active message. Charges the sender-side overhead to
-/// `Bucket::Net` and, per the paper's reception strategy, polls the local
-/// queue ("polling ... occurs on a node every time a message is sent").
-#[deprecated(
-    since = "0.2.0",
-    note = "use `am::endpoint(ctx).to(dst).handler(h).args(a).token(t).send()`"
-)]
-pub fn request(ctx: &Ctx, dst: usize, handler: HandlerId, args: [u64; 4], token: Option<Token>) {
-    send_inner(ctx, dst, handler, args, None, token);
-}
-
-/// Send an active message carrying a bulk payload. Charges the additional
-/// bulk setup overhead; the payload adds per-byte wire time.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `am::endpoint(ctx).to(dst).handler(h).bulk(data).send()`"
-)]
-pub fn request_bulk(
-    ctx: &Ctx,
-    dst: usize,
-    handler: HandlerId,
-    args: [u64; 4],
-    data: Bytes,
-    token: Option<Token>,
-) {
-    send_inner(ctx, dst, handler, args, Some(data), token);
-}
-
-pub(crate) fn send_inner(
-    ctx: &Ctx,
+pub(crate) fn send_inner<F: Fabric>(
+    ctx: &F,
     dst: usize,
     handler: HandlerId,
     args: [u64; 4],
@@ -108,7 +85,12 @@ pub(crate) fn send_inner(
 /// aggregate frames are unpacked and dispatched sub-message by sub-message.
 /// Returns the number of handlers run. Shared by the fault-free and
 /// reliable delivery paths.
-pub(crate) fn dispatch(ctx: &Ctx, st: &AmState, p: &crate::NetProfile, am: AmMsg) -> usize {
+pub(crate) fn dispatch<F: Fabric>(
+    ctx: &F,
+    st: &AmState<F>,
+    p: &crate::NetProfile,
+    am: AmMsg,
+) -> usize {
     if am.handler == crate::coalesce::H_COALESCED {
         return crate::coalesce::dispatch_batch(ctx, st, p, am);
     }
@@ -131,7 +113,7 @@ pub(crate) fn dispatch(ctx: &Ctx, st: &AmState, p: &crate::NetProfile, am: AmMsg
 /// flush point: aggregation buffers are flushed on entry (so nothing this
 /// task sent can be held back while it waits) and again on exit (handlers
 /// run during the drain may have issued coalescible replies).
-pub fn poll(ctx: &Ctx) -> usize {
+pub fn poll<F: Fabric>(ctx: &F) -> usize {
     let st = AmState::get(ctx);
     let Some(_guard) = PollGuard::enter(&st, ctx.task_id()) else {
         return 0;
@@ -162,7 +144,7 @@ pub fn poll(ctx: &Ctx) -> usize {
 /// than [`wait_until`] (which flushes via its polls) — e.g. before parking
 /// on a synchronization variable — so buffered messages can't be stranded
 /// by a sleeping sender.
-pub fn flush(ctx: &Ctx) {
+pub fn flush<F: Fabric>(ctx: &F) {
     let st = AmState::get(ctx);
     if !crate::coalesce::enabled(&st) {
         return;
@@ -175,7 +157,7 @@ pub fn flush(ctx: &Ctx) {
 /// pending park until the next delivery. This is how a single-threaded
 /// Split-C node waits for completions, and how the CC++ "0-Word Simple"
 /// (no-thread-switch) path waits: it costs no thread operations.
-pub fn wait_until(ctx: &Ctx, mut pred: impl FnMut() -> bool) {
+pub fn wait_until<F: Fabric>(ctx: &F, mut pred: impl FnMut() -> bool) {
     loop {
         poll(ctx);
         if pred() {

@@ -35,7 +35,8 @@
 use crate::profile::NetProfile;
 use crate::state::AmState;
 use crate::AmMsg;
-use mpmd_sim::{Bucket, Ctx, Payload, Time};
+use mpmd_fabric::Fabric;
+use mpmd_sim::{Bucket, Payload, Time};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
@@ -98,9 +99,9 @@ pub(crate) struct RelState {
 /// Sequence, buffer and transmit one application message (the reliable
 /// branch of `send_inner`; the caller has already charged the send
 /// overhead).
-pub(crate) fn send(
-    ctx: &Ctx,
-    st: &AmState,
+pub(crate) fn send<F: Fabric>(
+    ctx: &F,
+    st: &AmState<F>,
     dst: usize,
     msg: AmMsg,
     data_len: usize,
@@ -155,7 +156,7 @@ pub(crate) fn send(
 
 /// Put one wire copy (or two, or zero) of `pkt` on the link to `dst`,
 /// according to the fault decision drawn for this attempt.
-fn transmit(ctx: &Ctx, dst: usize, pkt: &Arc<RelPacket>, p: &NetProfile) {
+fn transmit<F: Fabric>(ctx: &F, dst: usize, pkt: &Arc<RelPacket>, p: &NetProfile) {
     let d = ctx.fault_decision(dst);
     let delay = p.wire_delay(pkt.data_len) + d.extra_delay;
     if d.drop {
@@ -182,7 +183,7 @@ fn transmit(ctx: &Ctx, dst: usize, pkt: &Arc<RelPacket>, p: &NetProfile) {
 /// Send a cumulative ack to `dst`. Acks are unsequenced, never
 /// retransmitted, and themselves subject to wire faults; each end charges
 /// `ack_handling`.
-fn send_ack(ctx: &Ctx, dst: usize, cum: u64, p: &NetProfile) {
+fn send_ack<F: Fabric>(ctx: &F, dst: usize, cum: u64, p: &NetProfile) {
     ctx.charge(Bucket::Net, ctx.cost().reliability.ack_handling);
     let d = ctx.fault_decision(dst);
     let delay = p.wire_delay(0) + d.extra_delay;
@@ -222,7 +223,7 @@ enum Action {
 /// The reliable branch of [`poll`](crate::poll): drain the inbox, deliver
 /// in per-link order, ack every source heard from, then run the retransmit
 /// scan. Returns the number of handlers run.
-pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
+pub(crate) fn poll_reliable<F: Fabric>(ctx: &F, st: &AmState<F>, p: &NetProfile) -> usize {
     let mut ran = 0;
     let mut touched: BTreeSet<usize> = BTreeSet::new();
     while let Some(m) = ctx.try_recv() {
@@ -325,7 +326,7 @@ pub(crate) fn poll_reliable(ctx: &Ctx, st: &AmState, p: &NetProfile) -> usize {
 /// Re-send every unacknowledged packet whose deadline has passed, with
 /// exponential backoff. `timeouts` counts scans that found due work;
 /// `retransmits` counts packets re-sent.
-fn retransmit_scan(ctx: &Ctx, st: &AmState, p: &NetProfile) {
+fn retransmit_scan<F: Fabric>(ctx: &F, st: &AmState<F>, p: &NetProfile) {
     let now = ctx.now();
     let due: Vec<((usize, u64), Arc<RelPacket>)> = {
         let rel = st.rel.lock();
@@ -366,7 +367,7 @@ fn retransmit_scan(ctx: &Ctx, st: &AmState, p: &NetProfile) {
 }
 
 /// Earliest retransmit deadline on this node, if any packet is in flight.
-pub(crate) fn next_deadline(st: &AmState) -> Option<Time> {
+pub(crate) fn next_deadline<F: Fabric>(st: &AmState<F>) -> Option<Time> {
     st.rel.lock().unacked.values().map(|u| u.next_due).min()
 }
 
@@ -375,7 +376,7 @@ pub(crate) fn next_deadline(st: &AmState) -> Option<Time> {
 /// tasks compute or block: processes incoming frames and acks promptly, and
 /// drives retransmit tails after the application quiesces. Exits when the
 /// engine flips `shutting_down` (only daemons left).
-pub(crate) fn pump_main(ctx: Ctx) {
+pub(crate) fn pump_main<F: Fabric>(ctx: F) {
     let st = AmState::get(&ctx);
     loop {
         if ctx.shutting_down() {

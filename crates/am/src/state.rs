@@ -2,7 +2,8 @@
 
 use crate::profile::NetProfile;
 use crate::AmMsg;
-use mpmd_sim::{Ctx, TaskId};
+use mpmd_fabric::Fabric;
+use mpmd_sim::TaskId;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -15,13 +16,12 @@ pub type HandlerId = u32;
 /// A registered active-message handler. Handlers execute on the receiving
 /// node, inside whichever task performed the poll; they may send messages
 /// (e.g. replies) and spawn threads, but must not block.
-pub type Handler = Arc<dyn Fn(&Ctx, AmMsg) + Send + Sync>;
+pub type Handler<F> = Arc<dyn Fn(&F, AmMsg) + Send + Sync>;
 
-/// Endpoint state, one per node, stored in the simulator's node-data
-/// registry.
-pub(crate) struct AmState {
+/// Endpoint state, one per node, stored in the fabric's node-data registry.
+pub(crate) struct AmState<F: Fabric> {
     pub(crate) profile: Mutex<Option<NetProfile>>,
-    pub(crate) handlers: RwLock<HashMap<HandlerId, Handler>>,
+    pub(crate) handlers: RwLock<HashMap<HandlerId, Handler<F>>>,
     /// Tasks currently inside `poll`, guarding against *recursive* polling
     /// (a handler's reply triggering poll-on-send while already inside a
     /// poll). Per task, not per node: a different task polling while this
@@ -47,7 +47,7 @@ pub(crate) struct AmState {
     pub(crate) pump: Mutex<Option<TaskId>>,
 }
 
-impl AmState {
+impl<F: Fabric> AmState<F> {
     fn new() -> Self {
         AmState {
             profile: Mutex::new(None),
@@ -63,7 +63,7 @@ impl AmState {
         }
     }
 
-    pub(crate) fn get(ctx: &Ctx) -> Arc<AmState> {
+    pub(crate) fn get(ctx: &F) -> Arc<AmState<F>> {
         ctx.node_data(AmState::new)
     }
 
@@ -78,7 +78,7 @@ impl AmState {
 /// Initialize this node's endpoint with a cost profile. Must be called once
 /// per node before any communication; calling again with a different profile
 /// panics (mixed profiles on one node would make measurements meaningless).
-pub fn init(ctx: &Ctx, profile: NetProfile) {
+pub fn init<F: Fabric>(ctx: &F, profile: NetProfile) {
     let st = AmState::get(ctx);
     {
         let mut p = st.profile.lock();
@@ -94,30 +94,34 @@ pub fn init(ctx: &Ctx, profile: NetProfile) {
     // node gets one pump daemon driving retransmits/acks while application
     // tasks compute or block.
     if ctx.faults_enabled() && !st.pump_started.swap(true, Ordering::SeqCst) {
-        let t = ctx.spawn_daemon("am-pump", crate::reliable::pump_main);
+        let t = ctx.spawn_daemon("am-pump", crate::reliable::pump_main::<F>);
         *st.pump.lock() = Some(t);
     }
 }
 
 /// The profile this node was initialized with.
-pub fn profile(ctx: &Ctx) -> NetProfile {
+pub fn profile<F: Fabric>(ctx: &F) -> NetProfile {
     AmState::get(ctx).profile()
 }
 
 /// Register `handler` under `id` on this node. Panics if the id is taken.
-pub fn register(ctx: &Ctx, id: HandlerId, handler: impl Fn(&Ctx, AmMsg) + Send + Sync + 'static) {
+pub fn register<F: Fabric>(
+    ctx: &F,
+    id: HandlerId,
+    handler: impl Fn(&F, AmMsg) + Send + Sync + 'static,
+) {
     let st = AmState::get(ctx);
     let mut tbl = st.handlers.write();
-    let prev = tbl.insert(id, Arc::new(handler));
+    let prev = tbl.insert(id, Arc::new(handler) as Handler<F>);
     assert!(prev.is_none(), "duplicate AM handler id {id}");
 }
 
 /// Whether a handler id is registered (used by tests and diagnostics).
-pub fn is_registered(ctx: &Ctx, id: HandlerId) -> bool {
+pub fn is_registered<F: Fabric>(ctx: &F, id: HandlerId) -> bool {
     AmState::get(ctx).handlers.read().contains_key(&id)
 }
 
-pub(crate) fn lookup(st: &AmState, id: HandlerId) -> Handler {
+pub(crate) fn lookup<F: Fabric>(st: &AmState<F>, id: HandlerId) -> Handler<F> {
     st.handlers
         .read()
         .get(&id)
@@ -126,16 +130,16 @@ pub(crate) fn lookup(st: &AmState, id: HandlerId) -> Handler {
 }
 
 /// Poll-guard RAII: marks the *task* as inside a poll for its lifetime.
-pub(crate) struct PollGuard<'a> {
-    st: &'a AmState,
+pub(crate) struct PollGuard<'a, F: Fabric> {
+    st: &'a AmState<F>,
     task: TaskId,
 }
 
-impl<'a> PollGuard<'a> {
+impl<'a, F: Fabric> PollGuard<'a, F> {
     /// Returns `None` if this task is already polling (recursive poll via
-    /// poll-on-send suppressed). Other tasks may poll concurrently — the
-    /// simulator serializes them, and inbox draining is atomic per message.
-    pub(crate) fn enter(st: &'a AmState, task: TaskId) -> Option<Self> {
+    /// poll-on-send suppressed). Other tasks may poll concurrently — inbox
+    /// draining is atomic per message.
+    pub(crate) fn enter(st: &'a AmState<F>, task: TaskId) -> Option<Self> {
         if st.in_poll.lock().insert(task) {
             Some(PollGuard { st, task })
         } else {
@@ -144,7 +148,7 @@ impl<'a> PollGuard<'a> {
     }
 }
 
-impl Drop for PollGuard<'_> {
+impl<F: Fabric> Drop for PollGuard<'_, F> {
     fn drop(&mut self) {
         self.st.in_poll.lock().remove(&self.task);
     }

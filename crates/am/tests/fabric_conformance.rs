@@ -1,0 +1,208 @@
+//! Fabric conformance suite: one battery of AM-layer contracts, run against
+//! both [`Fabric`] implementations — the deterministic simulator
+//! (`SimFabric`, via [`mpmd_sim::Sim`]) and the wall-clock OS-thread
+//! backend ([`LocalFabric`]).
+//!
+//! Every battery is a single generic function over `F: Fabric`; the
+//! per-fabric `#[test]`s only differ in the driver that brings the machine
+//! up. A contract that holds on the simulator but not on real threads (or
+//! vice versa) fails here by construction.
+
+use mpmd_am as am;
+use mpmd_fabric::{Fabric, LocalFabric};
+use mpmd_sim::Sim;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const H_SEQ: am::HandlerId = 100;
+
+fn setup<F: Fabric>(ctx: &F) {
+    am::init(ctx, am::NetProfile::sp_am_splitc());
+    am::register_barrier_handlers(ctx);
+}
+
+/// A sequence-recording sink: the handler appends `args[0]` to a node-local
+/// log and bumps a counter the receiver can `wait_until` on.
+fn seq_sink<F: Fabric>(ctx: &F) -> (Arc<Mutex<Vec<u64>>>, Arc<AtomicU64>) {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let count = Arc::new(AtomicU64::new(0));
+    let (l2, c2) = (Arc::clone(&log), Arc::clone(&count));
+    am::register(ctx, H_SEQ, move |_ctx, m| {
+        l2.lock().push(m.args[0]);
+        c2.fetch_add(1, Ordering::AcqRel);
+    });
+    (log, count)
+}
+
+// ---------------------------------------------------------------- batteries
+
+/// Per-(src,dst) delivery order equals program order.
+fn battery_ordering<F: Fabric>(ctx: &F) {
+    const K: u64 = 64;
+    setup(ctx);
+    let (log, count) = seq_sink(ctx);
+    am::barrier(ctx);
+    if ctx.node() == 0 {
+        let ep = am::endpoint(ctx);
+        for i in 0..K {
+            ep.to(1).handler(H_SEQ).args([i, 0, 0, 0]).send();
+        }
+    }
+    if ctx.node() == 1 {
+        let c = Arc::clone(&count);
+        am::wait_until(ctx, move || c.load(Ordering::Acquire) == K);
+        let got = log.lock().clone();
+        let want: Vec<u64> = (0..K).collect();
+        assert_eq!(got, want, "messages reordered on the (0,1) link");
+    }
+    am::barrier(ctx);
+}
+
+/// `flush` publishes buffered coalesced sends: with an effectively infinite
+/// linger, a synchronous reader sees the data only because of the flush.
+fn battery_flush_before_sync_read<F: Fabric>(ctx: &F) {
+    setup(ctx);
+    am::enable_coalescing(
+        ctx,
+        am::CoalesceConfig {
+            max_msgs: 1 << 20,
+            max_bytes: 1 << 30,
+            max_linger: mpmd_sim::us(1e12),
+        },
+    );
+    let (log, count) = seq_sink(ctx);
+    am::barrier(ctx);
+    if ctx.node() == 0 {
+        let ep = am::endpoint(ctx);
+        for i in 0..3u64 {
+            ep.to(1).handler(H_SEQ).args([i, 0, 0, 0]).send();
+        }
+        // The buffers can never fill or expire; only this makes them move.
+        am::flush(ctx);
+    }
+    if ctx.node() == 1 {
+        let c = Arc::clone(&count);
+        am::wait_until(ctx, move || c.load(Ordering::Acquire) == 3);
+        assert_eq!(log.lock().clone(), vec![0, 1, 2]);
+    }
+    am::barrier(ctx);
+}
+
+/// A timed inbox park terminates at its deadline even when no message ever
+/// arrives (the reliable layer's pump depends on this wake).
+fn battery_timeout_wake<F: Fabric>(ctx: &F) {
+    setup(ctx);
+    am::barrier(ctx);
+    let deadline = ctx.now() + mpmd_sim::us(200.0);
+    while ctx.now() < deadline {
+        ctx.park_for_inbox_until(deadline);
+    }
+    assert!(ctx.now() >= deadline);
+    am::barrier(ctx);
+}
+
+/// No node exits barrier `r` before every node entered it.
+fn battery_barrier<F: Fabric>(ctx: &F, entered: &[AtomicU64]) {
+    const ROUNDS: u64 = 16;
+    setup(ctx);
+    for r in 0..ROUNDS {
+        entered[ctx.node()].fetch_add(1, Ordering::AcqRel);
+        am::barrier(ctx);
+        for (n, e) in entered.iter().enumerate() {
+            let seen = e.load(Ordering::Acquire);
+            assert!(
+                seen > r,
+                "node {} left barrier {r} before node {n} entered (saw {seen})",
+                ctx.node()
+            );
+        }
+        am::barrier(ctx);
+    }
+}
+
+/// The `max_msgs` buffer bound is a flush boundary: exactly `max_msgs`
+/// appends go to the wire with no explicit flush, in program order.
+fn battery_coalesce_boundary<F: Fabric>(ctx: &F) {
+    const BOUND: u64 = 4;
+    setup(ctx);
+    am::enable_coalescing(
+        ctx,
+        am::CoalesceConfig {
+            max_msgs: BOUND as usize,
+            max_bytes: 1 << 30,
+            max_linger: mpmd_sim::us(1e12),
+        },
+    );
+    let (log, count) = seq_sink(ctx);
+    am::barrier(ctx);
+    if ctx.node() == 0 {
+        let ep = am::endpoint(ctx);
+        // Fills the buffer exactly: the append itself must flush.
+        for i in 0..BOUND {
+            ep.to(1).handler(H_SEQ).args([i, 0, 0, 0]).send();
+        }
+        let c = Arc::clone(&count);
+        am::wait_until(ctx, move || c.load(Ordering::Acquire) == 0);
+        // A partial buffer stays put until the explicit flush.
+        for i in BOUND..BOUND + 2 {
+            ep.to(1).handler(H_SEQ).args([i, 0, 0, 0]).send();
+        }
+        am::flush(ctx);
+    }
+    if ctx.node() == 1 {
+        let c = Arc::clone(&count);
+        am::wait_until(ctx, move || c.load(Ordering::Acquire) == BOUND + 2);
+        let want: Vec<u64> = (0..BOUND + 2).collect();
+        assert_eq!(log.lock().clone(), want);
+    }
+    am::barrier(ctx);
+}
+
+// ------------------------------------------------------------------ drivers
+
+macro_rules! conformance {
+    ($battery:ident, $sim_name:ident, $local_name:ident, $nodes:expr) => {
+        #[test]
+        fn $sim_name() {
+            Sim::new($nodes).run(|ctx| $battery(&ctx));
+        }
+
+        #[test]
+        fn $local_name() {
+            LocalFabric::run($nodes, |ctx| $battery(&ctx));
+        }
+    };
+}
+
+conformance!(battery_ordering, ordering_sim, ordering_local, 2);
+conformance!(
+    battery_flush_before_sync_read,
+    flush_before_sync_read_sim,
+    flush_before_sync_read_local,
+    2
+);
+conformance!(
+    battery_timeout_wake,
+    timeout_wake_sim,
+    timeout_wake_local,
+    2
+);
+conformance!(
+    battery_coalesce_boundary,
+    coalesce_boundary_sim,
+    coalesce_boundary_local,
+    2
+);
+
+#[test]
+fn barrier_sim() {
+    let entered: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+    Sim::new(4).run(move |ctx| battery_barrier(&ctx, &entered));
+}
+
+#[test]
+fn barrier_local() {
+    let entered: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+    LocalFabric::run(4, move |ctx| battery_barrier(&ctx, &entered));
+}

@@ -1,5 +1,6 @@
 //! Shared measurement plumbing for the applications.
 
+use mpmd_fabric::Fabric;
 use mpmd_sim::{
     Bucket, CostModel, Ctx, MetricsRegistry, Report, Sim, Snapshot, Stats, Time, TraceConfig,
 };
@@ -30,7 +31,7 @@ pub const FLOP_NS: u64 = 10;
 
 /// Charge application FP work.
 #[inline]
-pub fn charge_flops(ctx: &Ctx, flops: u64) {
+pub fn charge_flops<F: Fabric>(ctx: &F, flops: u64) {
     ctx.charge(Bucket::Cpu, flops * FLOP_NS);
 }
 
@@ -157,7 +158,7 @@ pub struct RegionTimer {
 
 impl RegionTimer {
     /// Synchronize and begin the region (collective).
-    pub fn start<B: Fn(&Ctx)>(ctx: &Ctx, barrier: B) -> Self {
+    pub fn start<F: Fabric, B: Fn(&F)>(ctx: &F, barrier: B) -> Self {
         barrier(ctx);
         let start = if ctx.node() == 0 {
             Some(ctx.snapshot())
@@ -169,7 +170,7 @@ impl RegionTimer {
     }
 
     /// Synchronize and end the region (collective); node 0 gets the report.
-    pub fn stop<B: Fn(&Ctx)>(self, ctx: &Ctx, barrier: B) -> Option<Report> {
+    pub fn stop<F: Fabric, B: Fn(&F)>(self, ctx: &F, barrier: B) -> Option<Report> {
         barrier(ctx);
         let out = self.start.map(|s| {
             let end = ctx.snapshot();

@@ -11,7 +11,8 @@ use super::{Em3dVersion, EDGE_FLOPS};
 use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CcxxConfig, CxPtr};
-use mpmd_sim::{CostModel, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::CostModel;
 
 struct Node {
     g: Graph,
@@ -35,12 +36,13 @@ pub fn run_ccxx(
 ) -> AppRun<Em3dValues> {
     let p = p.clone();
     run_collect(p.procs, cost, move |ctx| {
-        body(ctx, &p, version, config.clone())
+        run_ccxx_on(ctx, &p, version, config.clone())
     })
 }
 
-fn body(
-    ctx: &Ctx,
+/// The per-node program, generic over the fabric.
+pub fn run_ccxx_on<F: Fabric>(
+    ctx: &F,
     p: &Em3dParams,
     version: Em3dVersion,
     config: CcxxConfig,
@@ -129,7 +131,7 @@ fn body(
     })
 }
 
-fn phase(ctx: &Ctx, n: &Node, version: Em3dVersion, read_h: bool) {
+fn phase<F: Fabric>(ctx: &F, n: &Node, version: Em3dVersion, read_h: bool) {
     let g = &n.g;
     let per = g.per_proc();
     let (adj, src_reg, dst_reg, ghost_reg, plan) = if read_h {
@@ -196,7 +198,7 @@ fn phase(ctx: &Ctx, n: &Node, version: Em3dVersion, read_h: bool) {
             // call + byte copy), like the LU block transfers.
             let local_src = cx::with_local(ctx, src_reg, |v| v.clone());
             let send_plan = if read_h { &n.plan_e } else { &n.plan_h };
-            let mut bodies: Vec<Box<dyn FnOnce(mpmd_sim::Ctx) + Send>> = Vec::new();
+            let mut bodies: Vec<Box<dyn FnOnce(F) + Send>> = Vec::new();
             for peer in 0..g.procs {
                 let (ids, base) = &send_plan.send_to[peer];
                 if ids.is_empty() {
@@ -221,8 +223,8 @@ fn phase(ctx: &Ctx, n: &Node, version: Em3dVersion, read_h: bool) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn compute_with_ghosts(
-    ctx: &Ctx,
+fn compute_with_ghosts<F: Fabric>(
+    ctx: &F,
     n: &Node,
     adj: &[Vec<(usize, f64)>],
     src_reg: u32,

@@ -6,7 +6,8 @@ use super::{Em3dVersion, EDGE_FLOPS};
 use crate::common::{
     charge_flops, run_collect, run_collect_full, AppBreakdown, AppRun, RegionTimer,
 };
-use mpmd_sim::{CostModel, Ctx, TraceConfig, TraceLog};
+use mpmd_fabric::Fabric;
+use mpmd_sim::{CostModel, TraceConfig, TraceLog};
 use mpmd_splitc as sc;
 use mpmd_splitc::GlobalPtr;
 
@@ -48,7 +49,7 @@ pub fn run_splitc_coalesced(
 ) -> AppRun<Em3dValues> {
     let p = p.clone();
     run_collect(p.procs, cost, move |ctx| {
-        body(ctx, &p, version, coalescing.clone())
+        run_splitc_on(ctx, &p, version, coalescing.clone())
     })
 }
 
@@ -61,13 +62,15 @@ pub fn run_splitc_traced(p: &Em3dParams, version: Em3dVersion) -> (AppRun<Em3dVa
         p.procs,
         CostModel::default(),
         Some(TraceConfig::new()),
-        move |ctx| body(ctx, &p, version, None),
+        move |ctx| run_splitc_on(ctx, &p, version, None),
     );
     (run, report.trace.expect("tracing was enabled"))
 }
 
-fn body(
-    ctx: &Ctx,
+/// The per-node program, generic over the fabric: the same code runs under
+/// the simulator (via [`run_splitc`]) and on the wall-clock backend.
+pub fn run_splitc_on<F: Fabric>(
+    ctx: &F,
     p: &Em3dParams,
     version: Em3dVersion,
     coalescing: Option<sc::CoalesceConfig>,
@@ -159,7 +162,7 @@ fn body(
 
 /// One half-step: update this node's E values from H neighbors
 /// (`read_h = true`) or vice versa.
-fn phase(ctx: &Ctx, n: &Node, version: Em3dVersion, read_h: bool) {
+fn phase<F: Fabric>(ctx: &F, n: &Node, version: Em3dVersion, read_h: bool) {
     let g = &n.g;
     let per = g.per_proc();
     let (adj, src_reg, dst_reg, ghost_reg, plan) = if read_h {
@@ -246,8 +249,8 @@ fn phase(ctx: &Ctx, n: &Node, version: Em3dVersion, read_h: bool) {
 
 /// Pure-local compute once ghost values are in place.
 #[allow(clippy::too_many_arguments)]
-fn compute_with_ghosts(
-    ctx: &Ctx,
+fn compute_with_ghosts<F: Fabric>(
+    ctx: &F,
     n: &Node,
     adj: &[Vec<(usize, f64)>],
     src_reg: u32,

@@ -6,16 +6,24 @@ use super::LuOutput;
 use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CcxxConfig, CxPtr};
-use mpmd_sim::{CostModel, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::CostModel;
 use std::collections::HashMap;
 
 /// Run blocked LU under the CC++ runtime.
 pub fn run_ccxx(p: &LuParams, config: CcxxConfig, cost: CostModel) -> AppRun<LuOutput> {
     let p = p.clone();
-    run_collect(p.procs, cost, move |ctx| body(ctx, &p, config.clone()))
+    run_collect(p.procs, cost, move |ctx| {
+        run_ccxx_on(ctx, &p, config.clone())
+    })
 }
 
-fn body(ctx: &Ctx, p: &LuParams, config: CcxxConfig) -> Option<AppRun<LuOutput>> {
+/// The per-node program, generic over the fabric.
+pub fn run_ccxx_on<F: Fabric>(
+    ctx: &F,
+    p: &LuParams,
+    config: CcxxConfig,
+) -> Option<AppRun<LuOutput>> {
     cx::init(ctx, config);
     let me = ctx.node();
     let b = p.block;

@@ -3,7 +3,8 @@
 use super::matrix::*;
 use super::LuOutput;
 use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
-use mpmd_sim::{CostModel, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::CostModel;
 use mpmd_splitc as sc;
 use mpmd_splitc::GlobalPtr;
 use std::collections::HashMap;
@@ -27,11 +28,14 @@ pub fn run_splitc_coalesced(
     coalescing: Option<sc::CoalesceConfig>,
 ) -> AppRun<LuOutput> {
     let p = p.clone();
-    run_collect(p.procs, cost, move |ctx| body(ctx, &p, coalescing.clone()))
+    run_collect(p.procs, cost, move |ctx| {
+        run_splitc_on(ctx, &p, coalescing.clone())
+    })
 }
 
-fn body(
-    ctx: &Ctx,
+/// The per-node program, generic over the fabric.
+pub fn run_splitc_on<F: Fabric>(
+    ctx: &F,
     p: &LuParams,
     coalescing: Option<sc::CoalesceConfig>,
 ) -> Option<AppRun<LuOutput>> {

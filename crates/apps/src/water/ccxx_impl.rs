@@ -8,7 +8,8 @@ use super::{WaterOutput, WaterVersion};
 use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
 use mpmd_ccxx as cx;
 use mpmd_ccxx::{CcxxConfig, CxPtr};
-use mpmd_sim::{CostModel, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::CostModel;
 use std::collections::BTreeMap;
 
 /// Run Water under the CC++ runtime.
@@ -20,12 +21,13 @@ pub fn run_ccxx(
 ) -> AppRun<WaterOutput> {
     let p = p.clone();
     run_collect(p.procs, cost, move |ctx| {
-        body(ctx, &p, version, config.clone())
+        run_ccxx_on(ctx, &p, version, config.clone())
     })
 }
 
-fn body(
-    ctx: &Ctx,
+/// The per-node program, generic over the fabric.
+pub fn run_ccxx_on<F: Fabric>(
+    ctx: &F,
     p: &WaterParams,
     version: WaterVersion,
     config: CcxxConfig,

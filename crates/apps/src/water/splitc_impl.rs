@@ -6,7 +6,8 @@ use super::model::{
 };
 use super::{WaterOutput, WaterVersion};
 use crate::common::{charge_flops, run_collect, AppBreakdown, AppRun, RegionTimer};
-use mpmd_sim::{CostModel, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::CostModel;
 use mpmd_splitc as sc;
 use mpmd_splitc::GlobalPtr;
 use std::collections::BTreeMap;
@@ -52,12 +53,13 @@ pub fn run_splitc_coalesced(
 ) -> AppRun<WaterOutput> {
     let p = p.clone();
     run_collect(p.procs, cost, move |ctx| {
-        body(ctx, &p, version, coalescing.clone())
+        run_splitc_on(ctx, &p, version, coalescing.clone())
     })
 }
 
-fn body(
-    ctx: &Ctx,
+/// The per-node program, generic over the fabric.
+pub fn run_splitc_on<F: Fabric>(
+    ctx: &F,
     p: &WaterParams,
     version: WaterVersion,
     coalescing: Option<sc::CoalesceConfig>,

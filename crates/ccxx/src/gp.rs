@@ -15,7 +15,8 @@
 
 use crate::state::{CcxxState, CxPtr};
 use mpmd_am::{self as am, HandlerId, ReplyCell};
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 use mpmd_threads::SyncVar;
 use std::sync::Arc;
 
@@ -41,7 +42,7 @@ pub struct GpHandle {
 
 impl GpHandle {
     /// Block until the value arrives (charges the async completion costs).
-    pub fn wait(&self, ctx: &Ctx) -> f64 {
+    pub fn wait<F: Fabric>(&self, ctx: &F) -> f64 {
         if let Some(v) = self.local {
             return v;
         }
@@ -63,7 +64,7 @@ impl GpHandle {
 
 /// Read a double through a global pointer (`lx = *gpY`). Blocks the calling
 /// thread; the owner runs the access on a new thread.
-pub fn gp_read(ctx: &Ctx, p: CxPtr) -> f64 {
+pub fn gp_read<F: Fabric>(ctx: &F, p: CxPtr) -> f64 {
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
@@ -97,7 +98,7 @@ pub fn gp_read(ctx: &Ctx, p: CxPtr) -> f64 {
 
 /// Write a double through a global pointer (`*gpY = lx`), waiting for the
 /// acknowledgement.
-pub fn gp_write(ctx: &Ctx, p: CxPtr, v: f64) {
+pub fn gp_write<F: Fabric>(ctx: &F, p: CxPtr, v: f64) {
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
@@ -131,7 +132,7 @@ pub fn gp_write(ctx: &Ctx, p: CxPtr, v: f64) {
 /// Read three consecutive doubles through a global pointer with one small
 /// request/reply (Water reads a molecule's position this way). Blocking;
 /// served on a fresh thread at the owner like [`gp_read`].
-pub fn gp_read3(ctx: &Ctx, p: CxPtr) -> [f64; 3] {
+pub fn gp_read3<F: Fabric>(ctx: &F, p: CxPtr) -> [f64; 3] {
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
@@ -170,7 +171,7 @@ pub fn gp_read3(ctx: &Ctx, p: CxPtr) -> [f64; 3] {
 
 /// Issue a non-blocking read through a global pointer; wait on the returned
 /// handle. Used by `parfor` prefetching.
-pub fn gp_read_async(ctx: &Ctx, p: CxPtr) -> GpHandle {
+pub fn gp_read_async<F: Fabric>(ctx: &F, p: CxPtr) -> GpHandle {
     let st = CcxxState::get(ctx);
     let cfg = st.cfg();
     let c = &cfg.costs;
@@ -207,7 +208,7 @@ pub fn gp_read_async(ctx: &Ctx, p: CxPtr) -> GpHandle {
     }
 }
 
-fn serve_access(_ctx: &Ctx, st: &CcxxState, args: [u64; 4]) -> [u64; 4] {
+fn serve_access<F: Fabric>(_ctx: &F, st: &CcxxState<F>, args: [u64; 4]) -> [u64; 4] {
     let region = st.region(args[0] as u32);
     let off = args[1] as usize;
     match args[2] {
@@ -229,7 +230,7 @@ fn serve_access(_ctx: &Ctx, st: &CcxxState, args: [u64; 4]) -> [u64; 4] {
     }
 }
 
-pub(crate) fn register_gp_handlers(ctx: &Ctx) {
+pub(crate) fn register_gp_handlers<F: Fabric>(ctx: &F) {
     // Blocking access: spawn a thread at the owner (general RMI semantics).
     am::register(ctx, H_GP_ACC, |ctx, mut m| {
         let st = CcxxState::get(ctx);

@@ -131,8 +131,8 @@ mod tests {
             register_method(&ctx, "sum_vec", |ctx, args| {
                 let data = args.data.expect("expected marshalled args");
                 let mut u = UnmarshalBuf::new(&data);
-                let scale = u.next::<f64>(ctx);
-                let v = u.next::<Vec<f64>>(ctx);
+                let scale = u.next::<f64, _>(ctx);
+                let v = u.next::<Vec<f64>, _>(ctx);
                 assert_eq!(u.remaining(), 0);
                 let s: f64 = v.iter().sum::<f64>() * scale;
                 RmiRet::of_words([s.to_bits(), 0, 0, 0])

@@ -14,7 +14,8 @@
 
 use crate::state::CcxxState;
 use bytes::Bytes;
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 
 /// A type that knows how to serialize itself into an RMI message buffer.
 pub trait Marshal: Sized {
@@ -116,7 +117,7 @@ impl MarshalBuf {
     }
 
     /// Serialize one argument, charging its marshalling cost.
-    pub fn push<T: Marshal>(&mut self, ctx: &Ctx, value: &T) -> &mut Self {
+    pub fn push<T: Marshal, F: Fabric>(&mut self, ctx: &F, value: &T) -> &mut Self {
         let _sp = ctx.span("rmi.marshal");
         let st = CcxxState::get(ctx);
         let before = self.bytes.len();
@@ -170,7 +171,7 @@ impl<'a> UnmarshalBuf<'a> {
     }
 
     /// Extract the next argument, charging its unmarshalling cost.
-    pub fn next<T: Marshal>(&mut self, ctx: &Ctx) -> T {
+    pub fn next<T: Marshal, F: Fabric>(&mut self, ctx: &F) -> T {
         let _sp = ctx.span("rmi.unmarshal");
         let st = CcxxState::get(ctx);
         let before = self.input.len();

@@ -5,13 +5,13 @@
 
 use crate::gp::gp_read_async;
 use crate::state::CxPtr;
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 use mpmd_threads::{spawn, Thread};
 use std::sync::Arc;
 
 /// Execute `bodies` concurrently (the `par` block); returns when all have
 /// completed. Each body costs a thread create.
-pub fn par(ctx: &Ctx, bodies: Vec<Box<dyn FnOnce(Ctx) + Send>>) {
+pub fn par<Fab: Fabric>(ctx: &Fab, bodies: Vec<Box<dyn FnOnce(Fab) + Send>>) {
     let handles: Vec<Thread> = bodies.into_iter().map(|b| spawn(ctx, "par", b)).collect();
     for h in handles {
         h.join(ctx);
@@ -20,9 +20,9 @@ pub fn par(ctx: &Ctx, bodies: Vec<Box<dyn FnOnce(Ctx) + Send>>) {
 
 /// Execute `f(0..n)` concurrently (the `parfor` block); returns when all
 /// iterations have completed.
-pub fn parfor<F>(ctx: &Ctx, n: usize, f: F)
+pub fn parfor<Fab: Fabric, F>(ctx: &Fab, n: usize, f: F)
 where
-    F: Fn(&Ctx, usize) + Send + Sync + 'static,
+    F: Fn(&Fab, usize) + Send + Sync + 'static,
 {
     let f = Arc::new(f);
     let handles: Vec<Thread> = (0..n)
@@ -48,7 +48,7 @@ where
 /// requests overlap on the wire, which is what makes this "latency hiding"
 /// — though "the overhead of thread management reduces the effectiveness of
 /// latency hiding substantially" relative to Split-C's split-phase gets.
-pub fn prefetch(ctx: &Ctx, ptrs: &[CxPtr]) -> Vec<f64> {
+pub fn prefetch<Fab: Fabric>(ctx: &Fab, ptrs: &[CxPtr]) -> Vec<f64> {
     let n = ptrs.len();
     let ptrs: Arc<Vec<CxPtr>> = Arc::new(ptrs.to_vec());
     let results = Arc::new(parking_lot::Mutex::new(vec![0.0f64; n]));

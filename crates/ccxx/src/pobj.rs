@@ -17,7 +17,7 @@ use crate::marshal::MarshalBuf;
 use crate::rmi::{
     register_method_full, rmi_with_object, CallMode, RmiArgs, RmiRet, DEFAULT_PROGRAM,
 };
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 use parking_lot::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
@@ -51,7 +51,7 @@ impl ObjRegistry {
         }
     }
 
-    fn get(ctx: &Ctx) -> Arc<ObjRegistry> {
+    fn get<F: Fabric>(ctx: &F) -> Arc<ObjRegistry> {
         ctx.node_data(ObjRegistry::new)
     }
 }
@@ -59,7 +59,7 @@ impl ObjRegistry {
 /// Instantiate a processor object on this node, returning its global
 /// pointer. (CC++ creates processor objects with placement `new` on a
 /// processor; here the creating code already runs on the target node.)
-pub fn create_object<T: Send + Sync + 'static>(ctx: &Ctx, obj: T) -> CxObjPtr {
+pub fn create_object<T: Send + Sync + 'static, F: Fabric>(ctx: &F, obj: T) -> CxObjPtr {
     let reg = ObjRegistry::get(ctx);
     let id = reg.next_id.fetch_add(1, Ordering::AcqRel);
     reg.objects.write().insert(
@@ -77,7 +77,7 @@ pub fn create_object<T: Send + Sync + 'static>(ctx: &Ctx, obj: T) -> CxObjPtr {
 
 /// Remove a processor object (global pointers to it dangle afterwards;
 /// invocations then panic with a clear message).
-pub fn destroy_object(ctx: &Ctx, p: CxObjPtr) {
+pub fn destroy_object<F: Fabric>(ctx: &F, p: CxObjPtr) {
     assert_eq!(p.node, ctx.node(), "objects are destroyed by their owner");
     let reg = ObjRegistry::get(ctx);
     let prev = reg.objects.write().remove(&p.obj);
@@ -92,7 +92,7 @@ fn typed_name_of(type_name: &str, method: &str) -> String {
 
 /// Owner-side resolution: map an `(object id, bare method name)` invocation
 /// to the registered typed stub name.
-pub(crate) fn object_method_wire_name(ctx: &Ctx, obj: u64, method: &str) -> String {
+pub(crate) fn object_method_wire_name<F: Fabric>(ctx: &F, obj: u64, method: &str) -> String {
     let reg = ObjRegistry::get(ctx);
     let objects = reg.objects.read();
     let rec = objects
@@ -104,7 +104,7 @@ pub(crate) fn object_method_wire_name(ctx: &Ctx, obj: u64, method: &str) -> Stri
 /// Fetch an object for a typed stub (panics on type confusion — a CC++
 /// program with a miscast global pointer would crash too, just less
 /// politely).
-fn fetch_object<T: Send + Sync + 'static>(ctx: &Ctx, obj: u64) -> Arc<T> {
+fn fetch_object<T: Send + Sync + 'static, F: Fabric>(ctx: &F, obj: u64) -> Arc<T> {
     let reg = ObjRegistry::get(ctx);
     let objects = reg.objects.read();
     let rec = objects
@@ -121,10 +121,11 @@ fn fetch_object<T: Send + Sync + 'static>(ctx: &Ctx, obj: u64) -> Arc<T> {
 /// Register a method of processor-object type `T` on this node. All
 /// instances of `T` on this node share the stub (exactly like compiled C++
 /// member functions). `may_block = false` enables the OAM fast path.
-pub fn register_obj_method<T, F>(ctx: &Ctx, method: &str, may_block: bool, f: F)
+pub fn register_obj_method<T, F, Fab>(ctx: &Fab, method: &str, may_block: bool, f: F)
 where
     T: Send + Sync + 'static,
-    F: Fn(&Ctx, &T, RmiArgs) -> RmiRet + Send + Sync + 'static,
+    Fab: Fabric,
+    F: Fn(&Fab, &T, RmiArgs) -> RmiRet + Send + Sync + 'static,
 {
     let name = typed_name_of(std::any::type_name::<T>(), method);
     register_method_full(
@@ -137,7 +138,7 @@ where
                 .obj
                 .take()
                 .expect("object method invoked without an object id");
-            let obj = fetch_object::<T>(ctx, obj_id);
+            let obj = fetch_object::<T, _>(ctx, obj_id);
             f(ctx, &obj, args)
         },
     );
@@ -145,8 +146,8 @@ where
 
 /// Invoke `method` on the processor object behind `p`
 /// (`gpObj->method(...)`).
-pub fn rmi_obj(
-    ctx: &Ctx,
+pub fn rmi_obj<F: Fabric>(
+    ctx: &F,
     p: CxObjPtr,
     method: &str,
     words: &[u64],
@@ -207,12 +208,12 @@ mod tests {
     fn object_methods_dispatch_to_the_right_instance_and_type() {
         Sim::new(2).run(|ctx| {
             init(&ctx, CcxxConfig::tham());
-            register_obj_method::<Counter, _>(&ctx, "apply", false, |_ctx, obj, args| {
+            register_obj_method::<Counter, _, _>(&ctx, "apply", false, |_ctx, obj, args| {
                 let n = obj.hits.fetch_add(args.words[0], Ordering::AcqRel) + args.words[0];
                 RmiRet::of_words([n, 0, 0, 0])
             });
             // Same bare method name, different type: must not collide.
-            register_obj_method::<Scaler, _>(&ctx, "apply", false, |_ctx, obj, args| {
+            register_obj_method::<Scaler, _, _>(&ctx, "apply", false, |_ctx, obj, args| {
                 RmiRet::of_words([obj.factor * args.words[0], 0, 0, 0])
             });
             // Node 1 hosts two counters and a scaler.
@@ -286,7 +287,7 @@ mod tests {
     fn warm_object_calls_hit_the_stub_cache() {
         Sim::new(2).run(|ctx| {
             init(&ctx, CcxxConfig::tham());
-            register_obj_method::<Counter, _>(&ctx, "get", false, |_ctx, obj, _args| {
+            register_obj_method::<Counter, _, _>(&ctx, "get", false, |_ctx, obj, _args| {
                 RmiRet::of_words([obj.hits.load(Ordering::Acquire), 0, 0, 0])
             });
             let reg = crate::alloc_region(&ctx, 1, 0.0);

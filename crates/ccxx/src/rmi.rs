@@ -26,7 +26,8 @@
 use crate::state::{name_hash, CacheEntry, CcxxState, StubFn};
 use bytes::Bytes;
 use mpmd_am::{self as am, HandlerId, ReplyCell};
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 use mpmd_threads::SyncVar;
 use std::sync::Arc;
 
@@ -173,10 +174,10 @@ pub const DEFAULT_PROGRAM: u32 = 0;
 
 /// Register a method in program 0 on this node, returning its local
 /// entry-point address. General RMI semantics: the method may block.
-pub fn register_method(
-    ctx: &Ctx,
+pub fn register_method<F: Fabric>(
+    ctx: &F,
     name: &str,
-    f: impl Fn(&Ctx, RmiArgs) -> RmiRet + Send + Sync + 'static,
+    f: impl Fn(&F, RmiArgs) -> RmiRet + Send + Sync + 'static,
 ) -> u64 {
     register_method_full(ctx, DEFAULT_PROGRAM, name, true, f)
 }
@@ -184,12 +185,12 @@ pub fn register_method(
 /// Register a method in an explicit program image, with a blocking hint.
 /// `may_block = false` lets [`CallMode::Optimistic`] invocations run the
 /// method inline at the receiver (the OAM fast path).
-pub fn register_method_full(
-    ctx: &Ctx,
+pub fn register_method_full<F: Fabric>(
+    ctx: &F,
     program: u32,
     name: &str,
     may_block: bool,
-    f: impl Fn(&Ctx, RmiArgs) -> RmiRet + Send + Sync + 'static,
+    f: impl Fn(&F, RmiArgs) -> RmiRet + Send + Sync + 'static,
 ) -> u64 {
     let st = CcxxState::get(ctx);
     let mut stubs = st.stubs.write();
@@ -209,7 +210,7 @@ pub fn register_method_full(
 
 /// Spin-poll until `pred`, registering as a spinner so the polling thread
 /// defers (no thread operations are charged — this is the Simple path).
-pub(crate) fn spin_wait(ctx: &Ctx, pred: impl FnMut() -> bool) {
+pub(crate) fn spin_wait<F: Fabric>(ctx: &F, pred: impl FnMut() -> bool) {
     let st = CcxxState::get(ctx);
     st.spinners
         .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
@@ -224,8 +225,8 @@ pub(crate) fn spin_wait(ctx: &Ctx, pred: impl FnMut() -> bool) {
 /// `payload` (built with [`crate::marshal::MarshalBuf`]). Bulk returns are
 /// charged the extra receive-side copy here unless the runtime is configured
 /// to pass return-buffer addresses.
-pub fn rmi(
-    ctx: &Ctx,
+pub fn rmi<F: Fabric>(
+    ctx: &F,
     dst: usize,
     method: &str,
     words: &[u64],
@@ -238,8 +239,8 @@ pub fn rmi(
 /// [`rmi`] against a processor-object method: the invocation record carries
 /// the object id; the owner resolves `(object, method)` to the typed stub.
 /// Used by [`crate::pobj::rmi_obj`].
-pub(crate) fn rmi_with_object(
-    ctx: &Ctx,
+pub(crate) fn rmi_with_object<F: Fabric>(
+    ctx: &F,
     dst: usize,
     method: &str,
     obj: u64,
@@ -260,8 +261,8 @@ pub(crate) fn rmi_with_object(
 }
 
 /// [`rmi`] against a method of an explicit program image on the target node.
-pub fn rmi_program(
-    ctx: &Ctx,
+pub fn rmi_program<F: Fabric>(
+    ctx: &F,
     dst: usize,
     program: u32,
     method: &str,
@@ -273,8 +274,8 @@ pub fn rmi_program(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn rmi_inner(
-    ctx: &Ctx,
+fn rmi_inner<F: Fabric>(
+    ctx: &F,
     dst: usize,
     program: u32,
     method: &str,
@@ -407,10 +408,10 @@ fn rmi_inner(
 
 /// Execute a stub and send the reply (shared by the inline and threaded
 /// receive paths). Runs on the receiving node.
-fn run_and_reply(
-    ctx: &Ctx,
-    st: &CcxxState,
-    stub: StubFn,
+fn run_and_reply<F: Fabric>(
+    ctx: &F,
+    st: &CcxxState<F>,
+    stub: StubFn<F>,
     req: CxRequest,
     cache_update: Option<(u32, u64, u64)>,
 ) {
@@ -467,7 +468,7 @@ fn run_and_reply(
     }
 }
 
-pub(crate) fn register_rmi_handlers(ctx: &Ctx) {
+pub(crate) fn register_rmi_handlers<F: Fabric>(ctx: &F) {
     am::register(ctx, H_REQ, |ctx, mut m| {
         let st = CcxxState::get(ctx);
         let cfg = st.cfg();

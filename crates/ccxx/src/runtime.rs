@@ -6,7 +6,8 @@ use crate::marshal::{MarshalBuf, UnmarshalBuf};
 use crate::rmi::{register_rmi_handlers, rmi, spin_wait, CallMode, RmiRet};
 use crate::state::{CcxxState, CxPtr, StagedAdd};
 use mpmd_am as am;
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -34,7 +35,7 @@ pub fn unpack_addr(word: u64) -> (u32, usize) {
 
 /// Initialize the CC++ runtime on this node: AM endpoint, handlers, built-in
 /// methods, and the polling thread. Collective; ends with a barrier.
-pub fn init(ctx: &Ctx, config: CcxxConfig) {
+pub fn init<F: Fabric>(ctx: &F, config: CcxxConfig) {
     let st = CcxxState::get(ctx);
     am::init(ctx, config.profile.clone());
     if let Some(cfg) = config.coalescing.clone() {
@@ -52,7 +53,7 @@ pub fn init(ctx: &Ctx, config: CcxxConfig) {
 
 /// Shut the runtime down: waits for all nodes (barrier), then stops this
 /// node's polling thread so the simulation can terminate.
-pub fn finalize(ctx: &Ctx) {
+pub fn finalize<F: Fabric>(ctx: &F) {
     am::barrier(ctx);
     apply_staged_adds(ctx);
     let st = CcxxState::get(ctx);
@@ -68,7 +69,7 @@ pub fn finalize(ctx: &Ctx) {
 /// applications here mirror the structure of their Split-C originals, which
 /// the paper did too: "the CC++ version of these applications is heavily
 /// based on the original Split-C implementations").
-pub fn barrier(ctx: &Ctx) {
+pub fn barrier<F: Fabric>(ctx: &F) {
     am::barrier(ctx);
     apply_staged_adds(ctx);
 }
@@ -78,7 +79,7 @@ pub fn barrier(ctx: &Ctx) {
 /// before its caller entered the barrier, so the set is complete here. Costs
 /// nothing: the stub charged its dispatch and lock costs when it ran; this
 /// is only the deferred memory commit.
-fn apply_staged_adds(ctx: &Ctx) {
+fn apply_staged_adds<F: Fabric>(ctx: &F) {
     let st = CcxxState::get(ctx);
     let items = st.staged.lock().drain();
     for (_, a) in items {
@@ -91,13 +92,13 @@ fn apply_staged_adds(ctx: &Ctx) {
 }
 
 /// Service pending messages from the application (poll point).
-pub fn poll(ctx: &Ctx) {
+pub fn poll<F: Fabric>(ctx: &F) {
     am::poll(ctx);
 }
 
 /// Spin-poll until `pred` (used by benchmark responders; costs no thread
 /// operations and keeps the polling thread deferring).
-pub fn spin_until(ctx: &Ctx, pred: impl FnMut() -> bool) {
+pub fn spin_until<F: Fabric>(ctx: &F, pred: impl FnMut() -> bool) {
     spin_wait(ctx, pred);
 }
 
@@ -112,7 +113,7 @@ pub fn spin_until(ctx: &Ctx, pred: impl FnMut() -> bool) {
 /// attributed to the polling thread"). Under interrupt-driven reception the
 /// servicing still happens here but the switches are not charged — the
 /// interrupt cost is charged per message instead.
-fn start_polling_thread(ctx: &Ctx, interrupts: bool) {
+fn start_polling_thread<F: Fabric>(ctx: &F, interrupts: bool) {
     let st = CcxxState::get(ctx);
     // The polling thread is "forked at initialization" — account its
     // creation like any other thread.
@@ -145,7 +146,7 @@ fn start_polling_thread(ctx: &Ctx, interrupts: bool) {
 
 /// Allocate a data region of `len` doubles on this node (the state of a
 /// processor object reachable through global pointers).
-pub fn alloc_region(ctx: &Ctx, len: usize, fill: f64) -> u32 {
+pub fn alloc_region<F: Fabric>(ctx: &F, len: usize, fill: f64) -> u32 {
     let st = CcxxState::get(ctx);
     let id = st.next_region.fetch_add(1, Ordering::AcqRel) as u32;
     let prev = st
@@ -157,7 +158,7 @@ pub fn alloc_region(ctx: &Ctx, len: usize, fill: f64) -> u32 {
 }
 
 /// Run `f` over a local region (local computation; charges nothing itself).
-pub fn with_local<R>(ctx: &Ctx, region: u32, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+pub fn with_local<F: Fabric, R>(ctx: &F, region: u32, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
     let st = CcxxState::get(ctx);
     let r = st.region(region);
     let mut w = r.write();
@@ -166,7 +167,7 @@ pub fn with_local<R>(ctx: &Ctx, region: u32, f: impl FnOnce(&mut Vec<f64>) -> R)
 
 /// Bulk read: `lA = gpObj->get(gpA)` — a threaded RMI whose reply carries
 /// the marshalled array.
-pub fn bulk_get(ctx: &Ctx, p: CxPtr, len: usize) -> Vec<f64> {
+pub fn bulk_get<F: Fabric>(ctx: &F, p: CxPtr, len: usize) -> Vec<f64> {
     let ret = rmi(
         ctx,
         p.node,
@@ -177,12 +178,12 @@ pub fn bulk_get(ctx: &Ctx, p: CxPtr, len: usize) -> Vec<f64> {
     );
     let data = ret.data.expect("__get returned no data");
     let mut u = UnmarshalBuf::new(&data);
-    u.next::<Vec<f64>>(ctx)
+    u.next::<Vec<f64>, _>(ctx)
 }
 
 /// Bulk write: `gpObj->put(lA, gpA)` — a threaded RMI carrying the
 /// marshalled array.
-pub fn bulk_put(ctx: &Ctx, p: CxPtr, vals: &[f64]) {
+pub fn bulk_put<F: Fabric>(ctx: &F, p: CxPtr, vals: &[f64]) {
     let mut buf = MarshalBuf::new();
     buf.push(ctx, &vals.to_vec());
     rmi(
@@ -198,7 +199,7 @@ pub fn bulk_put(ctx: &Ctx, p: CxPtr, vals: &[f64]) {
 /// [`bulk_get`] for flat double arrays whose serialization the compiler has
 /// inlined (one serialization call, per-byte copy only) — the LU block
 /// transfers.
-pub fn bulk_get_flat(ctx: &Ctx, p: CxPtr, len: usize) -> Vec<f64> {
+pub fn bulk_get_flat<F: Fabric>(ctx: &F, p: CxPtr, len: usize) -> Vec<f64> {
     let ret = rmi(
         ctx,
         p.node,
@@ -209,11 +210,11 @@ pub fn bulk_get_flat(ctx: &Ctx, p: CxPtr, len: usize) -> Vec<f64> {
     );
     let data = ret.data.expect("__getf returned no data");
     let mut u = UnmarshalBuf::new(&data);
-    u.next::<crate::marshal::FlatF64s>(ctx).0
+    u.next::<crate::marshal::FlatF64s, _>(ctx).0
 }
 
 /// [`bulk_put`] for flat double arrays (inlined serialization).
-pub fn bulk_put_flat(ctx: &Ctx, p: CxPtr, vals: &[f64]) {
+pub fn bulk_put_flat<F: Fabric>(ctx: &F, p: CxPtr, vals: &[f64]) {
     let mut buf = MarshalBuf::new();
     buf.push(ctx, &crate::marshal::FlatF64s(vals.to_vec()));
     rmi(
@@ -228,7 +229,7 @@ pub fn bulk_put_flat(ctx: &Ctx, p: CxPtr, vals: &[f64]) {
 
 /// Atomically add three deltas to three consecutive doubles at `p` (Water's
 /// force write-back).
-pub fn atomic_add3(ctx: &Ctx, p: CxPtr, deltas: [f64; 3]) {
+pub fn atomic_add3<F: Fabric>(ctx: &F, p: CxPtr, deltas: [f64; 3]) {
     rmi(
         ctx,
         p.node,
@@ -246,7 +247,7 @@ pub fn atomic_add3(ctx: &Ctx, p: CxPtr, deltas: [f64; 3]) {
 
 /// Atomically add `delta` to the double at `p` (an atomic method of the
 /// owning processor object).
-pub fn atomic_add(ctx: &Ctx, p: CxPtr, delta: f64) {
+pub fn atomic_add<F: Fabric>(ctx: &F, p: CxPtr, delta: f64) {
     rmi(
         ctx,
         p.node,
@@ -257,7 +258,7 @@ pub fn atomic_add(ctx: &Ctx, p: CxPtr, delta: f64) {
     );
 }
 
-fn register_builtins(ctx: &Ctx) {
+fn register_builtins<F: Fabric>(ctx: &F) {
     crate::rmi::register_method(ctx, M_NULL, |_ctx, _args| RmiRet::null());
 
     crate::rmi::register_method(ctx, M_GET, |ctx, args| {
@@ -281,7 +282,7 @@ fn register_builtins(ctx: &Ctx) {
         let off = args.words[1] as usize;
         let data = args.data.expect("__put without data");
         let mut u = UnmarshalBuf::new(&data);
-        let vals = u.next::<Vec<f64>>(ctx);
+        let vals = u.next::<Vec<f64>, _>(ctx);
         let mut w = region.write();
         assert!(off + vals.len() <= w.len(), "__put out of bounds");
         w[off..off + vals.len()].copy_from_slice(&vals);
@@ -342,7 +343,7 @@ fn register_builtins(ctx: &Ctx) {
         let off = args.words[1] as usize;
         let data = args.data.expect("__putf without data");
         let mut u = UnmarshalBuf::new(&data);
-        let vals = u.next::<crate::marshal::FlatF64s>(ctx).0;
+        let vals = u.next::<crate::marshal::FlatF64s, _>(ctx).0;
         let mut w = region.write();
         assert!(off + vals.len() <= w.len(), "__putf out of bounds");
         w[off..off + vals.len()].copy_from_slice(&vals);
@@ -351,6 +352,6 @@ fn register_builtins(ctx: &Ctx) {
 }
 
 /// Convenience: charge application cpu time (FP kernel work).
-pub fn charge_cpu(ctx: &Ctx, ns: mpmd_sim::Time) {
+pub fn charge_cpu<F: Fabric>(ctx: &F, ns: mpmd_sim::Time) {
     ctx.charge(Bucket::Cpu, ns);
 }

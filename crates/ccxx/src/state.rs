@@ -2,7 +2,8 @@
 
 use crate::config::CcxxConfig;
 use crate::rmi::{RmiArgs, RmiRet};
-use mpmd_sim::{Ctx, TaskId};
+use mpmd_fabric::Fabric;
+use mpmd_sim::TaskId;
 use parking_lot::{Mutex as HostMutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
@@ -13,7 +14,7 @@ use std::sync::Arc;
 /// method declarations ("method invocation stubs with argument marshalling
 /// and unmarshalling code and communication calls into the runtime system
 /// are generated automatically").
-pub type StubFn = Arc<dyn Fn(&Ctx, RmiArgs) -> RmiRet + Send + Sync>;
+pub type StubFn<F> = Arc<dyn Fn(&F, RmiArgs) -> RmiRet + Send + Sync>;
 
 /// A CC++ global pointer into a processor object's data. Unlike Split-C's
 /// transparent `(node, address)` pairs, CC++ global pointers are opaque to
@@ -46,21 +47,21 @@ pub(crate) struct CacheEntry {
 }
 
 /// A registered stub with its metadata.
-pub(crate) struct StubRec {
+pub(crate) struct StubRec<F> {
     /// Kept for diagnostics/tracing (not read on the hot path).
     #[allow(dead_code)]
     pub(crate) name: String,
-    pub(crate) f: StubFn,
+    pub(crate) f: StubFn<F>,
     /// Whether the method may block (OAM hint): optimistic invocations of
     /// non-blocking methods run inline; blocking ones are aborted to a
     /// thread.
     pub(crate) may_block: bool,
 }
 
-pub(crate) struct CcxxState {
+pub(crate) struct CcxxState<F: Fabric> {
     config_slot: RwLock<Option<Arc<CcxxConfig>>>,
     /// Local stubs, indexed by entry-point address.
-    pub(crate) stubs: RwLock<Vec<StubRec>>,
+    pub(crate) stubs: RwLock<Vec<StubRec<F>>>,
     /// Local (program id, method name) -> entry-point address. "This
     /// technique can be easily extended to a scenario where multiple
     /// programs execute on the same processing node by introducing the
@@ -132,7 +133,7 @@ impl StagedAdds {
     }
 }
 
-impl CcxxState {
+impl<F: Fabric> CcxxState<F> {
     fn new() -> Self {
         CcxxState {
             config_slot: RwLock::new(None),
@@ -152,7 +153,7 @@ impl CcxxState {
         }
     }
 
-    pub(crate) fn get(ctx: &Ctx) -> Arc<CcxxState> {
+    pub(crate) fn get(ctx: &F) -> Arc<CcxxState<F>> {
         ctx.node_data(CcxxState::new)
     }
 

@@ -69,7 +69,7 @@ fn marshalled_payloads_survive_every_config() {
             cx::register_method(&ctx, "sink", move |c, args| {
                 let d = args.data.expect("payload");
                 let mut u = UnmarshalBuf::new(&d);
-                *s3.lock() = u.next::<Vec<f64>>(c);
+                *s3.lock() = u.next::<Vec<f64>, _>(c);
                 cx::RmiRet::null()
             });
             cx::barrier(&ctx);

@@ -323,3 +323,126 @@ mod tests {
         assert!(h.sync_op > l.sync_op);
     }
 }
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    use super::*;
+
+    serde::impl_serialize!(ThreadCosts {
+        create,
+        context_switch,
+        sync_op
+    });
+    serde::impl_deserialize!(ThreadCosts {
+        create,
+        context_switch,
+        sync_op
+    });
+    serde::impl_serialize!(ReliabilityCosts {
+        ack_handling,
+        timeout_check,
+        retransmit
+    });
+    serde::impl_deserialize!(ReliabilityCosts {
+        ack_handling,
+        timeout_check,
+        retransmit
+    });
+    serde::impl_serialize!(CoalesceCosts {
+        marshal_per_msg,
+        unmarshal_per_msg
+    });
+    serde::impl_deserialize!(CoalesceCosts {
+        marshal_per_msg,
+        unmarshal_per_msg
+    });
+    serde::impl_serialize!(LinkFaults {
+        drop,
+        duplicate,
+        reorder,
+        reorder_window,
+        delay,
+        delay_by,
+    });
+    serde::impl_deserialize!(LinkFaults {
+        drop,
+        duplicate,
+        reorder,
+        reorder_window,
+        delay,
+        delay_by,
+    });
+
+    // Hand-rolled for the `(src, dst, faults)` override triples (the mini
+    // serde has no tuple support; objects read better in a config file
+    // anyway).
+    impl serde::Serialize for FaultModel {
+        fn to_value(&self) -> serde::Value {
+            let mut m = serde::Map::new();
+            m.insert("seed".into(), self.seed.to_value());
+            m.insert("link".into(), self.link.to_value());
+            let overrides: Vec<serde::Value> = self
+                .overrides
+                .iter()
+                .map(|(src, dst, faults)| {
+                    let mut o = serde::Map::new();
+                    o.insert("src".into(), src.to_value());
+                    o.insert("dst".into(), dst.to_value());
+                    o.insert("faults".into(), faults.to_value());
+                    serde::Value::Object(o)
+                })
+                .collect();
+            m.insert("overrides".into(), serde::Value::Array(overrides));
+            m.insert("rto_initial".into(), self.rto_initial.to_value());
+            m.insert("rto_max".into(), self.rto_max.to_value());
+            serde::Value::Object(m)
+        }
+    }
+
+    impl serde::Deserialize for FaultModel {
+        fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+            let field = |name: &str| {
+                v.get(name)
+                    .ok_or_else(|| serde::Error(format!("missing field '{name}'")))
+            };
+            let overrides = field("overrides")?
+                .as_array()
+                .ok_or_else(|| serde::Error("expected array for 'overrides'".into()))?
+                .iter()
+                .map(|o| {
+                    let part = |name: &str| {
+                        o.get(name)
+                            .ok_or_else(|| serde::Error(format!("missing override '{name}'")))
+                    };
+                    Ok((
+                        serde::Deserialize::from_value(part("src")?)?,
+                        serde::Deserialize::from_value(part("dst")?)?,
+                        serde::Deserialize::from_value(part("faults")?)?,
+                    ))
+                })
+                .collect::<Result<_, serde::Error>>()?;
+            Ok(FaultModel {
+                seed: serde::Deserialize::from_value(field("seed")?)?,
+                link: serde::Deserialize::from_value(field("link")?)?,
+                overrides,
+                rto_initial: serde::Deserialize::from_value(field("rto_initial")?)?,
+                rto_max: serde::Deserialize::from_value(field("rto_max")?)?,
+            })
+        }
+    }
+
+    serde::impl_serialize!(CostModel {
+        threads,
+        reliability,
+        coalescing,
+        faults,
+        metrics,
+    });
+    serde::impl_deserialize!(CostModel {
+        threads,
+        reliability,
+        coalescing,
+        faults,
+        metrics,
+    });
+}

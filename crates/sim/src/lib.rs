@@ -43,7 +43,7 @@ mod witness;
 
 pub use cost::{CoalesceCosts, CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
 pub use ctx::{Ctx, SpanGuard};
-pub use engine::{backend_from_env, BackendKind, Sim};
+pub use engine::{backend_from_env, BackendKind, Sim, SimConfig};
 pub use event::{Msg, Payload};
 pub use explore::{shrink, ChoicePoint, OracleSpec, RecordedTrace, ScheduleOracle, TraceOracle};
 pub use flame::{fold_stacks, phase_profile, Phase};

@@ -119,7 +119,7 @@ pub struct TraceRecord {
 }
 
 /// Configuration for [`Sim::tracing`](crate::Sim::tracing).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceConfig {
     /// Ring-buffer capacity per node, in records. `0` disables collection
     /// (events still reach the stderr sink if enabled).
@@ -1009,3 +1009,8 @@ mod tests {
         assert!(lines[1].contains(r#""wire_bytes":48"#));
     }
 }
+
+#[cfg(feature = "serde")]
+serde::impl_serialize!(TraceConfig { capacity, stderr });
+#[cfg(feature = "serde")]
+serde::impl_deserialize!(TraceConfig { capacity, stderr });

@@ -6,7 +6,7 @@ use crate::handlers::{register_handlers, H_REDUCE, H_REDUCE_RELEASE};
 use crate::ops::register_builtin_atomics;
 use crate::state::ScState;
 use mpmd_am as am;
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 use std::sync::atomic::Ordering;
 
 /// Reduction operators (encoded on the wire).
@@ -20,7 +20,7 @@ pub enum ReduceOp {
 /// Initialize the Split-C runtime on this node: AM endpoint (Split-C
 /// profile), barrier and runtime handlers, built-in atomics. Collective —
 /// every node must call it before any communication; ends with a barrier.
-pub fn init(ctx: &Ctx) {
+pub fn init<F: Fabric>(ctx: &F) {
     init_coalesced(ctx, None);
 }
 
@@ -28,7 +28,7 @@ pub fn init(ctx: &Ctx) {
 /// (stores, split-phase issues, reduction traffic) aggregate into one wire
 /// frame per destination, flushed at every poll and buffer bound. `None`
 /// behaves exactly like [`init`].
-pub fn init_coalesced(ctx: &Ctx, coalescing: Option<am::CoalesceConfig>) {
+pub fn init_coalesced<F: Fabric>(ctx: &F, coalescing: Option<am::CoalesceConfig>) {
     am::init(ctx, am::NetProfile::sp_am_splitc());
     if let Some(cfg) = coalescing {
         am::enable_coalescing(ctx, cfg);
@@ -41,7 +41,7 @@ pub fn init_coalesced(ctx: &Ctx, coalescing: Option<am::CoalesceConfig>) {
 
 /// Global barrier. On exit, commits all atomic accumulates staged by
 /// `H_ATOMIC_ADD3` since the previous barrier.
-pub fn barrier(ctx: &Ctx) {
+pub fn barrier<F: Fabric>(ctx: &F) {
     am::barrier(ctx);
     apply_staged_adds(ctx);
 }
@@ -51,7 +51,7 @@ pub fn barrier(ctx: &Ctx) {
 /// before its issuer entered the barrier, so the set is complete here. Costs
 /// nothing: the work was charged at receipt (`atomic_dispatch`); this is
 /// only the deferred memory commit.
-fn apply_staged_adds(ctx: &Ctx) {
+fn apply_staged_adds<F: Fabric>(ctx: &F) {
     let st = ScState::get(ctx);
     let items = st.staged.lock().drain();
     for (_, (region, offset, deltas)) in items {
@@ -67,7 +67,7 @@ fn apply_staged_adds(ctx: &Ctx) {
 /// its id. Region ids are allocated from a per-node counter; SPMD programs
 /// allocate in lockstep so ids agree across nodes (asserted by
 /// [`all_spread_alloc`]).
-pub fn alloc_region(ctx: &Ctx, len: usize, fill: f64) -> u32 {
+pub fn alloc_region<F: Fabric>(ctx: &F, len: usize, fill: f64) -> u32 {
     let st = ScState::get(ctx);
     let id = st.next_region.fetch_add(1, Ordering::AcqRel) as u32;
     let prev = st.regions.write().insert(
@@ -80,7 +80,7 @@ pub fn alloc_region(ctx: &Ctx, len: usize, fill: f64) -> u32 {
 
 /// Collectively allocate a spread array with `per_node` doubles on every
 /// node. Asserts that all nodes agreed on the region id.
-pub fn all_spread_alloc(ctx: &Ctx, per_node: usize, fill: f64) -> SpreadArray {
+pub fn all_spread_alloc<F: Fabric>(ctx: &F, per_node: usize, fill: f64) -> SpreadArray {
     let id = alloc_region(ctx, per_node, fill);
     let max = reduce(ctx, ReduceOp::MaxU64, id as u64);
     assert_eq!(
@@ -99,7 +99,7 @@ pub fn all_spread_alloc(ctx: &Ctx, per_node: usize, fill: f64) -> SpreadArray {
 /// All-reduce: every node contributes `value` (raw bits for `SumF64`); all
 /// nodes receive the combined result. Centralized at node 0, like the
 /// barrier.
-pub fn reduce(ctx: &Ctx, op: ReduceOp, value: u64) -> u64 {
+pub fn reduce<F: Fabric>(ctx: &F, op: ReduceOp, value: u64) -> u64 {
     let st = ScState::get(ctx);
     let gen = {
         let mut red = st.reduce.lock();
@@ -126,12 +126,12 @@ pub fn reduce(ctx: &Ctx, op: ReduceOp, value: u64) -> u64 {
 }
 
 /// Sum an `f64` across all nodes.
-pub fn reduce_sum_f64(ctx: &Ctx, value: f64) -> f64 {
+pub fn reduce_sum_f64<F: Fabric>(ctx: &F, value: f64) -> f64 {
     f64::from_bits(reduce(ctx, ReduceOp::SumF64, value.to_bits()))
 }
 
 /// Sum a `u64` across all nodes.
-pub fn reduce_sum_u64(ctx: &Ctx, value: u64) -> u64 {
+pub fn reduce_sum_u64<F: Fabric>(ctx: &F, value: u64) -> u64 {
     reduce(ctx, ReduceOp::SumU64, value)
 }
 
@@ -143,7 +143,7 @@ pub fn reduce_sum_u64(ctx: &Ctx, value: u64) -> u64 {
 /// `SumF64` rounding depend on message interleaving across senders; the
 /// canonical fold gives the same bits on every schedule, including under
 /// injected wire faults.
-pub(crate) fn note_reduce_arrival(ctx: &Ctx, src: usize, gen: u64, value: u64, op: u64) {
+pub(crate) fn note_reduce_arrival<F: Fabric>(ctx: &F, src: usize, gen: u64, value: u64, op: u64) {
     debug_assert_eq!(ctx.node(), 0);
     let st = ScState::get(ctx);
     let complete = {
@@ -194,7 +194,7 @@ pub(crate) fn note_reduce_arrival(ctx: &Ctx, src: usize, gen: u64, value: u64, o
 /// Wait until every one-way store issued by *any* node has been performed:
 /// repeatedly all-reduce (sent, received) totals until they agree. Subsumes a
 /// barrier.
-pub fn all_store_sync(ctx: &Ctx) {
+pub fn all_store_sync<F: Fabric>(ctx: &F) {
     let st = ScState::get(ctx);
     loop {
         let sent = reduce_sum_u64(ctx, st.stores_sent.load(Ordering::Acquire));

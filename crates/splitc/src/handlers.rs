@@ -6,7 +6,8 @@
 
 use crate::state::{bytes_to_f64s, f64s_to_bytes, ScState};
 use mpmd_am::{self as am, AmMsg, HandlerId, PendingCounter, ReplyCell};
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -43,7 +44,7 @@ fn take_token(m: &mut AmMsg) -> ScToken {
         .expect("foreign token in Split-C reply")
 }
 
-pub(crate) fn register_handlers(ctx: &Ctx) {
+pub(crate) fn register_handlers<F: Fabric>(ctx: &F) {
     am::register(ctx, H_READ, |ctx, m| {
         let st = ScState::get(ctx);
         ctx.charge(Bucket::Runtime, st.costs.serve_access);
@@ -220,7 +221,7 @@ pub(crate) fn register_handlers(ctx: &Ctx) {
     });
 }
 
-fn write_bulk_into_region(ctx: &Ctx, m: &AmMsg) {
+fn write_bulk_into_region<F: Fabric>(ctx: &F, m: &AmMsg) {
     let st = ScState::get(ctx);
     let region = st.region(m.args[0] as u32);
     let off = m.args[1] as usize;

@@ -9,7 +9,8 @@ use crate::gptr::GlobalPtr;
 use crate::handlers::*;
 use crate::state::{f64s_to_bytes, ScState};
 use mpmd_am::{self as am, ReplyCell};
-use mpmd_sim::{Bucket, Ctx};
+use mpmd_fabric::Fabric;
+use mpmd_sim::Bucket;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -32,7 +33,7 @@ pub fn unpack_addr(word: u64) -> (u32, usize) {
 }
 
 /// Synchronously read a double through a global pointer (`lx = *gpY`).
-pub fn read(ctx: &Ctx, gp: GlobalPtr) -> f64 {
+pub fn read<F: Fabric>(ctx: &F, gp: GlobalPtr) -> f64 {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -65,7 +66,7 @@ pub fn read(ctx: &Ctx, gp: GlobalPtr) -> f64 {
 }
 
 /// Synchronously write a double through a global pointer (`*gpY = lx`).
-pub fn write(ctx: &Ctx, gp: GlobalPtr, v: f64) {
+pub fn write<F: Fabric>(ctx: &F, gp: GlobalPtr, v: f64) {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -98,7 +99,7 @@ pub fn write(ctx: &Ctx, gp: GlobalPtr, v: f64) {
 /// Synchronously read three consecutive doubles through a global pointer
 /// with a single small request/reply (they fit in the reply's four words) —
 /// Water reads a molecule's position this way.
-pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
+pub fn read_vec3<F: Fabric>(ctx: &F, gp: GlobalPtr) -> [f64; 3] {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -138,7 +139,7 @@ pub fn read_vec3(ctx: &Ctx, gp: GlobalPtr) -> [f64; 3] {
 /// (Water's force write-back), waiting for the acknowledgement. A single
 /// 4-word request: the dedicated handler implies the operation, so the
 /// packed address plus all three deltas fit.
-pub fn atomic_add3(ctx: &Ctx, gp: GlobalPtr, deltas: [f64; 3]) {
+pub fn atomic_add3<F: Fabric>(ctx: &F, gp: GlobalPtr, deltas: [f64; 3]) {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -203,7 +204,7 @@ impl BulkGetHandle {
 
 /// Split-phase bulk read of `len` doubles (sc-lu "prefetches all blocks
 /// before beginning the third sub-step").
-pub fn get_bulk(ctx: &Ctx, gp: GlobalPtr, len: usize) -> BulkGetHandle {
+pub fn get_bulk<F: Fabric>(ctx: &F, gp: GlobalPtr, len: usize) -> BulkGetHandle {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -251,7 +252,7 @@ impl GetHandle {
 
 /// Split-phase read (`lx := *gpY`): returns immediately; completion is
 /// observed by [`sync`].
-pub fn get(ctx: &Ctx, gp: GlobalPtr) -> GetHandle {
+pub fn get<F: Fabric>(ctx: &F, gp: GlobalPtr) -> GetHandle {
     let st = ScState::get(ctx);
     let cell = ReplyCell::new();
     if gp.node == ctx.node() {
@@ -279,7 +280,7 @@ pub fn get(ctx: &Ctx, gp: GlobalPtr) -> GetHandle {
 
 /// Split-phase write (`*gpY := lx`): returns immediately; [`sync`] waits for
 /// the acknowledgement.
-pub fn put(ctx: &Ctx, gp: GlobalPtr, v: f64) {
+pub fn put<F: Fabric>(ctx: &F, gp: GlobalPtr, v: f64) {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -303,7 +304,7 @@ pub fn put(ctx: &Ctx, gp: GlobalPtr, v: f64) {
 }
 
 /// Wait for all outstanding split-phase operations issued by this node.
-pub fn sync(ctx: &Ctx) {
+pub fn sync<F: Fabric>(ctx: &F) {
     let st = ScState::get(ctx);
     let _sp = ctx.span("sc.sync");
     ctx.charge(Bucket::Runtime, st.costs.sync_call);
@@ -313,7 +314,7 @@ pub fn sync(ctx: &Ctx) {
 
 /// One-way store (`*gpY :- lx`): no acknowledgement; global completion is
 /// established by [`crate::all_store_sync`].
-pub fn store(ctx: &Ctx, gp: GlobalPtr, v: f64) {
+pub fn store<F: Fabric>(ctx: &F, gp: GlobalPtr, v: f64) {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -332,7 +333,7 @@ pub fn store(ctx: &Ctx, gp: GlobalPtr, v: f64) {
 }
 
 /// Synchronous bulk read of `len` doubles starting at `gp`.
-pub fn bulk_read(ctx: &Ctx, gp: GlobalPtr, len: usize) -> Vec<f64> {
+pub fn bulk_read<F: Fabric>(ctx: &F, gp: GlobalPtr, len: usize) -> Vec<f64> {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -364,7 +365,7 @@ pub fn bulk_read(ctx: &Ctx, gp: GlobalPtr, len: usize) -> Vec<f64> {
 }
 
 /// Synchronous bulk write of `vals` starting at `gp`.
-pub fn bulk_write(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
+pub fn bulk_write<F: Fabric>(ctx: &F, gp: GlobalPtr, vals: &[f64]) {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -397,7 +398,7 @@ pub fn bulk_write(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
 }
 
 /// One-way bulk store (em3d-bulk and sc-lu's pivot pushes).
-pub fn bulk_store(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
+pub fn bulk_store<F: Fabric>(ctx: &F, gp: GlobalPtr, vals: &[f64]) {
     let st = ScState::get(ctx);
     if gp.node == ctx.node() {
         ctx.charge(Bucket::Runtime, st.costs.local_deref);
@@ -419,7 +420,7 @@ pub fn bulk_store(ctx: &Ctx, gp: GlobalPtr, vals: &[f64]) {
 
 /// Execute registered atomic function `fn_id` at `node` with up to three
 /// argument words, waiting for its result (`atomic(foo, 0)`).
-pub fn atomic_rpc(ctx: &Ctx, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4] {
+pub fn atomic_rpc<F: Fabric>(ctx: &F, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4] {
     let st = ScState::get(ctx);
     let _sp = ctx.span("sc.atomic");
     let t0 = ctx.metric_now();
@@ -456,7 +457,7 @@ pub fn atomic_rpc(ctx: &Ctx, node: usize, fn_id: u32, args: [u64; 3]) -> [u64; 4
 
 /// Atomically add `delta` to the double at `gp` (Water's force updates),
 /// waiting for the acknowledgement.
-pub fn atomic_add(ctx: &Ctx, gp: GlobalPtr, delta: f64) {
+pub fn atomic_add<F: Fabric>(ctx: &F, gp: GlobalPtr, delta: f64) {
     atomic_rpc(
         ctx,
         gp.node,
@@ -466,10 +467,10 @@ pub fn atomic_add(ctx: &Ctx, gp: GlobalPtr, delta: f64) {
 }
 
 /// Register an application atomic function on this node.
-pub fn register_atomic(
-    ctx: &Ctx,
+pub fn register_atomic<F: Fabric>(
+    ctx: &F,
     fn_id: u32,
-    f: impl Fn(&Ctx, [u64; 4]) -> [u64; 4] + Send + Sync + 'static,
+    f: impl Fn(&F, [u64; 4]) -> [u64; 4] + Send + Sync + 'static,
 ) {
     let st = ScState::get(ctx);
     let prev = st.atomics.write().insert(fn_id, Arc::new(f));
@@ -478,7 +479,7 @@ pub fn register_atomic(
 
 /// Run `f` over this node's chunk of a region, without modeled cost: local
 /// computation charges its own cpu explicitly.
-pub fn with_local<R>(ctx: &Ctx, region: u32, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+pub fn with_local<F: Fabric, R>(ctx: &F, region: u32, f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
     let st = ScState::get(ctx);
     let r = st.region(region);
     let mut w = r.write();
@@ -486,7 +487,7 @@ pub fn with_local<R>(ctx: &Ctx, region: u32, f: impl FnOnce(&mut Vec<f64>) -> R)
 }
 
 /// Register the built-in atomic functions (called by `init`).
-pub(crate) fn register_builtin_atomics(ctx: &Ctx) {
+pub(crate) fn register_builtin_atomics<F: Fabric>(ctx: &F) {
     register_atomic(ctx, ATOMIC_NULL, |_, _| [0; 4]);
     register_atomic(ctx, ATOMIC_ADD_F64, |ctx, a| {
         let st = ScState::get(ctx);

@@ -3,16 +3,16 @@
 use crate::costs::ScCosts;
 use bytes::Bytes;
 use mpmd_am::PendingCounter;
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// An atomic RPC function: runs atomically at the target node.
-pub type AtomicFn = Arc<dyn Fn(&Ctx, [u64; 4]) -> [u64; 4] + Send + Sync>;
+pub type AtomicFn<F> = Arc<dyn Fn(&F, [u64; 4]) -> [u64; 4] + Send + Sync>;
 
-pub(crate) struct ScState {
+pub(crate) struct ScState<F: Fabric> {
     pub(crate) costs: ScCosts,
     /// Registered global-memory regions (element type `f64`).
     pub(crate) regions: RwLock<HashMap<u32, Arc<RwLock<Vec<f64>>>>>,
@@ -21,7 +21,7 @@ pub(crate) struct ScState {
     /// Outstanding split-phase operations awaiting `sync()`.
     pub(crate) pending: Arc<PendingCounter>,
     /// Registered atomic RPC functions.
-    pub(crate) atomics: RwLock<HashMap<u32, AtomicFn>>,
+    pub(crate) atomics: RwLock<HashMap<u32, AtomicFn<F>>>,
     /// One-way stores issued from this node (for `all_store_sync`).
     pub(crate) stores_sent: AtomicU64,
     /// One-way stores received by this node.
@@ -76,7 +76,7 @@ pub(crate) struct ReduceState {
     pub(crate) my_gen: u64,
 }
 
-impl ScState {
+impl<F: Fabric> ScState<F> {
     fn new() -> Self {
         ScState {
             costs: ScCosts::default(),
@@ -91,7 +91,7 @@ impl ScState {
         }
     }
 
-    pub(crate) fn get(ctx: &Ctx) -> Arc<ScState> {
+    pub(crate) fn get(ctx: &F) -> Arc<ScState<F>> {
         ctx.node_data(ScState::new)
     }
 

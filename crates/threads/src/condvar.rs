@@ -2,7 +2,8 @@
 
 use crate::mutex::{Mutex, MutexGuard};
 use crate::thread::{charge_context_switch, charge_sync_op};
-use mpmd_sim::{Ctx, TaskId};
+use mpmd_fabric::Fabric;
+use mpmd_sim::TaskId;
 use std::collections::VecDeque;
 
 /// A condition variable. `wait` charges one sync op and one context switch;
@@ -27,12 +28,17 @@ impl CondVar {
 
     /// Atomically release `guard`, park until signalled, reacquire, and
     /// return the new guard. As with POSIX condition variables, callers must
-    /// re-check their predicate in a loop.
+    /// re-check their predicate in a loop (wall-clock fabrics return
+    /// spuriously by design).
     ///
     /// Charges one sync op (the wait call) and two context switches — one
     /// for switching away when blocking and one for the scheduler dispatch
     /// when the thread resumes.
-    pub fn wait<'a, T>(&self, ctx: &Ctx, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    pub fn wait<'a, T, F: Fabric>(
+        &self,
+        ctx: &F,
+        guard: MutexGuard<'a, T, F>,
+    ) -> MutexGuard<'a, T, F> {
         charge_sync_op(ctx);
         charge_context_switch(ctx);
         let mutex: &'a Mutex<T> = guard.forget_for_wait();
@@ -44,7 +50,7 @@ impl CondVar {
     }
 
     /// Wake one waiter (no-op if none). Charges one sync op.
-    pub fn signal(&self, ctx: &Ctx) {
+    pub fn signal<F: Fabric>(&self, ctx: &F) {
         charge_sync_op(ctx);
         let next = self.waiters.lock().pop_front();
         if let Some(t) = next {
@@ -53,7 +59,7 @@ impl CondVar {
     }
 
     /// Wake all waiters. Charges one sync op.
-    pub fn broadcast(&self, ctx: &Ctx) {
+    pub fn broadcast<F: Fabric>(&self, ctx: &F) {
         charge_sync_op(ctx);
         let all = std::mem::take(&mut *self.waiters.lock());
         for t in all {

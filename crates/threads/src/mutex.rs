@@ -1,14 +1,18 @@
 //! A node-local mutex for simulated threads.
 //!
-//! Real mutual exclusion is provided by the simulator (exactly one task runs
-//! at a time and tasks only lose the processor at explicit scheduling
-//! points), so the interesting part is the *modeling*: acquisitions and
-//! releases are counted and charged, contended acquisitions block the task
-//! and are counted separately (the paper reports that ~95% of lock
-//! acquisitions in its applications are contention-less).
+//! Real mutual exclusion is provided by the fabric underneath: on the
+//! simulated backend exactly one task runs at a time and tasks only lose the
+//! processor at explicit scheduling points; on wall-clock backends the host
+//! lock around the waiter queue plus the consumable park/unpark tokens make
+//! the same protocol a correct queue lock under true parallelism. The
+//! interesting part is the *modeling*: acquisitions and releases are counted
+//! and charged, contended acquisitions block the task and are counted
+//! separately (the paper reports that ~95% of lock acquisitions in its
+//! applications are contention-less).
 
 use crate::thread::{charge_context_switch, charge_sync_op};
-use mpmd_sim::{Ctx, TaskId};
+use mpmd_fabric::Fabric;
+use mpmd_sim::TaskId;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::ops::{Deref, DerefMut};
@@ -24,10 +28,9 @@ pub struct Mutex<T> {
     value: UnsafeCell<T>,
 }
 
-// SAFETY: access to `value` is guarded by the simulated lock protocol: a
-// `&mut T` is only reachable through a `MutexGuard`, which is only
-// constructed after atomically setting `locked = true`, and the simulator
-// runs at most one task at any instant.
+// SAFETY: access to `value` is guarded by the lock protocol: a `&mut T` is
+// only reachable through a `MutexGuard`, which is only constructed after
+// atomically setting `locked = true` under the host lock.
 unsafe impl<T: Send> Send for Mutex<T> {}
 unsafe impl<T: Send> Sync for Mutex<T> {}
 
@@ -45,7 +48,7 @@ impl<T> Mutex<T> {
 
     /// Acquire the lock, blocking the simulated thread if contended.
     /// Charges one sync op (plus a context switch if it blocks).
-    pub fn lock<'a>(&'a self, ctx: &Ctx) -> MutexGuard<'a, T> {
+    pub fn lock<'a, F: Fabric>(&'a self, ctx: &F) -> MutexGuard<'a, T, F> {
         charge_sync_op(ctx);
         ctx.with_stats(|s| s.lock_acquisitions += 1);
         let mut first_attempt = true;
@@ -72,7 +75,7 @@ impl<T> Mutex<T> {
     }
 
     /// Try to acquire without blocking. Charges one sync op either way.
-    pub fn try_lock<'a>(&'a self, ctx: &Ctx) -> Option<MutexGuard<'a, T>> {
+    pub fn try_lock<'a, F: Fabric>(&'a self, ctx: &F) -> Option<MutexGuard<'a, T, F>> {
         charge_sync_op(ctx);
         ctx.with_stats(|s| s.lock_acquisitions += 1);
         let mut st = self.state.lock();
@@ -96,7 +99,7 @@ impl<T> Mutex<T> {
     /// Release while parked in a condition-variable wait: unlocks and wakes
     /// the next waiter *without* charging (the paper counts API calls, and
     /// `wait`'s internal unlock is not an API call).
-    pub(crate) fn raw_unlock(&self, ctx: &Ctx) {
+    pub(crate) fn raw_unlock<F: Fabric>(&self, ctx: &F) {
         let next = {
             let mut st = self.state.lock();
             debug_assert!(st.locked, "raw_unlock of unlocked mutex");
@@ -109,7 +112,7 @@ impl<T> Mutex<T> {
     }
 
     /// Reacquire after a condition-variable wait, without charging.
-    pub(crate) fn raw_lock<'a>(&'a self, ctx: &Ctx) -> MutexGuard<'a, T> {
+    pub(crate) fn raw_lock<'a, F: Fabric>(&'a self, ctx: &F) -> MutexGuard<'a, T, F> {
         loop {
             {
                 let mut st = self.state.lock();
@@ -130,12 +133,12 @@ impl<T> Mutex<T> {
 
 /// RAII guard; unlocking (on drop) charges one sync op and wakes the next
 /// waiter.
-pub struct MutexGuard<'a, T> {
+pub struct MutexGuard<'a, T, F: Fabric> {
     mutex: &'a Mutex<T>,
-    ctx: Ctx,
+    ctx: F,
 }
 
-impl<'a, T> MutexGuard<'a, T> {
+impl<'a, T, F: Fabric> MutexGuard<'a, T, F> {
     pub(crate) fn forget_for_wait(self) -> &'a Mutex<T> {
         let m = self.mutex;
         std::mem::forget(self);
@@ -143,22 +146,22 @@ impl<'a, T> MutexGuard<'a, T> {
     }
 }
 
-impl<T> Deref for MutexGuard<'_, T> {
+impl<T, F: Fabric> Deref for MutexGuard<'_, T, F> {
     type Target = T;
     fn deref(&self) -> &T {
-        // SAFETY: guard implies exclusive simulated ownership (see Mutex).
+        // SAFETY: guard implies exclusive ownership (see Mutex).
         unsafe { &*self.mutex.value.get() }
     }
 }
 
-impl<T> DerefMut for MutexGuard<'_, T> {
+impl<T, F: Fabric> DerefMut for MutexGuard<'_, T, F> {
     fn deref_mut(&mut self) -> &mut T {
         // SAFETY: as above.
         unsafe { &mut *self.mutex.value.get() }
     }
 }
 
-impl<T> Drop for MutexGuard<'_, T> {
+impl<T, F: Fabric> Drop for MutexGuard<'_, T, F> {
     fn drop(&mut self) {
         charge_sync_op(&self.ctx);
         self.mutex.raw_unlock(&self.ctx);

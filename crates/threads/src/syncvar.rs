@@ -6,7 +6,7 @@
 
 use crate::condvar::CondVar;
 use crate::mutex::Mutex;
-use mpmd_sim::Ctx;
+use mpmd_fabric::Fabric;
 
 /// A write-once synchronization variable.
 pub struct SyncVar<T> {
@@ -31,7 +31,7 @@ impl<T> SyncVar<T> {
 
     /// Set the value, waking all blocked readers. Panics if already set
     /// (write-once semantics are part of the CC++ language definition).
-    pub fn write(&self, ctx: &Ctx, value: T) {
+    pub fn write<F: Fabric>(&self, ctx: &F, value: T) {
         let mut g = self.slot.lock(ctx);
         assert!(g.is_none(), "SyncVar written twice");
         *g = Some(value);
@@ -40,7 +40,7 @@ impl<T> SyncVar<T> {
 
     /// Whether the variable has been written (non-blocking, uncounted probe
     /// used by runtime fast paths).
-    pub fn is_set(&self, ctx: &Ctx) -> bool {
+    pub fn is_set<F: Fabric>(&self, ctx: &F) -> bool {
         let g = self.slot.lock(ctx);
         g.is_some()
     }
@@ -48,7 +48,7 @@ impl<T> SyncVar<T> {
 
 impl<T: Clone> SyncVar<T> {
     /// Read the value, blocking until it is written.
-    pub fn read(&self, ctx: &Ctx) -> T {
+    pub fn read<F: Fabric>(&self, ctx: &F) -> T {
         let mut g = self.slot.lock(ctx);
         loop {
             if let Some(v) = g.as_ref() {
@@ -61,7 +61,7 @@ impl<T: Clone> SyncVar<T> {
     }
 
     /// Read without blocking; `None` if unset.
-    pub fn try_read(&self, ctx: &Ctx) -> Option<T> {
+    pub fn try_read<F: Fabric>(&self, ctx: &F) -> Option<T> {
         self.slot.lock(ctx).clone()
     }
 }

@@ -1,6 +1,7 @@
 //! Thread spawn/join/yield with cost accounting.
 
-use mpmd_sim::{Bucket, Ctx, TaskId};
+use mpmd_fabric::Fabric;
+use mpmd_sim::{Bucket, TaskId};
 
 /// Handle to a spawned thread.
 #[derive(Clone, Debug)]
@@ -16,7 +17,7 @@ impl Thread {
 
     /// Block until the thread completes. Charges a context switch only if we
     /// actually block.
-    pub fn join(&self, ctx: &Ctx) {
+    pub fn join<F: Fabric>(&self, ctx: &F) {
         if !ctx.is_finished(self.id) {
             let _sp = ctx.span("thr.join");
             charge_context_switch(ctx);
@@ -27,15 +28,16 @@ impl Thread {
     }
 
     /// Whether the thread has completed.
-    pub fn is_finished(&self, ctx: &Ctx) -> bool {
+    pub fn is_finished<F: Fabric>(&self, ctx: &F) -> bool {
         ctx.is_finished(self.id)
     }
 }
 
 /// Fork a new thread on the caller's node. Charges one thread-create.
-pub fn spawn<F>(ctx: &Ctx, name: &str, f: F) -> Thread
+pub fn spawn<Fab, F>(ctx: &Fab, name: &str, f: F) -> Thread
 where
-    F: FnOnce(Ctx) + Send + 'static,
+    Fab: Fabric,
+    F: FnOnce(Fab) + Send + 'static,
 {
     let cost = ctx.cost().threads.create;
     ctx.charge(Bucket::ThreadMgmt, cost);
@@ -47,14 +49,14 @@ where
 }
 
 /// Voluntarily yield the processor. Charges one context switch.
-pub fn yield_now(ctx: &Ctx) {
+pub fn yield_now<F: Fabric>(ctx: &F) {
     charge_context_switch(ctx);
     ctx.yield_now();
 }
 
 /// Charge and count one context switch (used by blocking primitives; one
 /// switch is charged per block/wake pair, on the blocking side).
-pub fn charge_context_switch(ctx: &Ctx) {
+pub fn charge_context_switch<F: Fabric>(ctx: &F) {
     let cost = ctx.cost().threads.context_switch;
     ctx.charge(Bucket::ThreadMgmt, cost);
     ctx.with_stats(|s| s.context_switches += 1);
@@ -63,7 +65,7 @@ pub fn charge_context_switch(ctx: &Ctx) {
 
 /// Charge and count one synchronization operation (a lock, unlock, signal or
 /// wait API call).
-pub fn charge_sync_op(ctx: &Ctx) {
+pub fn charge_sync_op<F: Fabric>(ctx: &F) {
     let cost = ctx.cost().threads.sync_op;
     ctx.charge(Bucket::ThreadSync, cost);
     ctx.with_stats(|s| s.sync_ops += 1);

@@ -35,10 +35,10 @@ proptest! {
                 let mut u = UnmarshalBuf::new(&data);
                 let mut got_ints = Vec::new();
                 for _ in 0..n_ints {
-                    got_ints.push(u.next::<u32>(ctx));
+                    got_ints.push(u.next::<u32, _>(ctx));
                 }
-                let got_doubles = u.next::<Vec<f64>>(ctx);
-                let got_flag = u.next::<bool>(ctx);
+                let got_doubles = u.next::<Vec<f64>, _>(ctx);
+                let got_flag = u.next::<bool, _>(ctx);
                 assert_eq!(u.remaining(), 0);
                 *s3.lock() = Some((got_ints, got_doubles, got_flag));
                 ccxx::RmiRet::null()
