@@ -34,6 +34,17 @@
 //! sequenced frame of the PR-3 reliable protocol (a retransmit re-sends the
 //! whole frame), and the per-link sequence space provides the ordering.
 
+//! **Wall-clock fabrics.** On the simulator the linger deadline needs no
+//! timer: virtual time only advances through the buffering task's own
+//! charges, so the append/poll-time checks see every expiry. On a fabric
+//! where [`Fabric::wall_clock`] is true, time moves on its own while the
+//! sender computes — so [`enable_coalescing`] additionally spawns a
+//! **linger daemon** per node that parks until the earliest buffered
+//! deadline and flushes what has expired. The daemon and application
+//! flushes serialize on a flush gate (see [`AmState`]) so a linger flush
+//! can never lose the wire to a younger frame. The simulated path spawns
+//! nothing and is byte-identical to the pre-daemon behavior.
+
 use crate::ops::SHORT_WIRE_BYTES;
 use crate::profile::NetProfile;
 use crate::state::{lookup, AmState};
@@ -41,6 +52,7 @@ use crate::{AmMsg, HandlerId};
 use mpmd_fabric::Fabric;
 use mpmd_sim::{us, Bucket, Time};
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 
 /// Handler id of the aggregate frame (reserved AM-internal range; the frame
 /// is unpacked by the dispatch path itself, never via the handler table).
@@ -96,6 +108,18 @@ pub(crate) struct CoalesceState {
     arrival_floor: BTreeMap<usize, Time>,
 }
 
+impl CoalesceState {
+    /// Earliest linger deadline over the non-empty buffers (what the
+    /// wall-clock linger daemon parks against).
+    fn earliest_deadline(&self) -> Option<Time> {
+        self.bufs
+            .values()
+            .filter(|b| !b.msgs.is_empty())
+            .map(|b| b.deadline)
+            .min()
+    }
+}
+
 /// The sub-messages of an aggregate frame, carried as its token.
 struct Batch(Vec<AmMsg>);
 
@@ -124,15 +148,75 @@ pub fn enable_coalescing<F: Fabric>(ctx: &F, cfg: CoalesceConfig) {
             "coalescing enabled twice with different configs"
         ),
     }
+    st.coalesce_on.store(true, Ordering::SeqCst);
+    drop(co);
+    // Real time advances while the sender computes: somebody has to notice
+    // an expired linger deadline. One daemon per node does.
+    if ctx.wall_clock() && !st.linger_started.swap(true, Ordering::SeqCst) {
+        let t = ctx.spawn_daemon("am-linger", linger_main::<F>);
+        *st.linger.lock() = Some(t);
+    }
+}
+
+/// Body of the per-node linger daemon (wall-clock fabrics only): park until
+/// the earliest buffered deadline, flush what has expired, repeat. First
+/// appends into an empty buffer unpark it so it re-parks against the new
+/// deadline.
+fn linger_main<F: Fabric>(ctx: F) {
+    let st = AmState::get(&ctx);
+    while !ctx.shutting_down() {
+        let next = st
+            .coalesce
+            .lock()
+            .as_ref()
+            .and_then(|cs| cs.earliest_deadline());
+        match next {
+            Some(d) if ctx.now() >= d => {
+                // The profile is set by `am::init`, which every runtime
+                // calls before sending; guard anyway for odd init orders.
+                let Some(p) = st.profile.lock().clone() else {
+                    ctx.park_for_inbox();
+                    continue;
+                };
+                flush_expired(&ctx, &st, &p);
+            }
+            Some(d) => ctx.park_for_inbox_until(d),
+            None => ctx.park_for_inbox(),
+        }
+    }
+}
+
+/// Flush every buffer whose linger deadline has passed (the daemon's half of
+/// the mandatory-flush contract; application flush points still empty
+/// everything unconditionally).
+fn flush_expired<F: Fabric>(ctx: &F, st: &AmState<F>, p: &NetProfile) {
+    let _gate = st.flush_gate.lock();
+    let now = ctx.now();
+    let pending: Vec<(usize, Vec<AmMsg>)> = {
+        let mut co = st.coalesce.lock();
+        let Some(cs) = co.as_mut() else { return };
+        cs.bufs
+            .iter_mut()
+            .filter(|(_, b)| !b.msgs.is_empty() && now >= b.deadline)
+            .map(|(dst, b)| {
+                b.bytes = 0;
+                (*dst, std::mem::take(&mut b.msgs))
+            })
+            .collect()
+    };
+    for (dst, msgs) in pending {
+        ctx.metric_counter_add("am.linger_flushes", 1);
+        send_frame(ctx, st, dst, msgs, p);
+    }
 }
 
 /// Whether this node's endpoint coalesces short sends.
 pub fn coalescing_enabled<F: Fabric>(ctx: &F) -> bool {
-    AmState::get(ctx).coalesce.lock().is_some()
+    enabled(&AmState::get(ctx))
 }
 
 pub(crate) fn enabled<F: Fabric>(st: &AmState<F>) -> bool {
-    st.coalesce.lock().is_some()
+    st.coalesce_on.load(Ordering::SeqCst)
 }
 
 /// Append one short message to its destination's buffer (the coalescing
@@ -140,7 +224,7 @@ pub(crate) fn enabled<F: Fabric>(st: &AmState<F>) -> bool {
 /// polls, standing in for the skipped poll-on-send — when the append
 /// tripped a buffer bound.
 pub(crate) fn append<F: Fabric>(ctx: &F, st: &AmState<F>, dst: usize, msg: AmMsg, p: &NetProfile) {
-    let flush_now = {
+    let (flush_now, first) = {
         let mut co = st.coalesce.lock();
         let cs = co.as_mut().expect("append without coalescing enabled");
         let now = ctx.now();
@@ -150,23 +234,37 @@ pub(crate) fn append<F: Fabric>(ctx: &F, st: &AmState<F>, dst: usize, msg: AmMsg
             bytes: 0,
             deadline: 0,
         });
-        if buf.msgs.is_empty() {
+        let first = buf.msgs.is_empty();
+        if first {
             buf.deadline = now + linger;
         }
         buf.msgs.push(msg);
         buf.bytes += SUB_WIRE_BYTES;
-        buf.msgs.len() >= cs.cfg.max_msgs || buf.bytes >= cs.cfg.max_bytes || now >= buf.deadline
+        (
+            buf.msgs.len() >= cs.cfg.max_msgs
+                || buf.bytes >= cs.cfg.max_bytes
+                || now >= buf.deadline,
+            first,
+        )
     };
     if flush_now {
         flush_dst(ctx, st, dst, p);
         if p.poll_on_send {
             crate::ops::poll(ctx);
         }
+    } else if first && ctx.wall_clock() {
+        // A new deadline may now be the earliest: re-park the linger daemon
+        // against it. (Nothing to do on the simulator — no daemon exists,
+        // and virtual time cannot pass the deadline behind our back.)
+        if let Some(t) = *st.linger.lock() {
+            ctx.unpark(t);
+        }
     }
 }
 
 /// Flush one destination's buffer, if non-empty.
 pub(crate) fn flush_dst<F: Fabric>(ctx: &F, st: &AmState<F>, dst: usize, p: &NetProfile) {
+    let _gate = st.flush_gate.lock();
     let msgs = {
         let mut co = st.coalesce.lock();
         let Some(cs) = co.as_mut() else { return };
@@ -185,6 +283,7 @@ pub(crate) fn flush_dst<F: Fabric>(ctx: &F, st: &AmState<F>, dst: usize, p: &Net
 /// and exit, explicit [`flush`](crate::flush)). A no-op — lock, check, drop
 /// — when coalescing is disabled or all buffers are empty.
 pub(crate) fn flush_all<F: Fabric>(ctx: &F, st: &AmState<F>, p: &NetProfile) {
+    let _gate = st.flush_gate.lock();
     let pending: Vec<(usize, Vec<AmMsg>)> = {
         let mut co = st.coalesce.lock();
         let Some(cs) = co.as_mut() else { return };

@@ -118,24 +118,39 @@ pub fn poll<F: Fabric>(ctx: &F) -> usize {
     let Some(_guard) = PollGuard::enter(&st, ctx.task_id()) else {
         return 0;
     };
-    let p = st.profile();
-    crate::coalesce::flush_all(ctx, &st, &p);
+    // `enabled` is one atomic load: a non-coalescing node (the common case)
+    // skips both mandatory flush points without touching their locks. An
+    // empty poll on such a node — the steady state of every spin-wait loop —
+    // also never needs the profile, so it is fetched on the first dispatched
+    // message rather than paying the profile lock on every call.
+    let coalescing = crate::coalesce::enabled(&st);
+    let mut profile = if coalescing || ctx.faults_enabled() {
+        Some(st.profile())
+    } else {
+        None
+    };
+    if coalescing {
+        crate::coalesce::flush_all(ctx, &st, profile.as_ref().unwrap());
+    }
     // Yield so every network event due at or before our clock is visible.
     ctx.poll_point();
     ctx.with_stats(|s| s.polls += 1);
     // Queue-depth distribution at poll entry: how far reception lags.
     ctx.metric_inbox_depth("am.inbox_depth");
     let ran = if ctx.faults_enabled() {
-        crate::reliable::poll_reliable(ctx, &st, &p)
+        crate::reliable::poll_reliable(ctx, &st, profile.as_ref().unwrap())
     } else {
         let mut ran = 0;
         while let Some(m) = ctx.try_recv() {
+            let p = profile.get_or_insert_with(|| st.profile());
             let am = AmMsg::from_payload(m.src, m.payload);
-            ran += dispatch(ctx, &st, &p, am);
+            ran += dispatch(ctx, &st, p, am);
         }
         ran
     };
-    crate::coalesce::flush_all(ctx, &st, &p);
+    if coalescing {
+        crate::coalesce::flush_all(ctx, &st, profile.as_ref().unwrap());
+    }
     ran
 }
 

@@ -38,6 +38,11 @@ pub(crate) struct AmState<F: Fabric> {
     /// Per-destination aggregation buffers; `Some` iff the runtime enabled
     /// message coalescing on this node.
     pub(crate) coalesce: Mutex<Option<crate::coalesce::CoalesceState>>,
+    /// Lock-free mirror of `coalesce.is_some()`, set once when coalescing is
+    /// enabled. The send and poll fast paths consult it so a node that never
+    /// coalesces (the common case) pays one relaxed load instead of a mutex
+    /// acquisition per send and two per poll.
+    pub(crate) coalesce_on: AtomicBool,
     /// Whether this node's pump daemon has been spawned.
     pub(crate) pump_started: AtomicBool,
     /// The pump daemon's task, once spawned. Sends nudge it awake so it
@@ -45,6 +50,19 @@ pub(crate) struct AmState<F: Fabric> {
     /// pump that parked with an empty retransmit buffer would sleep through
     /// the drop of a packet sent afterwards.
     pub(crate) pump: Mutex<Option<TaskId>>,
+    /// Whether this node's coalescing linger daemon has been spawned
+    /// (wall-clock fabrics only; see `coalesce::linger_main`).
+    pub(crate) linger_started: AtomicBool,
+    /// The linger daemon's task, once spawned. First appends nudge it so it
+    /// re-parks against the new buffer's linger deadline.
+    pub(crate) linger: Mutex<Option<TaskId>>,
+    /// Serializes "take buffers + put them on the wire" across flushers.
+    /// On the simulator flushes never overlap (one task runs at a time), but
+    /// on a wall-clock fabric the linger daemon races application flushes:
+    /// without the gate, the daemon could take an older buffer and then lose
+    /// the wire to a younger frame flushed by the application, reordering
+    /// the link.
+    pub(crate) flush_gate: Mutex<()>,
 }
 
 impl<F: Fabric> AmState<F> {
@@ -58,8 +76,12 @@ impl<F: Fabric> AmState<F> {
             barrier_my_gen: AtomicU64::new(0),
             rel: Mutex::new(crate::reliable::RelState::default()),
             coalesce: Mutex::new(None),
+            coalesce_on: AtomicBool::new(false),
             pump_started: AtomicBool::new(false),
             pump: Mutex::new(None),
+            linger_started: AtomicBool::new(false),
+            linger: Mutex::new(None),
+            flush_gate: Mutex::new(()),
         }
     }
 

@@ -26,7 +26,8 @@
 
 mod local;
 
-pub use local::{LocalFabric, LocalFabricBuilder};
+pub use local::{LocalConfig, LocalFabric, LocalFabricBuilder};
+pub use mpmd_sim::{WaitPhase, WaitPolicy, Waiter};
 
 use mpmd_sim::{
     Bucket, CostModel, Ctx, FaultDecision, Msg, Payload, Snapshot, SpanId, Stats, TaskId, Time,
@@ -143,6 +144,16 @@ pub trait Fabric: Clone + Send + 'static {
     /// A *poll point*: make all frames due at or before this node's clock
     /// visible, without otherwise rescheduling.
     fn poll_point(&self);
+
+    /// Whether this fabric's clock is real time. On wall-clock fabrics,
+    /// layers that rely on virtual-time co-advancement (e.g. the coalescing
+    /// linger deadline, which on the simulator is checked whenever the
+    /// sender's own clock moves) must drive their deadlines with a daemon
+    /// instead. The simulated kernel returns the default `false` and spawns
+    /// nothing, keeping its reports byte-identical.
+    fn wall_clock(&self) -> bool {
+        false
+    }
 
     // ---- faults ------------------------------------------------------
 

@@ -39,6 +39,7 @@ mod stats;
 mod task;
 pub mod time;
 pub mod trace;
+pub mod wait;
 mod witness;
 
 pub use cost::{CoalesceCosts, CostModel, FaultModel, LinkFaults, ReliabilityCosts, ThreadCosts};
@@ -54,6 +55,7 @@ pub use stats::{size_bucket, size_bucket_limit, Bucket, Stats, NUM_BUCKETS};
 pub use task::TaskId;
 pub use time::{ms, secs, to_secs, to_us, us, Time};
 pub use trace::{NodeTrace, Span, SpanId, TraceConfig, TraceEvent, TraceLog, TraceRecord};
+pub use wait::{WaitPhase, WaitPolicy, Waiter};
 
 #[cfg(test)]
 mod tests {
